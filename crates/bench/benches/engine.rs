@@ -1,0 +1,66 @@
+//! Core-engine performance: one routing outcome is the unit of work every
+//! experiment multiplies by |M|·|D|, so its cost is the whole story.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgp_core::{AttackScenario, Deployment, Engine, PairAnalyzer, PartitionComputer, Policy, SecurityModel};
+use sbgp_sim::Internet;
+use sbgp_topology::AsId;
+
+fn engine_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    for &n in &[1_000usize, 4_000, 8_000] {
+        let net = Internet::synthetic(n, 11);
+        let dep = Deployment::full_from_iter(n, net.tiers.tier1().iter().copied());
+        let m = net.tiers.tier2()[0];
+        let d = net.content_providers[0];
+        for model in SecurityModel::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("attack-{}", model.label()), n),
+                &n,
+                |b, _| {
+                    let mut engine = Engine::new(&net.graph);
+                    b.iter(|| {
+                        let o = engine.compute(
+                            AttackScenario::attack(m, d),
+                            &dep,
+                            Policy::new(model),
+                        );
+                        black_box(o.count_happy())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let net = Internet::synthetic(4_000, 11);
+    let m = net.tiers.tier2()[0];
+    let d = net.content_providers[0];
+    let dep = Deployment::full_from_iter(net.len(), net.tiers.tier1().iter().copied());
+
+    c.bench_function("partition/sec2-4000", |b| {
+        let mut pc = PartitionComputer::new(&net.graph);
+        b.iter(|| black_box(pc.counts(m, d, Policy::new(SecurityModel::Security2nd))));
+    });
+    c.bench_function("analysis/three-run-4000", |b| {
+        let mut an = PairAnalyzer::new(&net.graph);
+        b.iter(|| black_box(an.analyze(m, d, &dep, Policy::new(SecurityModel::Security2nd))));
+    });
+    c.bench_function("engine/normal-4000", |b| {
+        let mut engine = Engine::new(&net.graph);
+        b.iter(|| {
+            let o = engine.compute(
+                AttackScenario::normal(AsId(d.0)),
+                &dep,
+                Policy::new(SecurityModel::Security2nd),
+            );
+            black_box(o.count_secure_sources())
+        });
+    });
+}
+
+criterion_group!(benches, engine_benches);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Topology substrate performance: synthetic generation, IXP
+//! augmentation, tier classification, serial-1 round-trips.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgp_topology::gen::{augment_with_ixps, generate, InternetConfig, IxpConfig};
+use sbgp_topology::tier::{TierConfig, TierMap};
+use sbgp_topology::{io, stats::GraphStats};
+
+fn generator_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(generate(&InternetConfig::sized(n, 3)).graph.num_edges()));
+        });
+    }
+    group.finish();
+
+    let base = generate(&InternetConfig::sized(4_000, 3));
+    c.bench_function("ixp-augment/4000", |b| {
+        b.iter(|| {
+            let (g, added) = augment_with_ixps(&base.graph, &IxpConfig::scaled_to(4_000, 9));
+            black_box((g.len(), added))
+        });
+    });
+    c.bench_function("tier-classify/4000", |b| {
+        b.iter(|| black_box(TierMap::classify(&base.graph, &TierConfig::default()).tier1().len()));
+    });
+    c.bench_function("stats/4000", |b| {
+        b.iter(|| black_box(GraphStats::compute(&base.graph).stub_share()));
+    });
+    let text = io::write_relationships(&base.graph);
+    c.bench_function("serial1-parse/4000", |b| {
+        b.iter(|| black_box(io::parse_relationships(text.as_bytes()).unwrap().len()));
+    });
+}
+
+criterion_group!(benches, generator_benches);
+criterion_main!(benches);

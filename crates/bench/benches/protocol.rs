@@ -1,0 +1,47 @@
+//! Message-level simulator performance: protocol convergence cost vs the
+//! closed-form engine (the engine should win by orders of magnitude, which
+//! is why the paper computes outcomes instead of simulating updates).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgp_core::{AttackScenario, Deployment, Engine, Policy, SecurityModel};
+use sbgp_proto::{Schedule, Simulator};
+use sbgp_sim::Internet;
+
+fn protocol_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence");
+    group.sample_size(10);
+    for &n in &[200usize, 800] {
+        let net = Internet::synthetic(n, 5);
+        let dep = Deployment::full_from_iter(n, net.tiers.tier1().iter().copied());
+        let d = net.content_providers[0];
+        let m = net.tiers.tier2()[0];
+        group.bench_with_input(BenchmarkId::new("message-level", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulator::new(
+                    &net.graph,
+                    &dep,
+                    Policy::new(SecurityModel::Security2nd),
+                    AttackScenario::attack(m, d),
+                );
+                black_box(sim.run(Schedule::Fifo, 10_000_000))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("engine", n), &n, |b, _| {
+            let mut engine = Engine::new(&net.graph);
+            b.iter(|| {
+                let o = engine.compute(
+                    AttackScenario::attack(m, d),
+                    &dep,
+                    Policy::new(SecurityModel::Security2nd),
+                );
+                black_box(o.count_happy())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, protocol_benches);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! §2.3 / Figure 1: the BGP wedgie from inconsistent SecP priorities.
+use sbgp_bench::render;
+
+fn main() {
+    println!("=== Figure 1 — S*BGP wedgie (protocol-level simulation) ===\n");
+    println!("{}", render::render_wedgie());
+}

@@ -1,0 +1,9 @@
+//! Figure 3: immune/protectable/doomed shares per security model.
+use sbgp_bench::{render, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Figure 3 — partition shares per security model", &net);
+    println!("{}", render::render_figure3(&net, &cli.config, cli.variant));
+}

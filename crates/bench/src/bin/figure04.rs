@@ -1,0 +1,14 @@
+//! Figure 4: partitions by destination tier, security 3rd.
+use sbgp_bench::{render, Cli};
+use sbgp_core::SecurityModel;
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Figure 4 — partitions by destination tier (Sec 3rd)", &net);
+    println!(
+        "{}",
+        render::render_by_destination_tier(&net, &cli.config, SecurityModel::Security3rd, cli.variant)
+    );
+    println!("paper: ~80% of sources are doomed when a Tier 1 destination is attacked");
+}

@@ -1,0 +1,13 @@
+//! Figure 5: partitions by destination tier, security 2nd.
+use sbgp_bench::{render, Cli};
+use sbgp_core::SecurityModel;
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Figure 5 — partitions by destination tier (Sec 2nd)", &net);
+    println!(
+        "{}",
+        render::render_by_destination_tier(&net, &cli.config, SecurityModel::Security2nd, cli.variant)
+    );
+}

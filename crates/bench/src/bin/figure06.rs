@@ -1,0 +1,14 @@
+//! Figure 6: partitions by attacker tier, security 3rd.
+use sbgp_bench::{render, Cli};
+use sbgp_core::SecurityModel;
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Figure 6 — partitions by attacker tier (Sec 3rd)", &net);
+    println!(
+        "{}",
+        render::render_by_attacker_tier(&net, &cli.config, SecurityModel::Security3rd, cli.variant)
+    );
+    println!("paper: attacks strengthen from stubs to Tier 2, but Tier 1 attackers are weakest");
+}

@@ -1,0 +1,13 @@
+//! Figure 9: per-destination ΔH, S = Tier 1s + Tier 2s + their stubs.
+use sbgp_bench::{render, Cli};
+use sbgp_sim::experiments::per_destination;
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Figure 9 — per-destination ΔH at the last T1+T2 step", &net);
+    println!(
+        "{}",
+        render::render_per_destination(&per_destination::figure9(&net, &cli.config))
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 10: per-destination ΔH, S = all Tier 2s + their stubs.
+use sbgp_bench::{render, Cli};
+use sbgp_sim::experiments::per_destination;
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Figure 10 — per-destination ΔH, Tier-2-only deployment", &net);
+    println!(
+        "{}",
+        render::render_per_destination(&per_destination::figure10(&net, &cli.config))
+    );
+    println!("paper: without secure Tier 1s the sec1-vs-sec2 gap narrows");
+}

@@ -1,0 +1,14 @@
+//! Figure 12: per-destination ΔH with every non-stub secure (§5.2.4).
+use sbgp_bench::{render, Cli};
+use sbgp_sim::experiments::per_destination;
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Figure 12 — per-destination ΔH, all non-stubs secure", &net);
+    println!(
+        "{}",
+        render::render_per_destination(&per_destination::figure12(&net, &cli.config))
+    );
+    println!("{}", render::render_non_stubs(&net, &cli.config));
+}

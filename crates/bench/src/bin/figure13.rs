@@ -1,0 +1,13 @@
+//! Figure 13: the fate of secure routes to the 17 content providers.
+use sbgp_bench::{render, Cli};
+use sbgp_core::SecurityModel;
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Figure 13 — secure routes to CP destinations under attack", &net);
+    println!(
+        "{}",
+        render::render_figure13(&net, &cli.config, SecurityModel::Security3rd)
+    );
+}

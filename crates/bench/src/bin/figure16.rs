@@ -1,0 +1,9 @@
+//! Figure 16: root-cause decomposition of the metric change.
+use sbgp_bench::{render, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Figure 16 — root causes of metric changes", &net);
+    println!("{}", render::render_figure16(&net, &cli.config));
+}

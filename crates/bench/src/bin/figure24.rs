@@ -1,0 +1,12 @@
+//! Appendix K Figure 24: Figure 3 under the LP2 policy variant.
+use sbgp_bench::{render, Cli};
+use sbgp_core::LpVariant;
+
+fn main() {
+    let mut cli = Cli::parse();
+    cli.variant = LpVariant::LpK(2);
+    let net = cli.internet();
+    cli.banner("Figure 24 — partition shares under LP2 (Appendix K)", &net);
+    println!("{}", render::render_figure3(&net, &cli.config, cli.variant));
+    println!("paper (LP2): smaller maximum gains than standard LP; more immune ASes");
+}

@@ -1,0 +1,19 @@
+//! Appendix K Figure 25: Figures 4/5 under the LP2 policy variant.
+use sbgp_bench::{render, Cli};
+use sbgp_core::{LpVariant, SecurityModel};
+
+fn main() {
+    let mut cli = Cli::parse();
+    cli.variant = LpVariant::LpK(2);
+    let net = cli.internet();
+    cli.banner("Figure 25 — partitions by destination tier under LP2", &net);
+    println!(
+        "{}",
+        render::render_by_destination_tier(&net, &cli.config, SecurityModel::Security3rd, cli.variant)
+    );
+    println!(
+        "{}",
+        render::render_by_destination_tier(&net, &cli.config, SecurityModel::Security2nd, cli.variant)
+    );
+    println!("paper: under LP2 most high-tier destinations become immune (short peer routes win)");
+}

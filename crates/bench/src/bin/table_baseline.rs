@@ -1,0 +1,9 @@
+//! §4.2: the origin-authentication baseline `H_{V,V}(∅)`.
+use sbgp_bench::{render, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Table §4.2 — baseline security from origin authentication", &net);
+    println!("{}", render::render_baseline(&net, &cli.config));
+}

@@ -1,0 +1,9 @@
+//! §5.3.1: who should adopt first?
+use sbgp_bench::{render, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("§5.3.1 — early adopter comparison", &net);
+    println!("{}", render::render_early_adopters(&net, &cli.config));
+}

@@ -1,0 +1,9 @@
+//! Library extension table: hysteresis.
+use sbgp_bench::{render, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Extension — hysteresis", &net);
+    println!("{}", render::render_hysteresis(&net, &cli.config));
+}

@@ -1,0 +1,9 @@
+//! Library extension table: islands.
+use sbgp_bench::{render, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Extension — islands", &net);
+    println!("{}", render::render_islands(&net, &cli.config));
+}

@@ -1,0 +1,9 @@
+//! Table 3: which phenomena occur under which security model.
+use sbgp_bench::{render, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Table 3 — phenomena by security model", &net);
+    println!("{}", render::render_phenomena(&net, &cli.config));
+}

@@ -1,0 +1,9 @@
+//! Library extension table: rpki_value.
+use sbgp_bench::{render, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Extension — rpki_value", &net);
+    println!("{}", render::render_rpki_value(&net, &cli.config));
+}

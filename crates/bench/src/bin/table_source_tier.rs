@@ -1,0 +1,11 @@
+//! §4.7: partitions bucketed by source tier.
+use sbgp_bench::{render, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("§4.7 — partitions by source tier", &net);
+    println!("{}", render::render_by_source_tier(&net, &cli.config));
+    println!("paper: every source tier (including Tier 1s) looks alike ⇒ S*BGP can still");
+    println!("protect Tier 1s as sources even though it cannot protect them as destinations");
+}

@@ -1,0 +1,9 @@
+//! Library extension table: weighted.
+use sbgp_bench::{render, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Extension — weighted", &net);
+    println!("{}", render::render_weighted(&net, &cli.config));
+}

@@ -1,0 +1,176 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` reproduces one figure or table from the
+//! paper. They share a tiny argument parser ([`Cli`]) and the rendering
+//! code in [`render`], so `run_all` can regenerate the whole evaluation in
+//! one go:
+//!
+//! ```text
+//! cargo run --release -p sbgp-bench --bin figure03 -- --asns 8000
+//! cargo run --release -p sbgp-bench --bin run_all -- --out EXPERIMENTS
+//! ```
+//!
+//! Common flags: `--asns N`, `--seed S`, `--attackers A`,
+//! `--destinations D`, `--per-tier P`, `--threads T`, `--ixp`
+//! (Appendix J graph), `--policy lp|lp2|lpinf` (Appendix K variants).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+
+use sbgp_core::LpVariant;
+use sbgp_sim::experiments::ExperimentConfig;
+use sbgp_sim::{Internet, Parallelism};
+
+/// Parsed command-line options for the figure binaries.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Synthetic graph size.
+    pub asns: usize,
+    /// Generator/sampler seed.
+    pub seed: u64,
+    /// Use the IXP-augmented graph (Appendix J).
+    pub ixp: bool,
+    /// LP variant (Appendix K).
+    pub variant: LpVariant,
+    /// Sampling configuration.
+    pub config: ExperimentConfig,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            asns: 4_000,
+            seed: 42,
+            ixp: false,
+            variant: LpVariant::Standard,
+            config: ExperimentConfig::default(),
+        }
+    }
+}
+
+impl Cli {
+    /// Parse `std::env::args`, exiting with usage on errors or `--help`.
+    pub fn parse() -> Cli {
+        match Cli::try_parse(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!(
+                    "usage: [--asns N] [--seed S] [--attackers A] [--destinations D] \
+                     [--per-tier P] [--threads T] [--ixp] [--policy lp|lp2|lpinf]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+        let mut cli = Cli::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut take = |name: &str| -> Result<String, String> {
+                args.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--asns" => cli.asns = parse_num(&take("--asns")?)?,
+                "--seed" => cli.seed = parse_num(&take("--seed")?)?,
+                "--attackers" => cli.config.attackers = parse_num(&take("--attackers")?)?,
+                "--destinations" => {
+                    cli.config.destinations = parse_num(&take("--destinations")?)?
+                }
+                "--per-tier" => cli.config.per_tier = parse_num(&take("--per-tier")?)?,
+                "--threads" => {
+                    cli.config.parallelism = Parallelism(parse_num(&take("--threads")?)?)
+                }
+                "--ixp" => cli.ixp = true,
+                "--policy" => {
+                    cli.variant = match take("--policy")?.as_str() {
+                        "lp" => LpVariant::Standard,
+                        "lp2" => LpVariant::LpK(2),
+                        "lpinf" => LpVariant::LpInf,
+                        other => return Err(format!("unknown policy {other:?}")),
+                    }
+                }
+                "--help" | "-h" => return Err("help requested".into()),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        cli.config.seed = cli.seed;
+        Ok(cli)
+    }
+
+    /// Build the experiment topology.
+    pub fn internet(&self) -> Internet {
+        if self.ixp {
+            Internet::synthetic_with_ixp(self.asns, self.seed)
+        } else {
+            Internet::synthetic(self.asns, self.seed)
+        }
+    }
+
+    /// Print the standard experiment banner.
+    pub fn banner(&self, title: &str, net: &Internet) {
+        println!("=== {title} ===");
+        println!(
+            "graph: {} ({} ASes, {} c2p, {} p2p edges); seed {}; policy {}",
+            net.name,
+            net.graph.len(),
+            net.graph.num_customer_provider_edges(),
+            net.graph.num_peer_edges(),
+            self.seed,
+            self.variant,
+        );
+        println!(
+            "sampling: {} attackers x {} destinations ({} per tier), {} thread(s)",
+            self.config.attackers,
+            self.config.destinations,
+            self.config.per_tier,
+            self.config.parallelism.0
+        );
+        println!();
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.asns, 4_000);
+        assert!(!cli.ixp);
+
+        let cli = parse(&[
+            "--asns", "1000", "--seed", "7", "--attackers", "9", "--ixp", "--policy", "lp2",
+            "--threads", "3",
+        ])
+        .unwrap();
+        assert_eq!(cli.asns, 1000);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.config.attackers, 9);
+        assert_eq!(cli.config.seed, 7);
+        assert!(cli.ixp);
+        assert_eq!(cli.variant, LpVariant::LpK(2));
+        assert_eq!(cli.config.parallelism, Parallelism(3));
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        assert!(parse(&["--asns"]).is_err());
+        assert!(parse(&["--asns", "x"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--policy", "lp9"]).is_err());
+    }
+}

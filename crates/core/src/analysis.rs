@@ -1,0 +1,339 @@
+//! Downgrade and collateral-effect analysis (§3.2, §6, Appendix F.1).
+//!
+//! For one `(m, d)` pair and deployment `S`, [`PairAnalyzer::analyze`] runs
+//! the engine three times —
+//!
+//! 1. **normal** conditions with `S` (who has secure routes before the
+//!    attack),
+//! 2. the attack with `S = ∅` (the origin-authentication baseline), and
+//! 3. the attack with `S` —
+//!
+//! and classifies every source AS into the Figure 16 root-cause buckets:
+//!
+//! * **downgraded** — had a secure route normally, uses an insecure route
+//!   during the attack (the protocol downgrade attack of §3.2);
+//! * **wasted** — keeps a secure route, but would have been happy even
+//!   with `S = ∅` ("secure routes given to happy nodes");
+//! * **protected** — keeps a secure route and would have been unhappy in
+//!   the baseline ("secure routes given to unhappy nodes");
+//! * **collateral benefit** — insecurely-routed AS that is happy under `S`
+//!   but was not in the baseline (§6.1.2);
+//! * **collateral damage** — AS that was happy in the baseline but no
+//!   longer is under `S` (§6.1.1).
+//!
+//! With the sure-happy (tie-break lower-bound) convention used throughout,
+//! the decomposition is exact:
+//!
+//! ```text
+//! H_lower(S) − H_lower(∅)  =  protected + collateral_benefit − collateral_damage
+//! ```
+//!
+//! which the test suite asserts on every analyzed pair.
+
+use std::ops::AddAssign;
+
+use sbgp_topology::AsId;
+
+use crate::attack::AttackScenario;
+use crate::deployment::Deployment;
+use crate::engine::Engine;
+use crate::metric::HappyCount;
+use crate::policy::Policy;
+
+/// Root-cause counters for one `(m, d, S)` instance (or a sum of many).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairAnalysis {
+    /// Number of `(m, d)` pairs aggregated (1 for a single analysis).
+    pub pairs: usize,
+    /// Source ASes per pair (`|V| − 2`).
+    pub sources: usize,
+    /// Happy sources under the attack with `S` deployed.
+    pub happy: HappyCount,
+    /// Happy sources under the attack in the `S = ∅` baseline.
+    pub happy_baseline: HappyCount,
+    /// Sources with secure routes under normal conditions.
+    pub secure_normal: usize,
+    /// Sources with secure routes during the attack.
+    pub secure_attack: usize,
+    /// Sources that lost a secure route to the attack (downgrades).
+    pub downgraded: usize,
+    /// Downgrades of sources whose *normal* route may traverse the
+    /// attacker — the case Theorem 3.1 explicitly exempts. Under security
+    /// 1st, `downgraded == downgraded_via_attacker` always.
+    pub downgraded_via_attacker: usize,
+    /// Secure-during-attack sources that were already happy at `S = ∅`.
+    pub wasted: usize,
+    /// Secure-during-attack sources that were unhappy at `S = ∅`.
+    pub protected: usize,
+    /// Insecure sources made happy by others' deployment.
+    pub collateral_benefit: usize,
+    /// Sources made unhappy by the deployment.
+    pub collateral_damage: usize,
+}
+
+impl PairAnalysis {
+    /// The exact decomposition identity (lower-bound convention):
+    /// `ΔH = protected + benefit − damage`.
+    pub fn metric_change_identity_holds(&self) -> bool {
+        let dh = self.happy.lower as i64 - self.happy_baseline.lower as i64;
+        dh == self.protected as i64 + self.collateral_benefit as i64
+            - self.collateral_damage as i64
+    }
+
+    /// Change in the lower-bound metric versus the baseline, as a fraction
+    /// of sources.
+    pub fn metric_change_lower(&self) -> f64 {
+        (self.happy.lower as f64 - self.happy_baseline.lower as f64) / self.sources.max(1) as f64
+    }
+
+    /// Change in the upper-bound metric versus the baseline.
+    pub fn metric_change_upper(&self) -> f64 {
+        (self.happy.upper as f64 - self.happy_baseline.upper as f64) / self.sources.max(1) as f64
+    }
+
+    /// Fraction of sources in a counter field, e.g.
+    /// `a.fraction(a.downgraded)`.
+    pub fn fraction(&self, count: usize) -> f64 {
+        count as f64 / self.sources.max(1) as f64
+    }
+}
+
+impl AddAssign for PairAnalysis {
+    fn add_assign(&mut self, o: PairAnalysis) {
+        self.pairs += o.pairs;
+        self.sources += o.sources;
+        self.happy += o.happy;
+        self.happy_baseline += o.happy_baseline;
+        self.secure_normal += o.secure_normal;
+        self.secure_attack += o.secure_attack;
+        self.downgraded += o.downgraded;
+        self.downgraded_via_attacker += o.downgraded_via_attacker;
+        self.wasted += o.wasted;
+        self.protected += o.protected;
+        self.collateral_benefit += o.collateral_benefit;
+        self.collateral_damage += o.collateral_damage;
+    }
+}
+
+/// Reusable three-run analyzer for one topology.
+#[derive(Debug)]
+pub struct PairAnalyzer<'g> {
+    engine: Engine<'g>,
+    baseline: Deployment,
+    normal_secure: Vec<bool>,
+    normal_via_attacker: Vec<bool>,
+    base_sure_happy: Vec<bool>,
+    base_may_happy: Vec<bool>,
+}
+
+impl<'g> PairAnalyzer<'g> {
+    /// Create an analyzer for `graph`.
+    pub fn new(graph: &'g sbgp_topology::AsGraph) -> PairAnalyzer<'g> {
+        PairAnalyzer {
+            engine: Engine::new(graph),
+            baseline: Deployment::empty(graph.len()),
+            normal_secure: Vec::new(),
+            normal_via_attacker: Vec::new(),
+            base_sure_happy: Vec::new(),
+            base_may_happy: Vec::new(),
+        }
+    }
+
+    /// Analyze attacker `m` against destination `d` under `deployment`.
+    pub fn analyze(
+        &mut self,
+        m: AsId,
+        d: AsId,
+        deployment: &Deployment,
+        policy: Policy,
+    ) -> PairAnalysis {
+        let n = self.engine.graph().len();
+        let attack = AttackScenario::attack(m, d);
+
+        // Run 1: normal conditions with S, tracking routes through m.
+        {
+            let o = self
+                .engine
+                .compute(AttackScenario::normal_marked(d, m), deployment, policy);
+            self.normal_secure.clear();
+            self.normal_via_attacker.clear();
+            for i in 0..n {
+                let v = AsId(i as u32);
+                self.normal_secure.push(o.uses_secure_route(v));
+                self.normal_via_attacker.push(o.may_traverse_mark(v));
+            }
+        }
+        // Run 2: the attack at S = ∅.
+        {
+            let o = self.engine.compute(attack, &self.baseline, policy);
+            self.base_sure_happy.clear();
+            self.base_may_happy.clear();
+            for i in 0..n {
+                let f = o.flags(AsId(i as u32));
+                self.base_sure_happy.push(f.surely_happy());
+                self.base_may_happy.push(f.may_reach_destination());
+            }
+        }
+        // Run 3: the attack with S; classify in one pass.
+        let o = self.engine.compute(attack, deployment, policy);
+        let mut a = PairAnalysis {
+            pairs: 1,
+            sources: attack.source_count(n),
+            ..PairAnalysis::default()
+        };
+        for i in 0..n {
+            let v = AsId(i as u32);
+            if !o.is_source(v) {
+                continue;
+            }
+            let flags = o.flags(v);
+            let sure_happy = flags.surely_happy();
+            let may_happy = flags.may_reach_destination();
+            let secure = o.uses_secure_route(v);
+            let base_sure = self.base_sure_happy[i];
+            a.happy.lower += usize::from(sure_happy);
+            a.happy.upper += usize::from(may_happy);
+            a.happy_baseline.lower += usize::from(base_sure);
+            a.happy_baseline.upper += usize::from(self.base_may_happy[i]);
+            a.secure_normal += usize::from(self.normal_secure[i]);
+            a.secure_attack += usize::from(secure);
+            if self.normal_secure[i] && !secure {
+                a.downgraded += 1;
+                if self.normal_via_attacker[i] {
+                    a.downgraded_via_attacker += 1;
+                }
+            }
+            if secure {
+                if base_sure {
+                    a.wasted += 1;
+                } else {
+                    a.protected += 1;
+                }
+            } else if sure_happy && !base_sure {
+                a.collateral_benefit += 1;
+            }
+            if base_sure && !sure_happy {
+                a.collateral_damage += 1;
+            }
+        }
+        a.happy.sources = a.sources;
+        a.happy_baseline.sources = a.sources;
+        debug_assert!(a.metric_change_identity_holds());
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::SecurityModel;
+    use sbgp_topology::{AsGraph, GraphBuilder};
+
+    /// Figure 2 gadget (ids as in `engine::tests`).
+    fn figure2() -> AsGraph {
+        let mut b = GraphBuilder::new(6);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_peering(AsId(1), AsId(2)).unwrap();
+        b.add_peering(AsId(0), AsId(2)).unwrap();
+        b.add_provider(AsId(3), AsId(2)).unwrap();
+        b.add_provider(AsId(4), AsId(3)).unwrap();
+        b.add_provider(AsId(5), AsId(0)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn downgrade_counted_in_sec2_but_not_sec1() {
+        let g = figure2();
+        let dep = Deployment::full_from_iter(6, [AsId(0), AsId(1), AsId(2)]);
+        let mut an = PairAnalyzer::new(&g);
+
+        let a2 = an.analyze(AsId(4), AsId(0), &dep, Policy::new(SecurityModel::Security2nd));
+        assert_eq!(a2.downgraded, 2, "both 21740 and 174 downgrade");
+        assert!(a2.metric_change_identity_holds());
+
+        let a1 = an.analyze(AsId(4), AsId(0), &dep, Policy::new(SecurityModel::Security1st));
+        assert_eq!(a1.downgraded, 0, "Theorem 3.1");
+        // 174 keeps a secure route it actually needed: protected.
+        assert!(a1.protected >= 1);
+        assert!(a1.metric_change_identity_holds());
+    }
+
+    #[test]
+    fn collateral_damage_example_is_detected() {
+        // The engine test's collateral-damage gadget.
+        let mut b = GraphBuilder::new(10);
+        b.add_provider(AsId(0), AsId(1)).unwrap();
+        b.add_provider(AsId(1), AsId(2)).unwrap();
+        b.add_provider(AsId(2), AsId(3)).unwrap();
+        b.add_provider(AsId(0), AsId(4)).unwrap();
+        b.add_provider(AsId(5), AsId(3)).unwrap();
+        b.add_provider(AsId(5), AsId(4)).unwrap();
+        b.add_provider(AsId(6), AsId(5)).unwrap();
+        b.add_provider(AsId(6), AsId(7)).unwrap();
+        b.add_provider(AsId(8), AsId(7)).unwrap();
+        b.add_provider(AsId(9), AsId(8)).unwrap();
+        let g = b.build();
+        let dep = Deployment::full_from_iter(10, [AsId(0), AsId(1), AsId(2), AsId(3), AsId(5)]);
+        let mut an = PairAnalyzer::new(&g);
+
+        let a = an.analyze(AsId(9), AsId(0), &dep, Policy::new(SecurityModel::Security2nd));
+        assert_eq!(a.collateral_damage, 1, "s suffers collateral damage");
+        assert!(a.metric_change_identity_holds());
+
+        // Theorem 6.1: none under security 3rd.
+        let a = an.analyze(AsId(9), AsId(0), &dep, Policy::new(SecurityModel::Security3rd));
+        assert_eq!(a.collateral_damage, 0);
+    }
+
+    #[test]
+    fn collateral_benefit_example_is_detected() {
+        // Figure 15 shape: x(1) has two equal-length peer routes — to d
+        // via pd(2)–w(6), to m via pm(3) — and an insecure customer child
+        // c(5). Securing the d side tips x's tie-break, and c benefits.
+        let mut b = GraphBuilder::new(7);
+        b.add_provider(AsId(0), AsId(6)).unwrap(); // d customer of w
+        b.add_provider(AsId(6), AsId(2)).unwrap(); // w customer of pd
+        b.add_provider(AsId(4), AsId(3)).unwrap(); // m customer of pm
+        b.add_peering(AsId(1), AsId(2)).unwrap();
+        b.add_peering(AsId(1), AsId(3)).unwrap();
+        b.add_provider(AsId(5), AsId(1)).unwrap(); // c buys from x
+        let g = b.build();
+        let mut an = PairAnalyzer::new(&g);
+        let dep = Deployment::full_from_iter(7, [AsId(0), AsId(1), AsId(2), AsId(6)]);
+        let a = an.analyze(AsId(4), AsId(0), &dep, Policy::new(SecurityModel::Security3rd));
+        // x is protected (it was mixed in the baseline: not surely happy);
+        // c is a collateral beneficiary (insecure, now surely happy).
+        assert_eq!(a.protected, 1);
+        assert_eq!(a.collateral_benefit, 1);
+        assert!(a.metric_change_identity_holds());
+    }
+
+    #[test]
+    fn aggregation_adds_fields() {
+        let g = figure2();
+        let dep = Deployment::full_from_iter(6, [AsId(0), AsId(1), AsId(2)]);
+        let mut an = PairAnalyzer::new(&g);
+        let a = an.analyze(AsId(4), AsId(0), &dep, Policy::new(SecurityModel::Security2nd));
+        let mut sum = PairAnalysis::default();
+        sum += a;
+        sum += a;
+        assert_eq!(sum.pairs, 2);
+        assert_eq!(sum.downgraded, 2 * a.downgraded);
+        assert_eq!(sum.sources, 2 * a.sources);
+    }
+
+    #[test]
+    fn normal_conditions_secure_routes_counted() {
+        let g = figure2();
+        let dep = Deployment::full_from_iter(6, [AsId(0), AsId(1), AsId(2)]);
+        let mut an = PairAnalyzer::new(&g);
+        let a = an.analyze(AsId(4), AsId(0), &dep, Policy::new(SecurityModel::Security2nd));
+        // Under normal conditions the victim (1) and 174 (2) have secure
+        // routes to d.
+        assert_eq!(a.secure_normal, 2);
+        // Under attack only 174... no: 174 prefers its bogus customer
+        // route (LP), so it downgrades too. Both secure routes are lost.
+        assert_eq!(a.downgraded, 2);
+        assert_eq!(a.secure_attack, 0);
+    }
+}

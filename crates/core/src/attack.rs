@@ -1,0 +1,175 @@
+//! The threat model (§3.1).
+//!
+//! A single attacker `m` targets a single destination `d`. Origin
+//! authentication is assumed deployed, so `m` cannot originate `d`'s prefix
+//! itself; instead it announces the bogus AS-level path **"m, d"** — a fake
+//! adjacency to the destination — via *legacy BGP* to **all** of its
+//! neighbors (an attacker ignores its own export policy; recipients apply
+//! theirs normally). The announcement therefore:
+//!
+//! * carries claimed length 2 at `m`'s neighbors (as if `m` were one hop
+//!   from `d`), i.e. `m` behaves as a root at depth 1;
+//! * is never secure — it arrives via legacy BGP and is not validated;
+//! * works identically against partially-deployed soBGP, S-BGP and BGPSEC
+//!   (§3.1): in every variant the recipient cannot detect the fake edge
+//!   without a secure path.
+//!
+//! "Normal conditions" (no attacker) are modeled by
+//! [`AttackScenario::normal`], used for downgrade analysis and for the
+//! secure-routes-before-attack accounting of Figures 13 and 16.
+
+use sbgp_topology::AsId;
+
+/// What the attacker announces (via legacy BGP, to all its neighbors).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AttackStrategy {
+    /// The paper's attack (§3.1): announce the bogus one-hop path
+    /// `"m, d"`, i.e. claim a direct link to the legitimate origin. This
+    /// defeats origin authentication's *letter* (the origin is correct)
+    /// and is what S\*BGP exists to stop.
+    #[default]
+    FakeLink,
+    /// Classic pre-RPKI prefix hijacking: `m` originates the victim's
+    /// prefix itself, announcing the zero-hop path `"m"`. Origin
+    /// authentication **prevents** this entirely; the library models it so
+    /// the value of RPKI itself can be quantified against the same metric
+    /// (the premise the paper inherits from Goldberg et al. \[22\]).
+    OriginHijack,
+}
+
+impl AttackStrategy {
+    /// The claimed path length of the attacker's announcement as heard by
+    /// its direct neighbors, minus one — i.e. the depth at which `m` roots
+    /// the bogus routing tree (`d` roots the legitimate one at 0).
+    pub fn root_depth(self) -> u32 {
+        match self {
+            AttackStrategy::FakeLink => 1,
+            AttackStrategy::OriginHijack => 0,
+        }
+    }
+}
+
+/// One attack instance: a destination under attack, and optionally the
+/// attacker (absent for normal conditions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AttackScenario {
+    /// The legitimate destination AS `d`.
+    pub destination: AsId,
+    /// The attacker `m`, or `None` for normal conditions.
+    pub attacker: Option<AsId>,
+    /// An AS whose presence on routes should be tracked (see
+    /// [`crate::Outcome::may_traverse_mark`]). Theorem 3.1 only protects
+    /// sources whose *normal* route avoids the attacker, so downgrade
+    /// analysis marks `m` during the normal-conditions run.
+    pub mark: Option<AsId>,
+    /// The announcement the attacker sends.
+    pub strategy: AttackStrategy,
+}
+
+impl AttackScenario {
+    /// Attacker `m` announces "m, d" against destination `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == d`; the paper's metric only ranges over `d ≠ m`.
+    pub fn attack(attacker: AsId, destination: AsId) -> AttackScenario {
+        assert_ne!(attacker, destination, "attacker cannot be the destination");
+        AttackScenario {
+            destination,
+            attacker: Some(attacker),
+            mark: None,
+            strategy: AttackStrategy::FakeLink,
+        }
+    }
+
+    /// Attacker `m` hijacks `d`'s prefix outright (no origin
+    /// authentication in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == d`.
+    pub fn hijack(attacker: AsId, destination: AsId) -> AttackScenario {
+        assert_ne!(attacker, destination, "attacker cannot be the destination");
+        AttackScenario {
+            destination,
+            attacker: Some(attacker),
+            mark: None,
+            strategy: AttackStrategy::OriginHijack,
+        }
+    }
+
+    /// Normal conditions: routing to `d` with no attacker present.
+    pub fn normal(destination: AsId) -> AttackScenario {
+        AttackScenario {
+            destination,
+            attacker: None,
+            mark: None,
+            strategy: AttackStrategy::FakeLink,
+        }
+    }
+
+    /// Normal conditions, additionally tracking which ASes route through
+    /// `mark`.
+    pub fn normal_marked(destination: AsId, mark: AsId) -> AttackScenario {
+        AttackScenario {
+            destination,
+            attacker: None,
+            mark: Some(mark),
+            strategy: AttackStrategy::FakeLink,
+        }
+    }
+
+    /// True when this scenario has an attacker.
+    pub fn is_attack(&self) -> bool {
+        self.attacker.is_some()
+    }
+
+    /// The number of source ASes the paper's metric divides by for this
+    /// scenario on an `n`-AS graph: every AS except `d` and `m`.
+    pub fn source_count(&self, n: usize) -> usize {
+        n - 1 - usize::from(self.attacker.is_some())
+    }
+
+    /// True when `v` is a source (neither the destination nor the attacker).
+    pub fn is_source(&self, v: AsId) -> bool {
+        v != self.destination && Some(v) != self.attacker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let a = AttackScenario::attack(AsId(3), AsId(7));
+        assert!(a.is_attack());
+        assert_eq!(a.source_count(10), 8);
+        assert!(!a.is_source(AsId(3)));
+        assert!(!a.is_source(AsId(7)));
+        assert!(a.is_source(AsId(0)));
+
+        let n = AttackScenario::normal(AsId(7));
+        assert!(!n.is_attack());
+        assert_eq!(n.source_count(10), 9);
+        assert!(n.is_source(AsId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "attacker cannot be the destination")]
+    fn attacker_must_differ_from_destination() {
+        let _ = AttackScenario::attack(AsId(3), AsId(3));
+    }
+
+    #[test]
+    fn strategies_root_at_different_depths() {
+        assert_eq!(AttackStrategy::FakeLink.root_depth(), 1);
+        assert_eq!(AttackStrategy::OriginHijack.root_depth(), 0);
+        let a = AttackScenario::hijack(AsId(1), AsId(2));
+        assert_eq!(a.strategy, AttackStrategy::OriginHijack);
+        assert_eq!(
+            AttackScenario::attack(AsId(1), AsId(2)).strategy,
+            AttackStrategy::FakeLink
+        );
+    }
+}

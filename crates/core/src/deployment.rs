@@ -1,0 +1,196 @@
+//! S\*BGP deployment state: which ASes are secure, and in what mode.
+//!
+//! The paper distinguishes (§5.3.2):
+//!
+//! * **full S\*BGP** — the AS signs its announcements, validates received
+//!   ones, and uses the SecP step in route selection;
+//! * **simplex S\*BGP** — proposed for stub ASes: the AS (or its provider,
+//!   on its behalf) signs *outgoing* origin announcements but receives
+//!   legacy BGP, so it neither validates nor prefers secure routes.
+//!
+//! A route `(v_k, …, v_1, d)` is *secure* from the deciding AS `v_k`'s
+//! perspective iff `v_k` and every transit hop run full S\*BGP and the
+//! origin `d` at least signs (full or simplex). The engine factors this as:
+//! the origin contributes [`Deployment::signs_origin`], every extension by
+//! an AS `v` contributes [`Deployment::validates`]`(v)`.
+
+use sbgp_topology::{AsGraph, AsId, AsSet};
+
+/// The set of secure ASes `S`, split into full and simplex members.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Deployment {
+    full: AsSet,
+    simplex: AsSet,
+}
+
+impl Deployment {
+    /// The baseline scenario `S = ∅`: origin authentication only.
+    pub fn empty(n: usize) -> Deployment {
+        Deployment {
+            full: AsSet::new(n),
+            simplex: AsSet::new(n),
+        }
+    }
+
+    /// A deployment where every listed AS runs full S\*BGP.
+    pub fn full_from_iter(n: usize, iter: impl IntoIterator<Item = AsId>) -> Deployment {
+        Deployment {
+            full: AsSet::from_iter(n, iter),
+            simplex: AsSet::new(n),
+        }
+    }
+
+    /// A deployment from explicit full and simplex sets. Ids present in
+    /// both are treated as full.
+    pub fn with_simplex(full: AsSet, mut simplex: AsSet) -> Deployment {
+        simplex.difference_with(&full);
+        Deployment { full, simplex }
+    }
+
+    /// Size of the AS universe.
+    pub fn universe(&self) -> usize {
+        self.full.universe()
+    }
+
+    /// Add an AS in full mode (upgrades a simplex member).
+    pub fn insert_full(&mut self, v: AsId) {
+        self.full.insert(v);
+        self.simplex.remove(v);
+    }
+
+    /// Add an AS in simplex mode unless it is already full.
+    pub fn insert_simplex(&mut self, v: AsId) {
+        if !self.full.contains(v) {
+            self.simplex.insert(v);
+        }
+    }
+
+    /// True when `v` validates received routes and signs as a transit hop —
+    /// i.e. runs full S\*BGP. Only these ASes apply the SecP step.
+    #[inline]
+    pub fn validates(&self, v: AsId) -> bool {
+        self.full.contains(v)
+    }
+
+    /// True when `v` signs its own origin announcements (full or simplex).
+    #[inline]
+    pub fn signs_origin(&self, v: AsId) -> bool {
+        self.full.contains(v) || self.simplex.contains(v)
+    }
+
+    /// True when `v` is secure in either mode.
+    #[inline]
+    pub fn is_secure(&self, v: AsId) -> bool {
+        self.signs_origin(v)
+    }
+
+    /// Number of secure ASes (both modes).
+    pub fn secure_count(&self) -> usize {
+        self.full.count() + self.simplex.count()
+    }
+
+    /// Number of full-mode members.
+    pub fn full_count(&self) -> usize {
+        self.full.count()
+    }
+
+    /// The full-mode member set.
+    pub fn full_set(&self) -> &AsSet {
+        &self.full
+    }
+
+    /// The simplex member set.
+    pub fn simplex_set(&self) -> &AsSet {
+        &self.simplex
+    }
+
+    /// True when no AS is secure (the origin-authentication baseline).
+    pub fn is_baseline(&self) -> bool {
+        self.full.is_empty() && self.simplex.is_empty()
+    }
+
+    /// Downgrade every stub in the deployment to simplex mode: the paper's
+    /// §5.3.2 variant ("the error bars of Figure 7"). A *stub* here is an
+    /// AS with no customers, matching the Ex-based argument that such ASes
+    /// never transit announcements.
+    pub fn stubs_to_simplex(&self, graph: &AsGraph) -> Deployment {
+        let mut out = Deployment::empty(self.universe());
+        for v in self.full.iter() {
+            if graph.customer_degree(v) == 0 {
+                out.insert_simplex(v);
+            } else {
+                out.insert_full(v);
+            }
+        }
+        for v in self.simplex.iter() {
+            out.insert_simplex(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_topology::GraphBuilder;
+
+    #[test]
+    fn baseline_is_empty() {
+        let d = Deployment::empty(10);
+        assert!(d.is_baseline());
+        assert_eq!(d.secure_count(), 0);
+        assert!(!d.validates(AsId(3)));
+        assert!(!d.signs_origin(AsId(3)));
+    }
+
+    #[test]
+    fn full_members_validate_and_sign() {
+        let d = Deployment::full_from_iter(10, [AsId(1), AsId(2)]);
+        assert!(d.validates(AsId(1)));
+        assert!(d.signs_origin(AsId(1)));
+        assert!(!d.validates(AsId(0)));
+        assert_eq!(d.full_count(), 2);
+    }
+
+    #[test]
+    fn simplex_members_sign_but_do_not_validate() {
+        let mut d = Deployment::empty(10);
+        d.insert_simplex(AsId(4));
+        assert!(!d.validates(AsId(4)));
+        assert!(d.signs_origin(AsId(4)));
+        assert!(d.is_secure(AsId(4)));
+        assert_eq!(d.secure_count(), 1);
+        assert_eq!(d.full_count(), 0);
+    }
+
+    #[test]
+    fn full_wins_over_simplex() {
+        let mut d = Deployment::empty(10);
+        d.insert_simplex(AsId(4));
+        d.insert_full(AsId(4));
+        assert!(d.validates(AsId(4)));
+        assert_eq!(d.secure_count(), 1);
+
+        let full = AsSet::from_iter(10, [AsId(1)]);
+        let simplex = AsSet::from_iter(10, [AsId(1), AsId(2)]);
+        let d = Deployment::with_simplex(full, simplex);
+        assert!(d.validates(AsId(1)));
+        assert!(!d.validates(AsId(2)));
+        assert_eq!(d.secure_count(), 2);
+    }
+
+    #[test]
+    fn stub_downgrade_keeps_transit_full() {
+        // 0 is provider of 1; 1 is provider of 2; 2 is a stub.
+        let mut b = GraphBuilder::new(3);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_provider(AsId(2), AsId(1)).unwrap();
+        let g = b.build();
+        let d = Deployment::full_from_iter(3, [AsId(0), AsId(1), AsId(2)]);
+        let dx = d.stubs_to_simplex(&g);
+        assert!(dx.validates(AsId(0)));
+        assert!(dx.validates(AsId(1)));
+        assert!(!dx.validates(AsId(2)));
+        assert!(dx.signs_origin(AsId(2)));
+    }
+}

@@ -1,0 +1,54 @@
+//! Core library for the SIGCOMM'13 *"BGP Security in Partial Deployment: Is
+//! the Juice Worth the Squeeze?"* reproduction.
+//!
+//! This crate implements the paper's primary contribution — a framework for
+//! quantifying how much security a *partial* S\*BGP deployment adds over
+//! RPKI origin authentication:
+//!
+//! * [`policy`] — the three S\*BGP routing-policy models (**security 1st /
+//!   2nd / 3rd**, §2.2.2) over the standard Gao–Rexford decision process,
+//!   plus the Appendix K `LPk` local-preference variants.
+//! * [`deployment`] — which ASes are secure, including **simplex S\*BGP**
+//!   at stubs (§5.3.2: origin-signing without validation).
+//! * [`attack`] — the threat model of §3.1: the attacker announces the
+//!   bogus one-hop path `"m, d"` via legacy BGP to all neighbors.
+//! * [`engine`] — the multi-stage two-rooted BFS of Appendix B that
+//!   computes the unique stable routing outcome for a given (attacker,
+//!   destination, deployment, policy) in `O(V + E)`.
+//! * [`outcome`] — per-AS results: route class, length, security, and the
+//!   happy/unhappy classification with tie-break lower/upper bounds
+//!   (§4.1, Appendix C).
+//! * [`partition`] — the doomed / protectable / immune partition of §4.3 /
+//!   Appendix E, which bounds the metric over *every possible* deployment.
+//! * [`analysis`] — protocol downgrades (§3.2, Appendix F), collateral
+//!   benefits and damages (§6.1), and the root-cause decomposition of
+//!   metric changes (§6.2, Figure 16).
+//! * [`metric`] — the security metric `H_{M,D}(S)` of §4.1.
+//!
+//! The crate is single-threaded by design; [`Engine`] instances hold
+//! reusable scratch and the `sbgp-sim` crate runs one engine per worker
+//! thread to parallelize over (attacker, destination) pairs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod attack;
+pub mod deployment;
+pub mod engine;
+pub mod metric;
+pub mod outcome;
+pub mod partition;
+pub mod policy;
+
+pub use analysis::{PairAnalysis, PairAnalyzer};
+pub use attack::{AttackScenario, AttackStrategy};
+pub use deployment::Deployment;
+pub use engine::Engine;
+pub use metric::{Bounds, HappyCount};
+pub use outcome::{Outcome, RootFlags, RouteClass, RouteInfo};
+pub use partition::{Fate, PartitionComputer, PartitionCounts};
+pub use policy::{LpVariant, Policy, SecurityModel};
+
+/// Re-export of the topology substrate this crate builds on.
+pub use sbgp_topology as topology;

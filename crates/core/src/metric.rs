@@ -1,0 +1,265 @@
+//! The security metric `H_{M,D}(S)` (§4.1).
+//!
+//! `H(m, d, S)` counts "happy" sources — ASes that route to the legitimate
+//! destination rather than the attacker — and the metric averages the happy
+//! *fraction* over a set of attackers `M` and destinations `D`:
+//!
+//! ```text
+//! H_{M,D}(S) = 1/(|pairs| · (|V|−2)) · Σ_{m∈M} Σ_{d∈D\{m}} H(m, d, S)
+//! ```
+//!
+//! Because the models leave the intradomain tie-break TB undetermined, every
+//! count is a **pair of bounds**: the lower bound assumes a torn AS always
+//! picks the bogus route, the upper bound that it always picks the
+//! legitimate one (Appendix C).
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Happy-source counts for one pair (or a sum over pairs), with tie-break
+/// bounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HappyCount {
+    /// Sources happy under every tie-break.
+    pub lower: usize,
+    /// Sources happy under some tie-break.
+    pub upper: usize,
+    /// Total sources considered.
+    pub sources: usize,
+}
+
+impl HappyCount {
+    /// The happy fraction as bounds.
+    pub fn fraction(&self) -> Bounds {
+        let n = self.sources.max(1) as f64;
+        Bounds {
+            lower: self.lower as f64 / n,
+            upper: self.upper as f64 / n,
+        }
+    }
+}
+
+impl AddAssign for HappyCount {
+    fn add_assign(&mut self, o: HappyCount) {
+        self.lower += o.lower;
+        self.upper += o.upper;
+        self.sources += o.sources;
+    }
+}
+
+/// A `[lower, upper]` interval on a fraction-valued quantity.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Bounds {
+    /// Pessimistic tie-breaking.
+    pub lower: f64,
+    /// Optimistic tie-breaking.
+    pub upper: f64,
+}
+
+impl Bounds {
+    /// Pointwise difference `self − other` (e.g. metric improvement over
+    /// the baseline; note bounds subtract crosswise is *not* done here —
+    /// the paper plots `H(S) − H(∅)` bound-by-bound, as we do).
+    pub fn minus(self, other: Bounds) -> Bounds {
+        Bounds {
+            lower: self.lower - other.lower,
+            upper: self.upper - other.upper,
+        }
+    }
+
+    /// Width of the interval (the tie-break uncertainty).
+    pub fn width(self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Midpoint of the interval.
+    pub fn mid(self) -> f64 {
+        0.5 * (self.lower + self.upper)
+    }
+}
+
+impl fmt::Display for Bounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.4}, {:.4}]", self.lower, self.upper)
+    }
+}
+
+/// Accumulates per-pair happy fractions into the metric.
+///
+/// Tracks first and second moments so sampled estimates carry standard
+/// errors: experiments here subsample `(m, d)` pairs where the paper
+/// enumerated all of `V × V` on a supercomputer, and the standard error of
+/// the mean says how much that costs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricAccumulator {
+    sum_lower: f64,
+    sum_upper: f64,
+    sumsq_lower: f64,
+    sumsq_upper: f64,
+    pairs: usize,
+}
+
+impl MetricAccumulator {
+    /// Record one pair's happy count.
+    pub fn add(&mut self, count: HappyCount) {
+        let f = count.fraction();
+        self.sum_lower += f.lower;
+        self.sum_upper += f.upper;
+        self.sumsq_lower += f.lower * f.lower;
+        self.sumsq_upper += f.upper * f.upper;
+        self.pairs += 1;
+    }
+
+    /// Merge another accumulator (for parallel reduction).
+    pub fn merge(&mut self, other: MetricAccumulator) {
+        self.sum_lower += other.sum_lower;
+        self.sum_upper += other.sum_upper;
+        self.sumsq_lower += other.sumsq_lower;
+        self.sumsq_upper += other.sumsq_upper;
+        self.pairs += other.pairs;
+    }
+
+    /// Number of pairs recorded.
+    pub fn pairs(&self) -> usize {
+        self.pairs
+    }
+
+    /// The metric `H_{M,D}(S)` as bounds.
+    pub fn value(&self) -> Bounds {
+        let n = self.pairs.max(1) as f64;
+        Bounds {
+            lower: self.sum_lower / n,
+            upper: self.sum_upper / n,
+        }
+    }
+
+    /// Standard error of the mean for each bound (0 when fewer than two
+    /// pairs were recorded).
+    pub fn stderr(&self) -> Bounds {
+        if self.pairs < 2 {
+            return Bounds::default();
+        }
+        let n = self.pairs as f64;
+        let sem = |sum: f64, sumsq: f64| {
+            let var = ((sumsq - sum * sum / n) / (n - 1.0)).max(0.0);
+            (var / n).sqrt()
+        };
+        Bounds {
+            lower: sem(self.sum_lower, self.sumsq_lower),
+            upper: sem(self.sum_upper, self.sumsq_upper),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_and_bounds() {
+        let h = HappyCount {
+            lower: 6,
+            upper: 8,
+            sources: 10,
+        };
+        let b = h.fraction();
+        assert_eq!(b.lower, 0.6);
+        assert_eq!(b.upper, 0.8);
+        assert!((b.width() - 0.2).abs() < 1e-12);
+        assert!((b.mid() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_averages_fractions() {
+        let mut acc = MetricAccumulator::default();
+        acc.add(HappyCount {
+            lower: 5,
+            upper: 5,
+            sources: 10,
+        });
+        acc.add(HappyCount {
+            lower: 10,
+            upper: 10,
+            sources: 10,
+        });
+        let v = acc.value();
+        assert_eq!(acc.pairs(), 2);
+        assert!((v.lower - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stderr_tracks_dispersion() {
+        let mut tight = MetricAccumulator::default();
+        let mut loose = MetricAccumulator::default();
+        for _ in 0..10 {
+            tight.add(HappyCount { lower: 5, upper: 5, sources: 10 });
+        }
+        for i in 0..10 {
+            let l = if i % 2 == 0 { 0 } else { 10 };
+            loose.add(HappyCount { lower: l, upper: l, sources: 10 });
+        }
+        assert_eq!(tight.stderr().lower, 0.0, "constant samples");
+        assert!(loose.stderr().lower > 0.1, "alternating samples");
+        // Means agree even though spreads differ.
+        assert!((tight.value().lower - loose.value().lower).abs() < 1e-12);
+        // Fewer than two samples: no estimate.
+        assert_eq!(MetricAccumulator::default().stderr(), Bounds::default());
+    }
+
+    #[test]
+    fn merge_combines_partial_sums() {
+        let mut a = MetricAccumulator::default();
+        a.add(HappyCount {
+            lower: 1,
+            upper: 1,
+            sources: 2,
+        });
+        let mut b = MetricAccumulator::default();
+        b.add(HappyCount {
+            lower: 2,
+            upper: 2,
+            sources: 2,
+        });
+        a.merge(b);
+        assert_eq!(a.pairs(), 2);
+        assert!((a.value().lower - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_difference_is_pointwise() {
+        let a = Bounds {
+            lower: 0.7,
+            upper: 0.9,
+        };
+        let b = Bounds {
+            lower: 0.6,
+            upper: 0.6,
+        };
+        let d = a.minus(b);
+        assert!((d.lower - 0.1).abs() < 1e-12);
+        assert!((d.upper - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn happy_count_addition() {
+        let mut h = HappyCount::default();
+        h += HappyCount {
+            lower: 1,
+            upper: 2,
+            sources: 3,
+        };
+        h += HappyCount {
+            lower: 2,
+            upper: 2,
+            sources: 3,
+        };
+        assert_eq!(
+            h,
+            HappyCount {
+                lower: 3,
+                upper: 4,
+                sources: 6
+            }
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! Per-AS routing outcomes and the happy/unhappy classification (§4.1).
+//!
+//! The routing models determine each AS's choice only up to the arbitrary
+//! intradomain tie-break **TB**, so the engine records, for every AS, the
+//! *set* of equally-best routes (the paper's `BPR` set) — which by
+//! construction all share the same class, length and security status — and
+//! whether members of that set lead to the legitimate destination, the
+//! attacker, or both. That three-way classification yields the lower and
+//! upper bounds on the number of happy ASes used throughout the paper
+//! (Appendix C).
+
+use sbgp_topology::AsId;
+
+/// Which roots the equally-best routes of an AS lead to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RootFlags(pub(crate) u8);
+
+impl RootFlags {
+    /// No route at all.
+    pub const NONE: RootFlags = RootFlags(0);
+    /// Every equally-best route reaches the legitimate destination.
+    pub const TO_D: RootFlags = RootFlags(1);
+    /// Every equally-best route reaches the attacker.
+    pub const TO_M: RootFlags = RootFlags(2);
+    /// The tie-break decides between legitimate and bogus routes.
+    pub const MIXED: RootFlags = RootFlags(3);
+
+    /// Some equally-best route reaches the destination.
+    #[inline]
+    pub fn may_reach_destination(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Some equally-best route reaches the attacker.
+    #[inline]
+    pub fn may_reach_attacker(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// Happy under *every* tie-break: all best routes are legitimate.
+    #[inline]
+    pub fn surely_happy(self) -> bool {
+        self == RootFlags::TO_D
+    }
+
+    /// Unhappy under every tie-break: all best routes are bogus.
+    #[inline]
+    pub fn surely_unhappy(self) -> bool {
+        self == RootFlags::TO_M
+    }
+
+    /// Union of two flag sets.
+    #[inline]
+    pub fn union(self, other: RootFlags) -> RootFlags {
+        RootFlags(self.0 | other.0)
+    }
+}
+
+/// The LP class of an AS's chosen route (its next hop's relationship).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteClass {
+    /// The AS *is* a root (the destination, or the attacker pretending).
+    Origin,
+    /// Route learned from a customer.
+    Customer,
+    /// Route learned from a peer.
+    Peer,
+    /// Route learned from a provider.
+    Provider,
+}
+
+impl RouteClass {
+    /// The LP rank used by [`crate::policy::preference_key`]
+    /// (customer 0 ≺ peer 1 ≺ provider 2).
+    pub fn rank(self) -> u8 {
+        match self {
+            RouteClass::Origin => 0,
+            RouteClass::Customer => 0,
+            RouteClass::Peer => 1,
+            RouteClass::Provider => 2,
+        }
+    }
+}
+
+/// Resolved routing information for one AS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// LP class of the (equally-best) routes.
+    pub class: RouteClass,
+    /// AS-path length, counting the bogus "m, d" announcement as length 1
+    /// at `m` itself (so `m`'s neighbors see length 2).
+    pub length: u32,
+    /// True when the routes are secure end-to-end from this AS's view.
+    pub secure: bool,
+    /// Which roots the routes lead to.
+    pub flags: RootFlags,
+}
+
+/// The stable routing outcome for one `(attacker, destination, deployment,
+/// policy)` instance, for every AS in the graph.
+///
+/// Produced by [`crate::Engine::compute`]; the buffers live inside the
+/// engine and are reused across runs, so the outcome borrows the engine.
+#[derive(Debug)]
+pub struct Outcome {
+    pub(crate) kind: Vec<u8>,
+    pub(crate) len: Vec<u32>,
+    pub(crate) secure: Vec<bool>,
+    pub(crate) flags: Vec<u8>,
+    /// Whether some equally-best route traverses the scenario's marked AS.
+    pub(crate) via_mark: Vec<bool>,
+    /// A representative next hop (lowest-id member of the `BPR` set);
+    /// `u32::MAX` when unrouted or a root.
+    pub(crate) next_hop: Vec<u32>,
+    pub(crate) destination: AsId,
+    pub(crate) attacker: Option<AsId>,
+}
+
+pub(crate) const KIND_UNFIXED: u8 = 0;
+pub(crate) const KIND_ORIGIN: u8 = 1;
+pub(crate) const KIND_CUSTOMER: u8 = 2;
+pub(crate) const KIND_PEER: u8 = 3;
+pub(crate) const KIND_PROVIDER: u8 = 4;
+
+impl Outcome {
+    pub(crate) fn new_empty() -> Outcome {
+        Outcome {
+            kind: Vec::new(),
+            len: Vec::new(),
+            secure: Vec::new(),
+            flags: Vec::new(),
+            via_mark: Vec::new(),
+            next_hop: Vec::new(),
+            destination: AsId(0),
+            attacker: None,
+        }
+    }
+
+    pub(crate) fn reset(&mut self, n: usize, destination: AsId, attacker: Option<AsId>) {
+        self.kind.clear();
+        self.kind.resize(n, KIND_UNFIXED);
+        self.len.clear();
+        self.len.resize(n, u32::MAX);
+        self.secure.clear();
+        self.secure.resize(n, false);
+        self.flags.clear();
+        self.flags.resize(n, 0);
+        self.via_mark.clear();
+        self.via_mark.resize(n, false);
+        self.next_hop.clear();
+        self.next_hop.resize(n, u32::MAX);
+        self.destination = destination;
+        self.attacker = attacker;
+    }
+
+    /// Number of ASes covered.
+    pub fn len(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// True when the outcome covers no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.kind.is_empty()
+    }
+
+    /// The destination of the computed scenario.
+    pub fn destination(&self) -> AsId {
+        self.destination
+    }
+
+    /// The attacker of the computed scenario, if any.
+    pub fn attacker(&self) -> Option<AsId> {
+        self.attacker
+    }
+
+    /// The route information for `v`, or `None` when `v` has no route.
+    /// Roots (the destination and the attacker) report
+    /// [`RouteClass::Origin`].
+    pub fn route(&self, v: AsId) -> Option<RouteInfo> {
+        let i = v.index();
+        let class = match self.kind[i] {
+            KIND_UNFIXED => return None,
+            KIND_ORIGIN => RouteClass::Origin,
+            KIND_CUSTOMER => RouteClass::Customer,
+            KIND_PEER => RouteClass::Peer,
+            KIND_PROVIDER => RouteClass::Provider,
+            other => unreachable!("bad kind {other}"),
+        };
+        Some(RouteInfo {
+            class,
+            length: self.len[i],
+            secure: self.secure[i],
+            flags: RootFlags(self.flags[i]),
+        })
+    }
+
+    /// Root flags for `v` ([`RootFlags::NONE`] when unreachable).
+    #[inline]
+    pub fn flags(&self, v: AsId) -> RootFlags {
+        RootFlags(self.flags[v.index()])
+    }
+
+    /// True when `v` uses a secure route (necessarily legitimate).
+    #[inline]
+    pub fn uses_secure_route(&self, v: AsId) -> bool {
+        self.secure[v.index()]
+    }
+
+    /// True when some equally-best route of `v` traverses the scenario's
+    /// marked AS (see [`crate::AttackScenario::normal_marked`]). Always
+    /// false when no mark was set.
+    #[inline]
+    pub fn may_traverse_mark(&self, v: AsId) -> bool {
+        self.via_mark[v.index()]
+    }
+
+    /// A representative next hop for `v`: the lowest-id neighbor whose
+    /// route is in `v`'s equally-best set. `None` for roots and unrouted
+    /// ASes. When `v` is tie-break-torn ([`RootFlags::MIXED`]) this is one
+    /// *possible* choice, not a prediction.
+    pub fn next_hop(&self, v: AsId) -> Option<AsId> {
+        match self.next_hop[v.index()] {
+            u32::MAX => None,
+            u => Some(AsId(u)),
+        }
+    }
+
+    /// Follow representative next hops from `v` to a root, inclusive of
+    /// both endpoints (e.g. `[v, provider, d]`). Empty when `v` has no
+    /// route; a bogus route ends at the attacker (the fake `"m, d"` tail
+    /// is *claimed*, not real, so it is not included).
+    pub fn trace(&self, v: AsId) -> Vec<AsId> {
+        let mut path = Vec::new();
+        if self.route(v).is_none() {
+            return path;
+        }
+        let mut cur = v;
+        path.push(cur);
+        while let Some(next) = self.next_hop(cur) {
+            debug_assert!(path.len() <= self.kind.len(), "next-hop cycle");
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+
+    /// True when `v` is a source AS for the computed scenario.
+    pub fn is_source(&self, v: AsId) -> bool {
+        v != self.destination && Some(v) != self.attacker
+    }
+
+    /// Count happy sources: returns `(surely_happy, possibly_happy)` — the
+    /// lower and upper tie-break bounds of §4.1.
+    pub fn count_happy(&self) -> (usize, usize) {
+        let mut lower = 0usize;
+        let mut upper = 0usize;
+        for i in 0..self.kind.len() {
+            let v = AsId(i as u32);
+            if !self.is_source(v) {
+                continue;
+            }
+            let f = RootFlags(self.flags[i]);
+            if f.surely_happy() {
+                lower += 1;
+            }
+            if f.may_reach_destination() {
+                upper += 1;
+            }
+        }
+        (lower, upper)
+    }
+
+    /// Count sources currently on secure routes.
+    pub fn count_secure_sources(&self) -> usize {
+        (0..self.kind.len())
+            .filter(|&i| {
+                let v = AsId(i as u32);
+                self.is_source(v) && self.secure[i]
+            })
+            .count()
+    }
+
+    /// Iterate over all source ASes of this scenario.
+    pub fn sources(&self) -> impl Iterator<Item = AsId> + '_ {
+        (0..self.kind.len() as u32)
+            .map(AsId)
+            .filter(move |&v| self.is_source(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_algebra() {
+        assert!(RootFlags::TO_D.surely_happy());
+        assert!(!RootFlags::MIXED.surely_happy());
+        assert!(RootFlags::MIXED.may_reach_destination());
+        assert!(RootFlags::MIXED.may_reach_attacker());
+        assert!(RootFlags::TO_M.surely_unhappy());
+        assert_eq!(RootFlags::TO_D.union(RootFlags::TO_M), RootFlags::MIXED);
+        assert_eq!(RootFlags::NONE.union(RootFlags::TO_D), RootFlags::TO_D);
+    }
+
+    #[test]
+    fn happy_counting_respects_bounds() {
+        let mut o = Outcome::new_empty();
+        o.reset(5, AsId(0), Some(AsId(4)));
+        // Sources are 1,2,3.
+        o.flags[1] = RootFlags::TO_D.0;
+        o.flags[2] = RootFlags::MIXED.0;
+        o.flags[3] = RootFlags::TO_M.0;
+        let (lo, hi) = o.count_happy();
+        assert_eq!((lo, hi), (1, 2));
+    }
+
+    #[test]
+    fn route_accessor_roundtrips() {
+        let mut o = Outcome::new_empty();
+        o.reset(3, AsId(0), None);
+        o.kind[1] = KIND_PEER;
+        o.len[1] = 4;
+        o.secure[1] = true;
+        o.flags[1] = RootFlags::TO_D.0;
+        let r = o.route(AsId(1)).unwrap();
+        assert_eq!(r.class, RouteClass::Peer);
+        assert_eq!(r.length, 4);
+        assert!(r.secure);
+        assert!(r.flags.surely_happy());
+        assert!(o.route(AsId(2)).is_none());
+    }
+}

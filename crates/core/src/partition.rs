@@ -1,0 +1,753 @@
+//! The doomed / protectable / immune partition (§4.3, Appendix E).
+//!
+//! For an attacker–destination pair `(m, d)` and a routing model, every
+//! source AS falls into one of three classes *independent of which ASes
+//! deploy S\*BGP*:
+//!
+//! * **doomed** — routes through `m` for every deployment `S`;
+//! * **immune** — routes to `d` for every deployment `S`;
+//! * **protectable** — the outcome depends on `S`.
+//!
+//! Averaging immune (resp. non-doomed) fractions over pairs lower- (resp.
+//! upper-) bounds the metric `H_{M,D}(S)` for **all** deployments at once —
+//! the paper's Figure 3–6 framework.
+//!
+//! Computation per model (Appendix E):
+//!
+//! * **security 3rd** — by Corollary E.1 the stable route's class and
+//!   length are deployment-invariant, so the engine's baseline (`S = ∅`)
+//!   `BPR` root-flags decide directly (all→d ⇒ immune, all→m ⇒ doomed).
+//! * **security 2nd** — by Corollary E.2 only the *class* is invariant:
+//!   a source is classified by whether any/all *perceivable* routes of its
+//!   best class lead to `d` or `m`, which reduces to valley-free
+//!   reachability predicates (customer chains up, one peer hop, provider
+//!   closure down).
+//! * **security 1st** — doomed iff every perceivable route contains `m`
+//!   (Observation E.3: such a source is *never* happy, though under some
+//!   deployments it may end up with no route at all rather than a bogus
+//!   one); immune iff no perceivable route contains `m` **and** the source
+//!   is *anchored* — adjacent to `d`, or below an anchored AS via a
+//!   provider edge — so that a legitimate route survives every deployment
+//!   (origin announcements and downward exports are unconditional, while
+//!   peer/customer-learned routes can be withdrawn when the neighbor
+//!   switches to a secure peer/provider route it may not re-export). This
+//!   anchoring refinement is a soundness fix over the bare Observation
+//!   E.4, discovered by this repo's property tests; see
+//!   `tests/theorems.rs::partition_fates_are_deployment_sound`.
+//!
+//! The Appendix K `LPk` variants refine the security-2nd case with
+//! length-resolved classes (`C(1), P(1), …, C(>k), P(>k), provider`),
+//! supported here for `k ≤ 8`.
+
+use sbgp_topology::{AsGraph, AsId};
+
+use crate::attack::AttackScenario;
+use crate::deployment::Deployment;
+use crate::engine::Engine;
+use crate::policy::{LpVariant, Policy, SecurityModel};
+
+/// Deployment-independent fate of a source AS for one `(m, d)` pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Routes to `d` no matter which ASes are secure.
+    Immune,
+    /// Outcome depends on the deployment.
+    Protectable,
+    /// Routes to `m` no matter which ASes are secure.
+    Doomed,
+    /// Has no route to either root (disconnected corner case).
+    Unreachable,
+}
+
+/// Aggregated fate counts over the sources of one pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionCounts {
+    /// Immune sources.
+    pub immune: usize,
+    /// Protectable sources.
+    pub protectable: usize,
+    /// Doomed sources.
+    pub doomed: usize,
+    /// Unreachable sources.
+    pub unreachable: usize,
+}
+
+impl PartitionCounts {
+    /// Total sources counted.
+    pub fn sources(&self) -> usize {
+        self.immune + self.protectable + self.doomed + self.unreachable
+    }
+
+    /// Add another pair's counts (for averaging over pairs).
+    pub fn add(&mut self, other: &PartitionCounts) {
+        self.immune += other.immune;
+        self.protectable += other.protectable;
+        self.doomed += other.doomed;
+        self.unreachable += other.unreachable;
+    }
+}
+
+const UP_D: u8 = 1; // perceivable customer-chain route to d
+const UP_M: u8 = 2;
+const PEER_D: u8 = 4; // perceivable peer route to d
+const PEER_M: u8 = 8;
+const ANY_D: u8 = 16; // perceivable route of any class to d
+const ANY_M: u8 = 32;
+
+/// Reusable partition computer for one topology.
+#[derive(Debug)]
+pub struct PartitionComputer<'g> {
+    graph: &'g AsGraph,
+    engine: Engine<'g>,
+    baseline: Deployment,
+    fates: Vec<Fate>,
+    reach: Vec<u8>,
+    queue: Vec<AsId>,
+    /// Bit `ℓ` set: customer chain of exactly `ℓ` to d / to m (LPk only).
+    exact_d: Vec<u16>,
+    exact_m: Vec<u16>,
+    /// Customer chain of length > k to d / to m (LPk only).
+    long_d: Vec<bool>,
+    long_m: Vec<bool>,
+}
+
+impl<'g> PartitionComputer<'g> {
+    /// Create a computer for `graph`.
+    pub fn new(graph: &'g AsGraph) -> PartitionComputer<'g> {
+        PartitionComputer {
+            graph,
+            engine: Engine::new(graph),
+            baseline: Deployment::empty(graph.len()),
+            fates: Vec::new(),
+            reach: Vec::new(),
+            queue: Vec::new(),
+            exact_d: Vec::new(),
+            exact_m: Vec::new(),
+            long_d: Vec::new(),
+            long_m: Vec::new(),
+        }
+    }
+
+    /// Compute the fate of every AS for attacker `m` and destination `d`
+    /// under `policy`. Entries for `m` and `d` themselves are set to
+    /// [`Fate::Doomed`] / [`Fate::Immune`] and should be skipped by
+    /// callers; [`PartitionComputer::counts`] does so.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `LpK(k)` with `k > 8` or [`LpVariant::LpInf`] under the
+    /// security-2nd model, whose class structure this implementation does
+    /// not enumerate.
+    pub fn compute(&mut self, m: AsId, d: AsId, policy: Policy) -> &[Fate] {
+        assert_ne!(m, d, "attacker cannot be the destination");
+        let n = self.graph.len();
+        self.fates.clear();
+        self.fates.resize(n, Fate::Unreachable);
+
+        match policy.model {
+            SecurityModel::Security3rd => self.compute_sec3(m, d, policy),
+            SecurityModel::Security1st => self.compute_sec1(m, d),
+            SecurityModel::Security2nd => match policy.variant {
+                LpVariant::Standard => self.compute_sec2_standard(m, d),
+                LpVariant::LpK(k) if k <= 8 => self.compute_sec2_lpk(m, d, k),
+                other => panic!(
+                    "security-2nd partitions are not defined for {other:?} in this implementation"
+                ),
+            },
+        }
+
+        self.fates[d.index()] = Fate::Immune;
+        self.fates[m.index()] = Fate::Doomed;
+        &self.fates
+    }
+
+    /// Compute and aggregate over sources (excluding `m` and `d`).
+    pub fn counts(&mut self, m: AsId, d: AsId, policy: Policy) -> PartitionCounts {
+        self.compute(m, d, policy);
+        let mut c = PartitionCounts::default();
+        for (i, &f) in self.fates.iter().enumerate() {
+            let v = AsId(i as u32);
+            if v == m || v == d {
+                continue;
+            }
+            match f {
+                Fate::Immune => c.immune += 1,
+                Fate::Protectable => c.protectable += 1,
+                Fate::Doomed => c.doomed += 1,
+                Fate::Unreachable => c.unreachable += 1,
+            }
+        }
+        c
+    }
+
+    /// The fates computed by the last `compute` call.
+    pub fn fates(&self) -> &[Fate] {
+        &self.fates
+    }
+
+    fn compute_sec3(&mut self, m: AsId, d: AsId, policy: Policy) {
+        let outcome = self.engine.compute(
+            AttackScenario::attack(m, d),
+            &self.baseline,
+            Policy::with_variant(SecurityModel::Security3rd, policy.variant),
+        );
+        for i in 0..self.fates.len() {
+            let f = outcome.flags(AsId(i as u32));
+            self.fates[i] = match (f.may_reach_destination(), f.may_reach_attacker()) {
+                (true, false) => Fate::Immune,
+                (false, true) => Fate::Doomed,
+                (true, true) => Fate::Protectable,
+                (false, false) => Fate::Unreachable,
+            };
+        }
+    }
+
+    fn compute_sec1(&mut self, m: AsId, d: AsId) {
+        self.compute_reachability(m, d);
+        let anchored = self.compute_anchored(m, d);
+        for i in 0..self.fates.len() {
+            let r = self.reach[i];
+            let to_d = r & ANY_D != 0;
+            let to_m = r & ANY_M != 0;
+            self.fates[i] = match (to_d, to_m) {
+                // Immune needs a deployment-proof route; m-free sources
+                // without an anchor can end up routeless (never unhappy,
+                // but not guaranteed happy) — conservatively protectable.
+                (true, false) if anchored[i] => Fate::Immune,
+                (true, false) => Fate::Protectable,
+                (false, true) => Fate::Doomed,
+                (true, true) => Fate::Protectable,
+                (false, false) => Fate::Unreachable,
+            };
+        }
+    }
+
+    /// ASes guaranteed a route under *every* deployment: neighbors of `d`
+    /// (origin announcements are unconditional) and, transitively, their
+    /// customers (an AS always exports its route, whatever it is, to its
+    /// customers).
+    fn compute_anchored(&mut self, m: AsId, d: AsId) -> Vec<bool> {
+        let n = self.graph.len();
+        let mut anchored = vec![false; n];
+        self.queue.clear();
+        for &u in self.graph.neighbors(d) {
+            if u != m && !anchored[u.index()] {
+                anchored[u.index()] = true;
+                self.queue.push(u);
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for &c in self.graph.customers(u) {
+                if c != m && c != d && !anchored[c.index()] {
+                    anchored[c.index()] = true;
+                    self.queue.push(c);
+                }
+            }
+        }
+        anchored
+    }
+
+    fn compute_sec2_standard(&mut self, m: AsId, d: AsId) {
+        self.compute_reachability(m, d);
+        for i in 0..self.fates.len() {
+            let r = self.reach[i];
+            // Best perceivable class, in LP order.
+            let pair = if r & (UP_D | UP_M) != 0 {
+                (r & UP_D != 0, r & UP_M != 0)
+            } else if r & (PEER_D | PEER_M) != 0 {
+                (r & PEER_D != 0, r & PEER_M != 0)
+            } else {
+                (r & ANY_D != 0, r & ANY_M != 0)
+            };
+            self.fates[i] = match pair {
+                (true, false) => Fate::Immune,
+                (false, true) => Fate::Doomed,
+                (true, true) => Fate::Protectable,
+                (false, false) => Fate::Unreachable,
+            };
+        }
+    }
+
+    fn compute_sec2_lpk(&mut self, m: AsId, d: AsId, k: u32) {
+        self.compute_reachability(m, d);
+        self.compute_exact_lengths(m, d, k);
+        let n = self.graph.len();
+        for i in 0..n {
+            let v = AsId(i as u32);
+            let mut fate: Option<(bool, bool)> = None;
+            // Classes C(1) P(1) ... C(k) P(k), then C(>k), P(>k), provider.
+            for l in 1..=k {
+                let cd = self.exact_d[i] & (1 << l) != 0;
+                let cm = self.exact_m[i] & (1 << l) != 0;
+                if cd || cm {
+                    fate = Some((cd, cm));
+                    break;
+                }
+                let (pd, pm) = self.peer_class_at(v, m, d, l);
+                if pd || pm {
+                    fate = Some((pd, pm));
+                    break;
+                }
+            }
+            if fate.is_none() {
+                let (cd, cm) = (self.long_d[i], self.long_m[i]);
+                if cd || cm {
+                    fate = Some((cd, cm));
+                } else {
+                    let (pd, pm) = self.peer_long(v, m, d, k);
+                    if pd || pm {
+                        fate = Some((pd, pm));
+                    } else {
+                        let r = self.reach[i];
+                        let (ad, am) = (r & ANY_D != 0, r & ANY_M != 0);
+                        if ad || am {
+                            fate = Some((ad, am));
+                        }
+                    }
+                }
+            }
+            self.fates[i] = match fate {
+                Some((true, false)) => Fate::Immune,
+                Some((false, true)) => Fate::Doomed,
+                Some((true, true)) => Fate::Protectable,
+                Some((false, false)) | None => Fate::Unreachable,
+            };
+        }
+    }
+
+    /// Does `v` have a peer route of exactly length `l` to d / m?
+    fn peer_class_at(&self, v: AsId, m: AsId, d: AsId, l: u32) -> (bool, bool) {
+        let mut pd = false;
+        let mut pm = false;
+        for &u in self.graph.peers(v) {
+            // Chain of length l-1 at the peer: for d, length 0 means d
+            // itself; for m, the bogus announcement makes m a chain of
+            // claimed length 1.
+            if !pd {
+                pd |= if l == 1 {
+                    u == d
+                } else {
+                    u != m && self.exact_d[u.index()] & (1 << (l - 1)) != 0
+                };
+            }
+            if !pm {
+                pm |= if l == 2 {
+                    u == m
+                } else {
+                    u != d && l >= 2 && self.exact_m[u.index()] & (1 << (l - 1)) != 0
+                };
+            }
+        }
+        (pd, pm)
+    }
+
+    /// Does `v` have a peer route longer than `k` to d / m?
+    fn peer_long(&self, v: AsId, m: AsId, d: AsId, k: u32) -> (bool, bool) {
+        let mut pd = false;
+        let mut pm = false;
+        for &u in self.graph.peers(v) {
+            let ui = u.index();
+            // Peer route length = peer's chain + 1 > k  ⇔  chain ≥ k.
+            if u != m {
+                pd |= self.long_d[ui] || self.exact_d[ui] & (1 << k) != 0;
+            }
+            if u != d {
+                pm |= self.long_m[ui] || (k >= 1 && self.exact_m[ui] & (1 << k) != 0)
+                    || (k == 1 && u == m);
+            }
+        }
+        (pd, pm)
+    }
+
+    /// Fill `self.reach` with the six class-reachability bits.
+    fn compute_reachability(&mut self, m: AsId, d: AsId) {
+        let n = self.graph.len();
+        self.reach.clear();
+        self.reach.resize(n, 0);
+
+        // Customer chains up from each root (legitimate routes never
+        // traverse m; bogus ones never traverse d).
+        self.mark_up(d, m, UP_D);
+        self.mark_up(m, d, UP_M);
+
+        // One peer hop off a customer chain (or off the root itself).
+        for i in 0..n {
+            let v = AsId(i as u32);
+            if v == m || v == d {
+                continue;
+            }
+            let mut bits = 0u8;
+            for &u in self.graph.peers(v) {
+                if (u == d || (u != m && self.reach[u.index()] & UP_D != 0)) && bits & PEER_D == 0
+                {
+                    bits |= PEER_D;
+                }
+                if (u == m || (u != d && self.reach[u.index()] & UP_M != 0)) && bits & PEER_M == 0
+                {
+                    bits |= PEER_M;
+                }
+            }
+            self.reach[i] |= bits;
+        }
+
+        // Provider closure: any AS below an AS with any route inherits one.
+        self.mark_down(m, d, UP_D | PEER_D, ANY_D);
+        self.mark_down(d, m, UP_M | PEER_M, ANY_M);
+    }
+
+    /// BFS up customer→provider edges from `root`, avoiding `skip`.
+    fn mark_up(&mut self, root: AsId, skip: AsId, bit: u8) {
+        self.queue.clear();
+        self.queue.push(root);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for &p in self.graph.providers(u) {
+                if p == skip || p == root {
+                    continue;
+                }
+                if self.reach[p.index()] & bit == 0 {
+                    self.reach[p.index()] |= bit;
+                    self.queue.push(p);
+                }
+            }
+        }
+    }
+
+    /// BFS down provider→customer edges from every AS holding `seed_bits`,
+    /// setting `bit`; `skip` (the other root) never transits, and the
+    /// destination root of the other side is excluded implicitly because
+    /// roots carry no seed bits.
+    fn mark_down(&mut self, skip: AsId, root: AsId, seed_bits: u8, bit: u8) {
+        self.queue.clear();
+        let n = self.graph.len();
+        for i in 0..n {
+            let v = AsId(i as u32);
+            if v == skip {
+                continue;
+            }
+            if v == root || self.reach[i] & seed_bits != 0 {
+                self.reach[i] |= bit;
+                self.queue.push(v);
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for &c in self.graph.customers(u) {
+                if c == skip || c == root {
+                    continue;
+                }
+                if self.reach[c.index()] & bit == 0 {
+                    self.reach[c.index()] |= bit;
+                    self.queue.push(c);
+                }
+            }
+        }
+    }
+
+    /// Exact-length customer-chain sets for `ℓ ≤ k` plus the `> k` closure.
+    fn compute_exact_lengths(&mut self, m: AsId, d: AsId, k: u32) {
+        let n = self.graph.len();
+        self.exact_d.clear();
+        self.exact_d.resize(n, 0);
+        self.exact_m.clear();
+        self.exact_m.resize(n, 0);
+        self.long_d.clear();
+        self.long_d.resize(n, false);
+        self.long_m.clear();
+        self.long_m.resize(n, false);
+
+        // d side: chains start at claimed length 0 (the origin itself).
+        self.layered_up(d, m, 0, k, true);
+        // m side: the bogus announcement is a claimed chain of length 1.
+        self.layered_up(m, d, 1, k, false);
+    }
+
+    /// Layered BFS up provider edges recording exact chain lengths in
+    /// `exact_*` (bits `start+1 ..= k`) and the `> k` up-closure in
+    /// `long_*`.
+    fn layered_up(&mut self, root: AsId, skip: AsId, start: u32, k: u32, d_side: bool) {
+        let mut frontier: Vec<AsId> = vec![root];
+        let mut level = start;
+        while level < k && !frontier.is_empty() {
+            level += 1;
+            let mut next: Vec<AsId> = Vec::new();
+            for &u in &frontier {
+                for &p in self.graph.providers(u) {
+                    if p == skip || p == root {
+                        continue;
+                    }
+                    let e = if d_side {
+                        &mut self.exact_d[p.index()]
+                    } else {
+                        &mut self.exact_m[p.index()]
+                    };
+                    if *e & (1 << level) == 0 {
+                        *e |= 1 << level;
+                        next.push(p);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        // frontier now holds chains of exactly length k (or the search died
+        // out); everything strictly above them has a chain > k.
+        self.queue.clear();
+        for &u in &frontier {
+            for &p in self.graph.providers(u) {
+                if p == skip || p == root {
+                    continue;
+                }
+                let long = if d_side {
+                    &mut self.long_d[p.index()]
+                } else {
+                    &mut self.long_m[p.index()]
+                };
+                if !*long {
+                    *long = true;
+                    self.queue.push(p);
+                }
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for &p in self.graph.providers(u) {
+                if p == skip || p == root {
+                    continue;
+                }
+                let long = if d_side {
+                    &mut self.long_d[p.index()]
+                } else {
+                    &mut self.long_m[p.index()]
+                };
+                if !*long {
+                    *long = true;
+                    self.queue.push(p);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_topology::GraphBuilder;
+
+    /// The Figure 2 gadget (see `engine::tests::figure2`).
+    fn figure2() -> AsGraph {
+        let mut b = GraphBuilder::new(6);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_peering(AsId(1), AsId(2)).unwrap();
+        b.add_peering(AsId(0), AsId(2)).unwrap();
+        b.add_provider(AsId(3), AsId(2)).unwrap();
+        b.add_provider(AsId(4), AsId(3)).unwrap();
+        b.add_provider(AsId(5), AsId(0)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn figure2_partitions_match_the_paper() {
+        let g = figure2();
+        let mut pc = PartitionComputer::new(&g);
+        let (m, d) = (AsId(4), AsId(0));
+
+        // Security 2nd and 3rd: 174 (id 2) is doomed (bogus customer route
+        // beats legitimate peer route), the single-homed stub 3536 (id 5)
+        // is immune; the victim 21740 (id 1) is doomed too (insecure peer
+        // route beats its secure provider route).
+        for model in [SecurityModel::Security2nd, SecurityModel::Security3rd] {
+            let fates = pc.compute(m, d, Policy::new(model));
+            assert_eq!(fates[2], Fate::Doomed, "{model}");
+            assert_eq!(fates[5], Fate::Immune, "{model}");
+            assert_eq!(fates[1], Fate::Doomed, "{model}");
+            assert_eq!(fates[3], Fate::Doomed, "{model}: 3491 feeds the attack");
+        }
+
+        // Security 1st: 174 becomes protectable (Figure 2 discussion), and
+        // so does the victim.
+        let fates = pc.compute(m, d, Policy::new(SecurityModel::Security1st));
+        assert_eq!(fates[2], Fate::Protectable);
+        assert_eq!(fates[1], Fate::Protectable);
+        assert_eq!(fates[5], Fate::Immune);
+        // 3491 only reaches d through its provider 174's peer route, so it
+        // is protectable as well in the security-1st sense.
+        assert_eq!(fates[3], Fate::Protectable);
+    }
+
+    #[test]
+    fn partition_counts_skip_roots() {
+        let g = figure2();
+        let mut pc = PartitionComputer::new(&g);
+        let c = pc.counts(AsId(4), AsId(0), Policy::new(SecurityModel::Security3rd));
+        assert_eq!(c.sources(), 4);
+    }
+
+    #[test]
+    fn sec2_lp2_direct_peer_to_destination_is_immune() {
+        // Appendix K: an AS with a 1-hop peer route to d is immune under
+        // LP2 unless the attacker is exactly one hop away. Reuse Figure 2:
+        // AS 174 (id 2) has a 1-hop peer route to d and its bogus customer
+        // route is 3 hops, so it flips from doomed (standard LP) to immune.
+        let g = figure2();
+        let mut pc = PartitionComputer::new(&g);
+        let policy = Policy::with_variant(SecurityModel::Security2nd, LpVariant::LpK(2));
+        let fates = pc.compute(AsId(4), AsId(0), policy);
+        assert_eq!(fates[2], Fate::Immune);
+        // The victim (id 1): classes — customer none; P(1): peer 174 has
+        // no chain... P(1) requires peering directly with d: no. C(1):
+        // none. C(2)/P(2): peer route via 174 of length 2 to d? 174's
+        // chain to d has length... 174 is not on a customer chain to d, so
+        // no. Its provider route to d (length 1) makes it immune-or-better
+        // only at the provider class; but the bogus P(4) route via 174
+        // appears at class P(>2) first => doomed at that class? The bogus
+        // peer route via 174 has length 4 (> 2) while the only d-side
+        // route is the provider one, ranked lower: doomed.
+        assert_eq!(fates[1], Fate::Doomed);
+    }
+
+    #[test]
+    fn sec2_lp2_attacker_one_hop_away_still_wins() {
+        // v peers with both d and m: P(1) has only the d route (bogus peer
+        // routes start at claimed length 2) => immune. A second AS w peers
+        // only with m and has a 3-hop customer chain to d: P(2) (bogus)
+        // beats C(3), so w is doomed.
+        let mut b = GraphBuilder::new(6);
+        // v(1) peers d(0) and m(2).
+        b.add_peering(AsId(1), AsId(0)).unwrap();
+        b.add_peering(AsId(1), AsId(2)).unwrap();
+        // w(3) peers m; chain w <- a(4) <- b(5) <- ... to d: d customer of
+        // 5, 5 customer of 4, 4 customer of 3.
+        b.add_peering(AsId(3), AsId(2)).unwrap();
+        b.add_provider(AsId(0), AsId(5)).unwrap();
+        b.add_provider(AsId(5), AsId(4)).unwrap();
+        b.add_provider(AsId(4), AsId(3)).unwrap();
+        let g = b.build();
+        let mut pc = PartitionComputer::new(&g);
+        let policy = Policy::with_variant(SecurityModel::Security2nd, LpVariant::LpK(2));
+        let fates = pc.compute(AsId(2), AsId(0), policy);
+        assert_eq!(fates[1], Fate::Immune, "P(1) beats the bogus P(2)");
+        assert_eq!(fates[3], Fate::Doomed, "bogus P(2) beats C(3)");
+    }
+
+    #[test]
+    fn sec1_uses_any_route_reachability() {
+        // s(1) single-homed to m's side only: doomed even in security 1st.
+        // t(3) single-homed to d: immune.
+        let mut b = GraphBuilder::new(4);
+        b.add_provider(AsId(1), AsId(2)).unwrap(); // s buys from m
+        b.add_provider(AsId(3), AsId(0)).unwrap(); // t buys from d
+        b.add_peering(AsId(0), AsId(2)).unwrap(); // d peers m
+        let g = b.build();
+        let mut pc = PartitionComputer::new(&g);
+        let fates = pc.compute(AsId(2), AsId(0), Policy::new(SecurityModel::Security1st));
+        assert_eq!(fates[1], Fate::Doomed);
+        assert_eq!(fates[3], Fate::Immune);
+    }
+
+    #[test]
+    fn sec1_immunity_requires_an_anchor() {
+        // v(1) peers u(2); u has a customer route to d(0) (via its
+        // customer w... here directly: d is u's customer) and also a peer
+        // route to d? Give u both a customer route to d and a secure-able
+        // peer route so a deployment can make u switch to a route it will
+        // not re-export to v. v has no route to m at all — yet v is NOT
+        // immune, because u's switch can leave v routeless.
+        let mut b = GraphBuilder::new(5);
+        b.add_provider(AsId(0), AsId(3)).unwrap(); // d customer of w
+        b.add_provider(AsId(3), AsId(2)).unwrap(); // w customer of u
+        b.add_peering(AsId(2), AsId(0)).unwrap(); // u peers d directly
+        b.add_peering(AsId(1), AsId(2)).unwrap(); // v peers u
+        // attacker m(4) far away: customer of v? No — keep m isolated from
+        // v's perceivable routes: m is a customer of w.
+        b.add_provider(AsId(4), AsId(3)).unwrap();
+        let g = b.build();
+        let mut pc = PartitionComputer::new(&g);
+        let fates = pc.compute(AsId(4), AsId(0), Policy::new(SecurityModel::Security1st));
+        // v cannot perceive any route to m (its only feed is u's customer
+        // routes, and m-routes at u arrive via customer w making them
+        // customer routes... so check what the computation says and assert
+        // the soundness-critical part: v must NOT be immune, because u can
+        // switch to its secure peer route (not exported to peer v).
+        assert_ne!(fates[1], Fate::Immune, "v is not anchored");
+        // u itself is adjacent to d: anchored.
+        // w is d's provider: it can perceive m's bogus route via customer
+        // m, so it is not immune; but v's fate is the point here.
+    }
+
+    #[test]
+    fn sec1_customers_of_d_are_anchored_and_immune() {
+        // Single-homed customer chain below d never loses its route.
+        let mut b = GraphBuilder::new(4);
+        b.add_provider(AsId(1), AsId(0)).unwrap(); // c1 buys from d
+        b.add_provider(AsId(2), AsId(1)).unwrap(); // c2 buys from c1
+        b.add_provider(AsId(3), AsId(2)).unwrap(); // m buys from c2!
+        let g = b.build();
+        let mut pc = PartitionComputer::new(&g);
+        let fates = pc.compute(AsId(3), AsId(0), Policy::new(SecurityModel::Security1st));
+        // c1 is anchored (customer of d) and... it CAN hear m's bogus
+        // route (via customer chain c2-m), so it is protectable, not
+        // immune. Its sibling... make a clean immune case: a direct
+        // customer of d with no other connectivity.
+        assert_eq!(fates[1], Fate::Protectable);
+        // c2 hears m directly (customer) and d only via provider: also
+        // protectable under sec 1st (a secure route could save it).
+        assert_eq!(fates[2], Fate::Protectable);
+    }
+
+    #[test]
+    fn sec1_single_homed_stub_of_d_is_immune() {
+        let mut b = GraphBuilder::new(4);
+        b.add_provider(AsId(1), AsId(0)).unwrap(); // stub buys from d
+        b.add_peering(AsId(0), AsId(2)).unwrap(); // d peers x
+        b.add_provider(AsId(3), AsId(2)).unwrap(); // m buys from x
+        let g = b.build();
+        let mut pc = PartitionComputer::new(&g);
+        let fates = pc.compute(AsId(3), AsId(0), Policy::new(SecurityModel::Security1st));
+        assert_eq!(fates[1], Fate::Immune, "single-homed stub of d");
+    }
+
+    #[test]
+    fn fates_are_deployment_sound_for_sec3() {
+        // Monotonicity sanity: immune ASes stay happy and doomed ASes stay
+        // unhappy across a few concrete deployments.
+        let g = figure2();
+        let mut pc = PartitionComputer::new(&g);
+        let policy = Policy::new(SecurityModel::Security3rd);
+        let fates: Vec<Fate> = pc.compute(AsId(4), AsId(0), policy).to_vec();
+        let mut engine = Engine::new(&g);
+        let deployments = [
+            Deployment::empty(6),
+            Deployment::full_from_iter(6, [AsId(0), AsId(1)]),
+            Deployment::full_from_iter(6, [AsId(0), AsId(1), AsId(2), AsId(3)]),
+            Deployment::full_from_iter(6, (0..6).map(AsId)),
+        ];
+        for dep in &deployments {
+            let o = engine.compute(AttackScenario::attack(AsId(4), AsId(0)), dep, policy);
+            for v in g.ases() {
+                if v == AsId(4) || v == AsId(0) {
+                    continue;
+                }
+                match fates[v.index()] {
+                    Fate::Immune => assert!(
+                        o.flags(v).may_reach_destination(),
+                        "{v} predicted immune"
+                    ),
+                    Fate::Doomed => assert!(
+                        o.flags(v).may_reach_attacker(),
+                        "{v} predicted doomed"
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+}

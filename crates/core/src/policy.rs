@@ -1,0 +1,268 @@
+//! Routing-policy models (§2.2 and Appendix K).
+//!
+//! Every AS runs the standard BGP decision process:
+//!
+//! 1. **LP** — local preference: customer routes over peer routes over
+//!    provider routes (or a length-interleaved [`LpVariant::LpK`] ranking);
+//! 2. **SP** — shorter AS paths over longer ones;
+//! 3. **TB** — an intradomain tie-break this model deliberately leaves
+//!    undetermined (the engine tracks *sets* of equally-good routes, giving
+//!    the paper's lower/upper metric bounds).
+//!
+//! Secure ASes insert one extra step, **SecP** ("prefer a secure route over
+//! an insecure route"), whose position defines the three models of §2.2.2:
+//!
+//! | Model | SecP position | Survey popularity [Gill et al.] |
+//! |-------|---------------|---------------------------------|
+//! | [`SecurityModel::Security1st`] | before LP | 10 % |
+//! | [`SecurityModel::Security2nd`] | between LP and SP | 20 % |
+//! | [`SecurityModel::Security3rd`] | between SP and TB | 41 % |
+
+use std::fmt;
+
+/// Where a secure AS ranks route security in its decision process (§2.2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SecurityModel {
+    /// SecP above everything: security is the AS's highest priority.
+    Security1st,
+    /// SecP between LP and SP: economics first, then security.
+    Security2nd,
+    /// SecP between SP and TB: economics and path length first (the model
+    /// operators favor during partial deployment, and the one used by
+    /// Gill–Schapira–Goldberg).
+    Security3rd,
+}
+
+impl SecurityModel {
+    /// All three models, in paper order.
+    pub const ALL: [SecurityModel; 3] = [
+        SecurityModel::Security1st,
+        SecurityModel::Security2nd,
+        SecurityModel::Security3rd,
+    ];
+
+    /// Short label used in reports ("Sec 1st" etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            SecurityModel::Security1st => "Sec 1st",
+            SecurityModel::Security2nd => "Sec 2nd",
+            SecurityModel::Security3rd => "Sec 3rd",
+        }
+    }
+}
+
+impl fmt::Display for SecurityModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The local-preference step (Appendix K).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LpVariant {
+    /// §2.2.1: customer ≻ peer ≻ provider, regardless of length.
+    Standard,
+    /// Appendix K's `LPk`: customer(1) ≻ peer(1) ≻ … ≻ customer(k) ≻
+    /// peer(k) ≻ customer(>k) ≻ peer(>k) ≻ provider. The paper studies
+    /// `k = 2`.
+    LpK(u32),
+    /// The `k → ∞` limit: customer and peer routes ranked purely by length
+    /// (ties to customers), providers last.
+    LpInf,
+}
+
+impl LpVariant {
+    /// The interleaving depth: `0` for [`LpVariant::Standard`], `k` for
+    /// [`LpVariant::LpK`], `u32::MAX` for [`LpVariant::LpInf`].
+    pub fn interleave_depth(self) -> u32 {
+        match self {
+            LpVariant::Standard => 0,
+            LpVariant::LpK(k) => k,
+            LpVariant::LpInf => u32::MAX,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LpVariant::Standard => "LP",
+            LpVariant::LpK(2) => "LP2",
+            LpVariant::LpK(_) => "LPk",
+            LpVariant::LpInf => "LPinf",
+        }
+    }
+}
+
+impl fmt::Display for LpVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpVariant::LpK(k) if *k != 2 => write!(f, "LP{k}"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// A complete routing policy: where SecP sits, and which LP step is used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Policy {
+    /// SecP placement for secure ASes.
+    pub model: SecurityModel,
+    /// Local-preference variant (all ASes).
+    pub variant: LpVariant,
+}
+
+impl Policy {
+    /// Standard-LP policy with the given security model.
+    pub fn new(model: SecurityModel) -> Policy {
+        Policy {
+            model,
+            variant: LpVariant::Standard,
+        }
+    }
+
+    /// Policy with an explicit LP variant.
+    pub fn with_variant(model: SecurityModel, variant: LpVariant) -> Policy {
+        Policy { model, variant }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {}", self.model, self.variant)
+    }
+}
+
+/// Comparison key for a route under a given policy, from the point of view
+/// of a *validating* AS. Lower keys are preferred.
+///
+/// This is the reference definition of the preference order: the engine's
+/// staged BFS and the message-level simulator in `sbgp-proto` must both
+/// agree with it, and the property-test suite checks that they do.
+///
+/// `class_rank` is 0 for customer, 1 for peer, 2 for provider routes.
+pub fn preference_key(
+    policy: Policy,
+    validating: bool,
+    class_rank: u8,
+    length: u32,
+    secure: bool,
+) -> (u32, u32, u32) {
+    let k = policy.variant.interleave_depth();
+    // LP step value: smaller is better.
+    let lp: u32 = if class_rank == 2 {
+        // Providers always rank below every customer/peer class.
+        u32::MAX
+    } else {
+        match policy.variant {
+            LpVariant::Standard => class_rank as u32,
+            _ => {
+                // Interleaved classes: C(1) P(1) C(2) P(2) ... C(>k) P(>k).
+                if length <= k {
+                    2 * length.max(1) + class_rank as u32
+                } else {
+                    2 * (k.saturating_add(1)) + class_rank as u32
+                }
+            }
+        }
+    };
+    let sec: u32 = if validating && secure { 0 } else { 1 };
+    match (policy.model, validating) {
+        (SecurityModel::Security1st, true) => (sec, lp, length),
+        (SecurityModel::Security2nd, true) => (lp, sec, length),
+        (SecurityModel::Security3rd, true) => (lp, length, sec),
+        // Non-validating ASes never see the SecP step.
+        (_, false) => (lp, length, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC1: Policy = Policy {
+        model: SecurityModel::Security1st,
+        variant: LpVariant::Standard,
+    };
+    const SEC2: Policy = Policy {
+        model: SecurityModel::Security2nd,
+        variant: LpVariant::Standard,
+    };
+    const SEC3: Policy = Policy {
+        model: SecurityModel::Security3rd,
+        variant: LpVariant::Standard,
+    };
+
+    #[test]
+    fn security_first_prefers_secure_provider_over_insecure_customer() {
+        let secure_provider = preference_key(SEC1, true, 2, 5, true);
+        let insecure_customer = preference_key(SEC1, true, 0, 1, false);
+        assert!(secure_provider < insecure_customer);
+    }
+
+    #[test]
+    fn security_second_prefers_insecure_customer_over_secure_provider() {
+        let secure_provider = preference_key(SEC2, true, 2, 2, true);
+        let insecure_customer = preference_key(SEC2, true, 0, 9, false);
+        assert!(insecure_customer < secure_provider);
+    }
+
+    #[test]
+    fn security_second_prefers_long_secure_peer_over_short_insecure_peer() {
+        let long_secure = preference_key(SEC2, true, 1, 9, true);
+        let short_insecure = preference_key(SEC2, true, 1, 2, false);
+        assert!(long_secure < short_insecure);
+    }
+
+    #[test]
+    fn security_third_prefers_short_insecure_over_long_secure() {
+        let short_insecure = preference_key(SEC3, true, 1, 2, false);
+        let long_secure = preference_key(SEC3, true, 1, 3, true);
+        assert!(short_insecure < long_secure);
+        // ... but security breaks exact ties.
+        let tied_secure = preference_key(SEC3, true, 1, 2, true);
+        assert!(tied_secure < short_insecure);
+    }
+
+    #[test]
+    fn non_validating_ases_ignore_security() {
+        let a = preference_key(SEC1, false, 0, 3, true);
+        let b = preference_key(SEC1, false, 0, 3, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lp2_interleaves_customers_and_peers_by_length() {
+        let lp2 = Policy::with_variant(SecurityModel::Security3rd, LpVariant::LpK(2));
+        let peer1 = preference_key(lp2, true, 1, 1, false);
+        let cust2 = preference_key(lp2, true, 0, 2, false);
+        let peer2 = preference_key(lp2, true, 1, 2, false);
+        let cust3 = preference_key(lp2, true, 0, 3, false);
+        let cust5 = preference_key(lp2, true, 0, 5, false);
+        let peer3 = preference_key(lp2, true, 1, 3, false);
+        let provider1 = preference_key(lp2, true, 2, 1, false);
+        assert!(peer1 < cust2, "P(1) beats C(2)");
+        assert!(cust2 < peer2, "C(2) beats P(2)");
+        assert!(peer2 < cust3, "P(2) beats C(>2)");
+        assert!(cust3 < cust5, "SP within C(>2)");
+        assert!(cust5 < peer3, "all C(>2) beat all P(>2)");
+        assert!(peer3 < provider1, "providers last");
+    }
+
+    #[test]
+    fn lpinf_ranks_by_length_with_customer_ties() {
+        let lpinf = Policy::with_variant(SecurityModel::Security3rd, LpVariant::LpInf);
+        let cust9 = preference_key(lpinf, true, 0, 9, false);
+        let peer2 = preference_key(lpinf, true, 1, 2, false);
+        let cust2 = preference_key(lpinf, true, 0, 2, false);
+        assert!(peer2 < cust9, "short peer beats long customer");
+        assert!(cust2 < peer2, "customer wins length ties");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SecurityModel::Security2nd.label(), "Sec 2nd");
+        assert_eq!(LpVariant::LpK(2).to_string(), "LP2");
+        assert_eq!(LpVariant::LpK(3).to_string(), "LP3");
+        assert_eq!(Policy::new(SecurityModel::Security1st).to_string(), "Sec 1st / LP");
+    }
+}

@@ -1,0 +1,433 @@
+//! **Max-k-Security** (§5.1, Theorem 5.1, Appendix I).
+//!
+//! *Given an AS graph, an attacker–destination pair `(m, d)` and a budget
+//! `k`, find the `k` ASes whose S\*BGP deployment maximizes the number of
+//! happy sources.* The paper proves this NP-hard in all three routing
+//! models by reduction from Set Cover (Figure 18); this crate implements:
+//!
+//! * [`SetCoverInstance`] and the Figure 18 [`reduce`] gadget, which
+//!   translates a cover instance into a `Max-k-Security` instance such
+//!   that a `γ`-cover exists iff `k = n + γ + 1` secure ASes can make
+//!   every source happy;
+//! * [`happy_lower_bound`] — the objective (adversarial tie-breaking, the
+//!   paper's lower-bound convention, which the gadget's "TB prefers `m`"
+//!   requirement matches exactly);
+//! * [`brute_force`] — exact optimizer by exhaustive subset enumeration
+//!   (small graphs only);
+//! * [`greedy`] — the natural polynomial-time heuristic, for comparing
+//!   against [`brute_force`] and for picking early adopters in examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sbgp_core::{AttackScenario, Deployment, Engine, Policy};
+use sbgp_topology::{AsGraph, AsId, GraphBuilder};
+
+/// A Set Cover instance: `sets` over the universe `{0, …, universe−1}`.
+#[derive(Clone, Debug)]
+pub struct SetCoverInstance {
+    /// Universe size `n`.
+    pub universe: usize,
+    /// The family `F` of subsets.
+    pub sets: Vec<Vec<usize>>,
+}
+
+impl SetCoverInstance {
+    /// Does this family of set indices cover the universe?
+    pub fn is_cover(&self, chosen: &[usize]) -> bool {
+        let mut covered = vec![false; self.universe];
+        for &s in chosen {
+            for &e in &self.sets[s] {
+                covered[e] = true;
+            }
+        }
+        covered.iter().all(|&c| c)
+    }
+
+    /// Smallest cover size, by exhaustive search (small instances only).
+    pub fn minimum_cover(&self) -> Option<usize> {
+        let w = self.sets.len();
+        assert!(w <= 20, "exhaustive cover search limited to 20 sets");
+        for size in 0..=w {
+            let mut found = false;
+            for_each_subset(w, size, |chosen| {
+                if !found && self.is_cover(chosen) {
+                    found = true;
+                }
+            });
+            if found {
+                return Some(size);
+            }
+        }
+        None
+    }
+}
+
+/// The Figure 18 gadget: ids of the constructed Max-k-Security instance.
+#[derive(Clone, Debug)]
+pub struct Gadget {
+    /// The constructed AS graph.
+    pub graph: AsGraph,
+    /// The legitimate destination.
+    pub destination: AsId,
+    /// The attacker.
+    pub attacker: AsId,
+    /// One AS per universe element.
+    pub elements: Vec<AsId>,
+    /// One AS per set in the family.
+    pub sets: Vec<AsId>,
+}
+
+/// Build the Figure 18 reduction for a Set Cover instance.
+///
+/// Layout: the destination `d` is a customer of every *set* AS `s_j`; each
+/// set AS is a customer of the *element* ASes of the elements it contains;
+/// the attacker `m` is a customer of every element AS. All perceivable
+/// routes at an element AS are two-hop customer routes (the bogus "m, d"
+/// claims length 2), so under adversarial tie-breaking an element AS is
+/// happy iff it has a **secure** route — which requires `d`, the element,
+/// and some covering set AS to all be secure.
+pub fn reduce(instance: &SetCoverInstance) -> Gadget {
+    let n = instance.universe;
+    let w = instance.sets.len();
+    // ids: 0 = d, 1 = m, 2..2+w = set ASes, 2+w.. = element ASes.
+    let mut b = GraphBuilder::new(2 + w + n);
+    let destination = AsId(0);
+    let attacker = AsId(1);
+    let sets: Vec<AsId> = (0..w).map(|j| AsId(2 + j as u32)).collect();
+    let elements: Vec<AsId> = (0..n).map(|i| AsId(2 + w as u32 + i as u32)).collect();
+
+    for (j, members) in instance.sets.iter().enumerate() {
+        // d is a customer of s_j.
+        b.add_provider(destination, sets[j]).expect("d -> set");
+        for &e in members {
+            assert!(e < n, "element out of range");
+            // s_j is a customer of e's AS.
+            b.add_provider(sets[j], elements[e]).expect("set -> element");
+        }
+    }
+    for &e in &elements {
+        // m is a customer of every element AS.
+        b.add_provider(attacker, e).expect("m -> element");
+    }
+
+    Gadget {
+        graph: b.build(),
+        destination,
+        attacker,
+        elements,
+        sets,
+    }
+}
+
+/// Count surely-happy sources (the adversarial-tie-break lower bound of
+/// §4.1) for deployment `S`.
+pub fn happy_lower_bound(
+    graph: &AsGraph,
+    m: AsId,
+    d: AsId,
+    secure: &[AsId],
+    policy: Policy,
+) -> usize {
+    let deployment = Deployment::full_from_iter(graph.len(), secure.iter().copied());
+    let mut engine = Engine::new(graph);
+    let outcome = engine.compute(AttackScenario::attack(m, d), &deployment, policy);
+    outcome.count_happy().0
+}
+
+/// Result of an optimizer run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Optimized {
+    /// The best deployment found (size ≤ k).
+    pub secure: Vec<AsId>,
+    /// Surely-happy sources it achieves.
+    pub happy: usize,
+}
+
+/// Exact Max-k-Security by exhaustive enumeration over all `k`-subsets of
+/// `V \ {m}`.
+///
+/// # Panics
+///
+/// Panics when `C(|V|−1, k)` would exceed ~2 million subsets.
+pub fn brute_force(graph: &AsGraph, m: AsId, d: AsId, k: usize, policy: Policy) -> Optimized {
+    let candidates: Vec<AsId> = graph.ases().filter(|&v| v != m).collect();
+    let combos = binomial(candidates.len(), k);
+    assert!(
+        combos <= 2_000_000,
+        "brute force infeasible: C({}, {k}) = {combos}",
+        candidates.len()
+    );
+    let deployment_len = graph.len();
+    let mut engine = Engine::new(graph);
+    let mut best = Optimized {
+        secure: Vec::new(),
+        happy: 0,
+    };
+    for_each_subset(candidates.len(), k, |chosen| {
+        let secure: Vec<AsId> = chosen.iter().map(|&i| candidates[i]).collect();
+        let deployment = Deployment::full_from_iter(deployment_len, secure.iter().copied());
+        let outcome = engine.compute(AttackScenario::attack(m, d), &deployment, policy);
+        let happy = outcome.count_happy().0;
+        if happy > best.happy {
+            best = Optimized { secure, happy };
+        }
+    });
+    best
+}
+
+/// Greedy Max-k-Security: repeatedly secure the AS that maximizes the
+/// happy lower bound. Polynomial (`O(k · |V| · (|V|+|E|))`) but, per
+/// Theorem 5.1, not optimal in general.
+pub fn greedy(graph: &AsGraph, m: AsId, d: AsId, k: usize, policy: Policy) -> Optimized {
+    let mut engine = Engine::new(graph);
+    let mut secure: Vec<AsId> = Vec::with_capacity(k);
+    let mut deployment = Deployment::empty(graph.len());
+    let mut best_happy = {
+        let o = engine.compute(AttackScenario::attack(m, d), &deployment, policy);
+        o.count_happy().0
+    };
+    for _ in 0..k {
+        let mut round_best: Option<(usize, AsId)> = None;
+        for v in graph.ases() {
+            if v == m || deployment.validates(v) {
+                continue;
+            }
+            let mut trial = deployment.clone();
+            trial.insert_full(v);
+            let o = engine.compute(AttackScenario::attack(m, d), &trial, policy);
+            let happy = o.count_happy().0;
+            if round_best.map(|(h, _)| happy > h).unwrap_or(true) {
+                round_best = Some((happy, v));
+            }
+        }
+        let Some((happy, v)) = round_best else { break };
+        deployment.insert_full(v);
+        secure.push(v);
+        best_happy = best_happy.max(happy);
+    }
+    Optimized {
+        secure,
+        happy: best_happy,
+    }
+}
+
+/// Visit every `size`-subset of `{0, …, n−1}` (lexicographic).
+fn for_each_subset(n: usize, size: usize, mut visit: impl FnMut(&[usize])) {
+    if size > n {
+        return;
+    }
+    let mut idx: Vec<usize> = (0..size).collect();
+    loop {
+        visit(&idx);
+        // Advance to the next combination.
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + n - size {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..size {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_core::SecurityModel;
+
+    fn policies() -> [Policy; 3] {
+        [
+            Policy::new(SecurityModel::Security1st),
+            Policy::new(SecurityModel::Security2nd),
+            Policy::new(SecurityModel::Security3rd),
+        ]
+    }
+
+    /// {0,1}, {1,2}, {0,2}: minimum cover is 2.
+    fn triangle_instance() -> SetCoverInstance {
+        SetCoverInstance {
+            universe: 3,
+            sets: vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+        }
+    }
+
+    #[test]
+    fn subset_enumeration_is_complete() {
+        let mut count = 0;
+        for_each_subset(5, 3, |s| {
+            assert_eq!(s.len(), 3);
+            count += 1;
+        });
+        assert_eq!(count, 10);
+        assert_eq!(binomial(5, 3), 10);
+        assert_eq!(binomial(40, 2), 780);
+    }
+
+    #[test]
+    fn minimum_cover_on_triangle() {
+        assert_eq!(triangle_instance().minimum_cover(), Some(2));
+    }
+
+    #[test]
+    fn uncoverable_instance() {
+        let inst = SetCoverInstance {
+            universe: 2,
+            sets: vec![vec![0]],
+        };
+        assert_eq!(inst.minimum_cover(), None);
+    }
+
+    #[test]
+    fn gadget_structure_matches_figure18() {
+        let g = reduce(&triangle_instance());
+        assert_eq!(g.graph.len(), 2 + 3 + 3);
+        // d's providers are the set ASes; m's providers are the elements.
+        assert_eq!(g.graph.providers(g.destination), g.sets.as_slice());
+        assert_eq!(g.graph.providers(g.attacker), g.elements.as_slice());
+        // Set AS 0 = {0,1}: its providers are elements 0 and 1.
+        assert_eq!(
+            g.graph.providers(g.sets[0]),
+            &[g.elements[0], g.elements[1]]
+        );
+    }
+
+    #[test]
+    fn cover_gives_all_happy_and_below_budget_does_not() {
+        let inst = triangle_instance();
+        let gamma = inst.minimum_cover().unwrap();
+        let gadget = reduce(&inst);
+        let (n, w) = (inst.universe, inst.sets.len());
+        let all_sources = n + w;
+
+        for policy in policies() {
+            // k = n + γ + 1 suffices: d, the elements, and a cover.
+            let mut secure = vec![gadget.destination];
+            secure.extend(&gadget.elements);
+            secure.push(gadget.sets[0]);
+            secure.push(gadget.sets[1]); // {0,1} ∪ {1,2} covers.
+            let happy = happy_lower_bound(
+                &gadget.graph,
+                gadget.attacker,
+                gadget.destination,
+                &secure,
+                policy,
+            );
+            assert_eq!(happy, all_sources, "{policy}: cover must win");
+
+            // Exhaustive check: no (n + γ) deployment achieves it.
+            let best = brute_force(
+                &gadget.graph,
+                gadget.attacker,
+                gadget.destination,
+                n + gamma,
+                policy,
+            );
+            assert!(
+                best.happy < all_sources,
+                "{policy}: {} secure ASes cannot protect everyone",
+                n + gamma
+            );
+
+            // ... while the optimum at n + γ + 1 does.
+            let best = brute_force(
+                &gadget.graph,
+                gadget.attacker,
+                gadget.destination,
+                n + gamma + 1,
+                policy,
+            );
+            assert_eq!(best.happy, all_sources, "{policy}");
+        }
+    }
+
+    #[test]
+    fn element_ases_are_torn_without_security() {
+        // With S = ∅ every element AS has equally-good two-hop customer
+        // routes to d and to m: the adversarial bound counts them unhappy,
+        // while set ASes stay happy (customer beats provider).
+        let gadget = reduce(&triangle_instance());
+        let happy = happy_lower_bound(
+            &gadget.graph,
+            gadget.attacker,
+            gadget.destination,
+            &[],
+            Policy::new(SecurityModel::Security3rd),
+        );
+        assert_eq!(happy, 3, "only the set ASes are surely happy");
+    }
+
+    #[test]
+    fn greedy_is_bounded_by_brute_force() {
+        let inst = SetCoverInstance {
+            universe: 3,
+            sets: vec![vec![0], vec![1], vec![2], vec![0, 1, 2]],
+        };
+        let gadget = reduce(&inst);
+        for k in 1..=5 {
+            let g = greedy(
+                &gadget.graph,
+                gadget.attacker,
+                gadget.destination,
+                k,
+                Policy::new(SecurityModel::Security3rd),
+            );
+            let b = brute_force(
+                &gadget.graph,
+                gadget.attacker,
+                gadget.destination,
+                k,
+                Policy::new(SecurityModel::Security3rd),
+            );
+            assert!(g.happy <= b.happy, "k={k}: greedy {} > brute {}", g.happy, b.happy);
+            assert!(g.secure.len() <= k);
+        }
+    }
+
+    #[test]
+    fn greedy_is_suboptimal_exactly_as_the_theorem_predicts() {
+        // A secure route needs d + an element + a covering set to be
+        // secured *simultaneously*, so single-AS marginal gains are zero
+        // and the myopic greedy wastes budget on the wrong sets — while
+        // the exact optimizer protects everyone with the same budget.
+        // This is the submodularity failure behind Theorem 5.1.
+        let inst = SetCoverInstance {
+            universe: 3,
+            sets: vec![vec![0], vec![0, 1, 2]],
+        };
+        let gadget = reduce(&inst);
+        let k = inst.universe + 2; // d + 3 elements + the big set
+        let policy = Policy::new(SecurityModel::Security2nd);
+        let b = brute_force(&gadget.graph, gadget.attacker, gadget.destination, k, policy);
+        assert_eq!(b.happy, inst.universe + inst.sets.len(), "optimum protects all");
+        let g = greedy(&gadget.graph, gadget.attacker, gadget.destination, k, policy);
+        assert!(
+            g.happy < b.happy,
+            "greedy {} should fall short of the optimum {}",
+            g.happy,
+            b.happy
+        );
+    }
+}

@@ -1,0 +1,828 @@
+//! Event-driven, message-level BGP/S\*BGP protocol simulator.
+//!
+//! Where `sbgp-core`'s engine computes stable routing states directly (the
+//! paper's Appendix B algorithms), this crate *simulates the protocol*:
+//! per-AS RIBs, explicit announcements and withdrawals, a decision process,
+//! and valley-free export filters. It exists for three reasons:
+//!
+//! 1. **Validation.** Theorem 2.1 says the staged algorithms compute the
+//!    unique stable state; the property-test suite runs both and checks
+//!    they agree on random topologies, deployments and attacks.
+//! 2. **Heterogeneous policies.** The engine assumes all ASes place SecP at
+//!    the same position. The simulator allows per-AS ranks, which is what
+//!    §2.3's *BGP wedgie* (Figure 1) needs: inconsistent SecP priorities
+//!    create multiple stable states and non-reverting failures.
+//! 3. **Dynamics.** Link failure and recovery ([`Simulator::fail_link`],
+//!    [`Simulator::restore_link`]) let experiments walk between stable
+//!    states, as in Figure 1.
+//!
+//! The simulator is deliberately simple (no timers, no MRAI, one prefix):
+//! each message is `(from, to, announcement-or-withdrawal)`; processing a
+//! message updates the receiver's RIB, reruns its decision process and
+//! emits updates per the export rule. A run ends when the queue drains
+//! (convergence) or a message budget is exhausted (reported as possible
+//! divergence).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use sbgp_core::policy::preference_key;
+use sbgp_core::{AttackScenario, Deployment, LpVariant, Policy, SecurityModel};
+use sbgp_topology::{AsGraph, AsId, NeighborClass};
+
+/// A route as carried in announcements: the sender's full AS path
+/// (sender first, destination last) and whether it was carried over S\*BGP
+/// end-to-end so far.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// AS path, `[next_hop, …, destination]`.
+    pub path: Vec<AsId>,
+    /// True when every hop so far signed the announcement (and the origin
+    /// at least signs). The attacker's bogus path is never signed.
+    pub signed: bool,
+}
+
+impl Route {
+    /// Model length of this route at a *receiving* AS (the destination
+    /// itself counts 1, matching the engine's `len(neighbor) + 1`).
+    pub fn length(&self) -> u32 {
+        self.path.len() as u32
+    }
+
+    /// True when the path traverses (or claims to traverse) `v`.
+    pub fn contains(&self, v: AsId) -> bool {
+        self.path.contains(&v)
+    }
+}
+
+/// What an AS currently uses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Selected {
+    /// The neighbor the route was learned from.
+    pub neighbor: AsId,
+    /// The route as announced by that neighbor.
+    pub route: Route,
+    /// LP class of the route at this AS.
+    pub class: NeighborClass,
+    /// True when secure from this AS's perspective (it validates and the
+    /// announcement was signed end-to-end).
+    pub secure: bool,
+}
+
+/// Message processing order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Strict FIFO (deterministic).
+    Fifo,
+    /// Seeded random message selection — different seeds explore different
+    /// BGP activation orders, which is how multiple stable states are
+    /// discovered.
+    Random(u64),
+}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The queue drained: the network is in a stable state.
+    Converged {
+        /// Messages processed before quiescence.
+        messages: usize,
+    },
+    /// The message budget was exhausted — the configuration may oscillate
+    /// (possible with inconsistent SecP priorities, cf. §2.3).
+    BudgetExhausted,
+}
+
+/// A pending link activation: the receiver will read the sender's
+/// *current* adj-out entry. Carrying no payload models BGP's implicit
+/// supersede semantics and keeps per-link FIFO ordering trivially intact
+/// even under random schedules (BGP sessions run over TCP; updates on one
+/// session are never reordered).
+#[derive(Clone, Copy, Debug)]
+struct Message {
+    from: AsId,
+    to: AsId,
+}
+
+/// Counts over source ASes in a simulator state (see
+/// [`Simulator::census`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SourceCensus {
+    /// Total sources (everyone but the roots).
+    pub sources: usize,
+    /// Sources on legitimate routes.
+    pub happy: usize,
+    /// Sources routing to the attacker.
+    pub unhappy: usize,
+    /// Sources with no route.
+    pub routeless: usize,
+    /// Sources on secure routes.
+    pub secure: usize,
+}
+
+/// The protocol simulator for one destination (and optional attacker).
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g AsGraph,
+    deployment: Deployment,
+    variant: LpVariant,
+    /// Per-AS SecP placement (only consulted for validating ASes).
+    ranks: Vec<SecurityModel>,
+    scenario: AttackScenario,
+    /// `rib_in[v]` — latest route announced by each neighbor (dense map
+    /// aligned with the graph's neighbor slices).
+    rib_in: Vec<Vec<Option<Route>>>,
+    /// What `v` last sent to each of its neighbors (same alignment).
+    adj_out: Vec<Vec<Option<Route>>>,
+    selected: Vec<Option<Selected>>,
+    queue: VecDeque<Message>,
+    /// Disabled (failed) links, stored with both orientations.
+    failed: Vec<(AsId, AsId)>,
+    messages_processed: usize,
+    /// §8's proposed mitigation: when enabled, an AS holds on to a secure
+    /// route it is already using instead of immediately switching to a
+    /// "better" insecure one, as long as the secure route stays available.
+    hysteresis: bool,
+}
+
+impl<'g> Simulator<'g> {
+    /// Create a simulator; every AS uses `policy.model` as its SecP rank
+    /// (override per AS with [`Simulator::set_rank`]).
+    pub fn new(
+        graph: &'g AsGraph,
+        deployment: &Deployment,
+        policy: Policy,
+        scenario: AttackScenario,
+    ) -> Simulator<'g> {
+        assert_eq!(deployment.universe(), graph.len());
+        let n = graph.len();
+        let mut sim = Simulator {
+            graph,
+            deployment: deployment.clone(),
+            variant: policy.variant,
+            ranks: vec![policy.model; n],
+            scenario,
+            rib_in: (0..n).map(|i| vec![None; graph.degree(AsId(i as u32))]).collect(),
+            adj_out: (0..n).map(|i| vec![None; graph.degree(AsId(i as u32))]).collect(),
+            selected: vec![None; n],
+            queue: VecDeque::new(),
+            failed: Vec::new(),
+            messages_processed: 0,
+            hysteresis: false,
+        };
+        sim.announce_roots();
+        sim
+    }
+
+    /// Override the SecP placement of one AS (for §2.3 mixed-priority
+    /// experiments). Must be called before [`Simulator::run`] to affect the
+    /// initial convergence.
+    pub fn set_rank(&mut self, v: AsId, model: SecurityModel) {
+        self.ranks[v.index()] = model;
+    }
+
+    /// Enable the paper's §8 "hysteresis" proposal: a secure route in use
+    /// is not dropped for an insecure alternative while it remains
+    /// available. Protocol downgrades then require actually losing the
+    /// secure route, not merely being offered a shinier bogus one.
+    pub fn set_hysteresis(&mut self, on: bool) {
+        self.hysteresis = on;
+    }
+
+    /// Turn `attacker` hostile *now*: it withdraws whatever it advertised
+    /// as an honest participant and floods the bogus announcement of
+    /// `strategy` to all neighbors. Models the realistic sequence
+    /// "converge under normal conditions, then the attack starts", which is
+    /// what makes hysteresis meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attacker is already present or `attacker` is the
+    /// destination.
+    pub fn launch_attack(&mut self, attacker: AsId, strategy: sbgp_core::AttackStrategy) {
+        assert!(self.scenario.attacker.is_none(), "attack already running");
+        assert_ne!(attacker, self.scenario.destination);
+        self.scenario.attacker = Some(attacker);
+        self.scenario.strategy = strategy;
+        self.selected[attacker.index()] = None;
+        let d = self.scenario.destination;
+        let bogus = Route {
+            path: match strategy {
+                sbgp_core::AttackStrategy::FakeLink => vec![attacker, d],
+                sbgp_core::AttackStrategy::OriginHijack => vec![attacker],
+            },
+            signed: false,
+        };
+        for (slot, &u) in self.graph.neighbors(attacker).iter().enumerate() {
+            if u == d {
+                // The destination ignores routes to itself; withdraw.
+                self.adj_out[attacker.index()][slot] = None;
+            } else {
+                self.adj_out[attacker.index()][slot] = Some(bogus.clone());
+            }
+            self.queue.push_back(Message { from: attacker, to: u });
+        }
+    }
+
+    fn neighbor_slot(&self, v: AsId, u: AsId) -> usize {
+        self.graph
+            .neighbors(v)
+            .iter()
+            .position(|&x| x == u)
+            .expect("u must be a neighbor of v")
+    }
+
+    fn link_is_up(&self, a: AsId, b: AsId) -> bool {
+        !self.failed.iter().any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+    }
+
+    /// Install the root announcements in the roots' adj-out and queue the
+    /// corresponding link activations: `d` originates, the attacker sends
+    /// the bogus "m, d".
+    fn announce_roots(&mut self) {
+        let d = self.scenario.destination;
+        let d_route = Route {
+            path: vec![d],
+            signed: self.deployment.signs_origin(d),
+        };
+        for (slot, &u) in self.graph.neighbors(d).iter().enumerate() {
+            if Some(u) != self.scenario.attacker {
+                self.adj_out[d.index()][slot] = Some(d_route.clone());
+                self.queue.push_back(Message { from: d, to: u });
+            }
+        }
+        if let Some(m) = self.scenario.attacker {
+            let bogus = Route {
+                // FakeLink claims adjacency to d; OriginHijack claims to
+                // *be* the origin.
+                path: match self.scenario.strategy {
+                    sbgp_core::AttackStrategy::FakeLink => vec![m, d],
+                    sbgp_core::AttackStrategy::OriginHijack => vec![m],
+                },
+                signed: false,
+            };
+            for (slot, &u) in self.graph.neighbors(m).iter().enumerate() {
+                if u != d {
+                    self.adj_out[m.index()][slot] = Some(bogus.clone());
+                    self.queue.push_back(Message { from: m, to: u });
+                }
+            }
+        }
+    }
+
+    /// Process messages until quiescence or until `budget` messages have
+    /// been handled.
+    pub fn run(&mut self, schedule: Schedule, budget: usize) -> RunOutcome {
+        let mut rng = match schedule {
+            Schedule::Fifo => None,
+            Schedule::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+        };
+        let mut processed = 0usize;
+        while let Some(msg) = self.next_message(&mut rng) {
+            if processed >= budget {
+                self.queue.push_front(msg);
+                return RunOutcome::BudgetExhausted;
+            }
+            processed += 1;
+            self.messages_processed += 1;
+            self.deliver(msg);
+        }
+        RunOutcome::Converged {
+            messages: processed,
+        }
+    }
+
+    fn next_message(&mut self, rng: &mut Option<StdRng>) -> Option<Message> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        match rng {
+            None => self.queue.pop_front(),
+            Some(r) => {
+                let i = r.random_range(0..self.queue.len());
+                self.queue.swap(0, i);
+                self.queue.pop_front()
+            }
+        }
+    }
+
+    fn deliver(&mut self, msg: Message) {
+        if !self.link_is_up(msg.from, msg.to) {
+            return; // Message lost with the link.
+        }
+        let to = msg.to;
+        // Roots never select routes: the destination is the origin and the
+        // attacker ignores real routing information.
+        if to == self.scenario.destination || Some(to) == self.scenario.attacker {
+            return;
+        }
+        // The payload is whatever the sender currently advertises on this
+        // link (implicit supersede).
+        let from_slot = self.neighbor_slot(msg.from, to);
+        let route = self.adj_out[msg.from.index()][from_slot].clone();
+        let slot = self.neighbor_slot(to, msg.from);
+        if self.rib_in[to.index()][slot] == route {
+            return;
+        }
+        self.rib_in[to.index()][slot] = route;
+        self.reselect(to);
+    }
+
+    /// Rerun `v`'s decision process; on change, emit updates per Ex.
+    fn reselect(&mut self, v: AsId) {
+        let mut best = self.best_route(v);
+        // Hysteresis: keep a secure route in use if it is still on offer
+        // and the challenger is insecure.
+        if self.hysteresis {
+            if let Some(cur) = &self.selected[v.index()] {
+                let challenger_insecure =
+                    best.as_ref().map(|b| !b.secure).unwrap_or(true);
+                if cur.secure && challenger_insecure && self.still_available(v, cur) {
+                    best = self.selected[v.index()].clone();
+                }
+            }
+        }
+        if best == self.selected[v.index()] {
+            return;
+        }
+        self.selected[v.index()] = best;
+        self.export(v);
+    }
+
+    /// Is `cur` still exactly what its neighbor advertises to `v`?
+    fn still_available(&self, v: AsId, cur: &Selected) -> bool {
+        let slot = self.neighbor_slot(v, cur.neighbor);
+        self.rib_in[v.index()][slot].as_ref() == Some(&cur.route)
+    }
+
+    /// The decision process: pick the best loop-free route in `rib_in`.
+    fn best_route(&self, v: AsId) -> Option<Selected> {
+        let vi = v.index();
+        let validating = self.deployment.validates(v);
+        let policy = Policy::with_variant(self.ranks[vi], self.variant);
+        let mut best: Option<(((u32, u32, u32), u32), Selected)> = None;
+        for (slot, &u) in self.graph.neighbors(v).iter().enumerate() {
+            let Some(route) = &self.rib_in[vi][slot] else {
+                continue;
+            };
+            if route.contains(v) {
+                continue; // BGP loop prevention.
+            }
+            let class = self.graph.classify(v, u).expect("adjacent");
+            let secure = validating && route.signed;
+            let key = preference_key(
+                policy,
+                validating,
+                class_rank(class),
+                route.length(),
+                route.signed,
+            );
+            // Deterministic tie-break: lowest neighbor id (the paper's TB
+            // is arbitrary intradomain criteria; any fixed rule is a valid
+            // instantiation).
+            let full_key = (key, u.0);
+            let better = match &best {
+                None => true,
+                Some((k, _)) => full_key < *k,
+            };
+            if better {
+                best = Some((
+                    full_key,
+                    Selected {
+                        neighbor: u,
+                        route: route.clone(),
+                        class,
+                        secure,
+                    },
+                ));
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
+    /// Send updates/withdrawals to neighbors per the export rule Ex.
+    fn export(&mut self, v: AsId) {
+        let vi = v.index();
+        let (own_route, export_everywhere) = match &self.selected[vi] {
+            Some(sel) => {
+                let mut path = Vec::with_capacity(sel.route.path.len() + 1);
+                path.push(v);
+                path.extend_from_slice(&sel.route.path);
+                let signed = sel.secure; // v re-signs only when it validates and the path was signed.
+                (
+                    Some(Route { path, signed }),
+                    sel.class == NeighborClass::Customer,
+                )
+            }
+            None => (None, false),
+        };
+        let neighbors: Vec<(usize, AsId)> = self
+            .graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .enumerate()
+            .collect();
+        for (slot, u) in neighbors {
+            let class = self.graph.classify(v, u).expect("adjacent");
+            // Ex: customer routes go to everyone; other routes (and the
+            // origin's own announcement, which roots handle separately) go
+            // to customers only.
+            let allowed = export_everywhere || class == NeighborClass::Customer;
+            let to_send = if allowed { own_route.clone() } else { None };
+            // Never announce a route back into its own next hop... BGP
+            // would, but it is always rejected by loop prevention; sending
+            // it is harmless yet noisy. Standard split-horizon-free BGP
+            // sends it; we suppress only the trivial echo to the next hop.
+            let to_send = match (&to_send, &self.selected[vi]) {
+                (Some(_), Some(sel)) if sel.neighbor == u => None,
+                _ => to_send,
+            };
+            if self.adj_out[vi][slot] != to_send {
+                self.adj_out[vi][slot] = to_send;
+                self.queue.push_back(Message { from: v, to: u });
+            }
+        }
+    }
+
+    /// Fail the link between `a` and `b`: both sides lose whatever they
+    /// learned over it and re-run their decision processes.
+    pub fn fail_link(&mut self, a: AsId, b: AsId) {
+        assert!(self.graph.are_adjacent(a, b), "no such link");
+        if !self.link_is_up(a, b) {
+            return;
+        }
+        self.failed.push((a, b));
+        for (x, y) in [(a, b), (b, a)] {
+            if x == self.scenario.destination || Some(x) == self.scenario.attacker {
+                // Roots keep announcing; their adj_out entry just dies.
+                continue;
+            }
+            let slot = self.neighbor_slot(x, y);
+            if self.rib_in[x.index()][slot].is_some() {
+                self.rib_in[x.index()][slot] = None;
+                self.reselect(x);
+            }
+        }
+    }
+
+    /// Restore a previously failed link; both endpoints re-advertise
+    /// whatever their adj-out currently holds for it (adj-out stayed
+    /// maintained during the outage; only delivery was suppressed).
+    pub fn restore_link(&mut self, a: AsId, b: AsId) {
+        let before = self.failed.len();
+        self.failed
+            .retain(|&(x, y)| !((x, y) == (a, b) || (x, y) == (b, a)));
+        if self.failed.len() == before {
+            return;
+        }
+        self.queue.push_back(Message { from: a, to: b });
+        self.queue.push_back(Message { from: b, to: a });
+    }
+
+    /// The route `v` currently uses.
+    pub fn selected(&self, v: AsId) -> Option<&Selected> {
+        self.selected[v.index()].as_ref()
+    }
+
+    /// True when `v` currently routes to the legitimate destination (its
+    /// path avoids the attacker).
+    pub fn is_happy(&self, v: AsId) -> Option<bool> {
+        let sel = self.selected[v.index()].as_ref()?;
+        Some(match self.scenario.attacker {
+            Some(m) => !sel.route.contains(m),
+            None => true,
+        })
+    }
+
+    /// Total messages processed so far.
+    pub fn messages_processed(&self) -> usize {
+        self.messages_processed
+    }
+
+    /// Count happy / secure / routeless sources in the current state.
+    pub fn census(&self) -> SourceCensus {
+        let mut c = SourceCensus::default();
+        for v in self.graph.ases() {
+            if v == self.scenario.destination || Some(v) == self.scenario.attacker {
+                continue;
+            }
+            c.sources += 1;
+            match self.is_happy(v) {
+                Some(true) => c.happy += 1,
+                Some(false) => c.unhappy += 1,
+                None => c.routeless += 1,
+            }
+            if self.selected(v).map(|s| s.secure).unwrap_or(false) {
+                c.secure += 1;
+            }
+        }
+        c
+    }
+
+    /// What `from` last announced to `to` (diagnostics; `None` both when
+    /// nothing was sent and when the route was withdrawn).
+    pub fn rib_in_entry(&self, to: AsId, from: AsId) -> Option<&Route> {
+        let slot = self.neighbor_slot(to, from);
+        self.rib_in[to.index()][slot].as_ref()
+    }
+
+    /// Verify the global stability condition of \[GSW02\]: no AS can improve
+    /// on its selected route given what neighbors currently advertise to
+    /// it. Returns the ids of unstable ASes (empty = stable state).
+    pub fn unstable_ases(&self) -> Vec<AsId> {
+        let mut out = Vec::new();
+        for v in self.graph.ases() {
+            if v == self.scenario.destination || Some(v) == self.scenario.attacker {
+                continue;
+            }
+            let best = self.best_route(v);
+            if best != self.selected[v.index()] {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Snapshot of every AS's selected next hop (for comparing stable
+    /// states).
+    pub fn next_hop_snapshot(&self) -> Vec<Option<AsId>> {
+        self.selected
+            .iter()
+            .map(|s| s.as_ref().map(|s| s.neighbor))
+            .collect()
+    }
+}
+
+fn class_rank(class: NeighborClass) -> u8 {
+    match class {
+        NeighborClass::Customer => 0,
+        NeighborClass::Peer => 1,
+        NeighborClass::Provider => 2,
+    }
+}
+
+pub mod wedgie;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_topology::GraphBuilder;
+
+    fn chain() -> AsGraph {
+        // d(0) <- p(1) <- t(2); d also has customer c(3).
+        let mut b = GraphBuilder::new(4);
+        b.add_provider(AsId(0), AsId(1)).unwrap();
+        b.add_provider(AsId(1), AsId(2)).unwrap();
+        b.add_provider(AsId(3), AsId(0)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn converges_on_a_chain() {
+        let g = chain();
+        let dep = Deployment::empty(4);
+        let mut sim = Simulator::new(
+            &g,
+            &dep,
+            Policy::new(SecurityModel::Security3rd),
+            AttackScenario::normal(AsId(0)),
+        );
+        let out = sim.run(Schedule::Fifo, 10_000);
+        assert!(matches!(out, RunOutcome::Converged { .. }));
+        assert!(sim.unstable_ases().is_empty());
+        let p = sim.selected(AsId(1)).unwrap();
+        assert_eq!(p.route.path, vec![AsId(0)]);
+        assert_eq!(p.class, NeighborClass::Customer);
+        let t = sim.selected(AsId(2)).unwrap();
+        assert_eq!(t.route.path, vec![AsId(1), AsId(0)]);
+        let c = sim.selected(AsId(3)).unwrap();
+        assert_eq!(c.class, NeighborClass::Provider);
+    }
+
+    #[test]
+    fn attacker_attracts_by_fake_edge() {
+        // d(0) <- s(1); m(2) is s's customer.
+        let mut b = GraphBuilder::new(3);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_provider(AsId(2), AsId(1)).unwrap();
+        let g = b.build();
+        let dep = Deployment::empty(3);
+        let mut sim = Simulator::new(
+            &g,
+            &dep,
+            Policy::new(SecurityModel::Security3rd),
+            AttackScenario::attack(AsId(2), AsId(0)),
+        );
+        sim.run(Schedule::Fifo, 10_000);
+        assert!(sim.unstable_ases().is_empty());
+        let s = sim.selected(AsId(1)).unwrap();
+        // LP: customer route "m, d" beats the provider route "d".
+        assert_eq!(s.route.path, vec![AsId(2), AsId(0)]);
+        assert_eq!(sim.is_happy(AsId(1)), Some(false));
+    }
+
+    #[test]
+    fn secure_routes_are_signed_end_to_end() {
+        let g = chain();
+        let dep = Deployment::full_from_iter(4, [AsId(0), AsId(1), AsId(2)]);
+        let mut sim = Simulator::new(
+            &g,
+            &dep,
+            Policy::new(SecurityModel::Security1st),
+            AttackScenario::normal(AsId(0)),
+        );
+        sim.run(Schedule::Fifo, 10_000);
+        assert!(sim.selected(AsId(1)).unwrap().secure);
+        assert!(sim.selected(AsId(2)).unwrap().secure);
+        // c(3) is not in S: not secure from its own perspective.
+        assert!(!sim.selected(AsId(3)).unwrap().secure);
+    }
+
+    #[test]
+    fn link_failure_and_recovery_reconverge() {
+        let g = chain();
+        let dep = Deployment::empty(4);
+        let mut sim = Simulator::new(
+            &g,
+            &dep,
+            Policy::new(SecurityModel::Security3rd),
+            AttackScenario::normal(AsId(0)),
+        );
+        sim.run(Schedule::Fifo, 10_000);
+        let before = sim.next_hop_snapshot();
+
+        sim.fail_link(AsId(0), AsId(1));
+        sim.run(Schedule::Fifo, 10_000);
+        assert!(sim.selected(AsId(1)).is_none(), "p lost its only route");
+        assert!(sim.selected(AsId(2)).is_none(), "t transitively");
+
+        sim.restore_link(AsId(0), AsId(1));
+        sim.run(Schedule::Fifo, 10_000);
+        assert_eq!(sim.next_hop_snapshot(), before, "chain has a unique state");
+        assert!(sim.unstable_ases().is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_and_resumable() {
+        let g = chain();
+        let dep = Deployment::empty(4);
+        let mut sim = Simulator::new(
+            &g,
+            &dep,
+            Policy::new(SecurityModel::Security3rd),
+            AttackScenario::normal(AsId(0)),
+        );
+        assert_eq!(sim.run(Schedule::Fifo, 1), RunOutcome::BudgetExhausted);
+        // Resuming finishes the job.
+        assert!(matches!(
+            sim.run(Schedule::Fifo, 100_000),
+            RunOutcome::Converged { .. }
+        ));
+        assert!(sim.unstable_ases().is_empty());
+        assert!(sim.messages_processed() >= 1);
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic_per_seed() {
+        let g = chain();
+        let dep = Deployment::empty(4);
+        let run = |seed| {
+            let mut sim = Simulator::new(
+                &g,
+                &dep,
+                Policy::new(SecurityModel::Security3rd),
+                AttackScenario::normal(AsId(0)),
+            );
+            let out = sim.run(Schedule::Random(seed), 100_000);
+            let msgs = match out {
+                RunOutcome::Converged { messages } => messages,
+                other => panic!("{other:?}"),
+            };
+            (msgs, sim.next_hop_snapshot())
+        };
+        assert_eq!(run(7), run(7), "same seed, same trajectory");
+    }
+
+    #[test]
+    fn launched_attack_matches_cold_start() {
+        // Converging first and then launching the attack must reach the
+        // same stable state as starting with the attacker present
+        // (Theorem 2.1: the stable state is unique).
+        let mut b = GraphBuilder::new(4);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_provider(AsId(2), AsId(1)).unwrap();
+        b.add_provider(AsId(3), AsId(1)).unwrap();
+        let g = b.build();
+        let dep = Deployment::empty(4);
+        let policy = Policy::new(SecurityModel::Security3rd);
+
+        let mut cold = Simulator::new(&g, &dep, policy, AttackScenario::attack(AsId(2), AsId(0)));
+        cold.run(Schedule::Fifo, 100_000);
+
+        let mut warm = Simulator::new(&g, &dep, policy, AttackScenario::normal(AsId(0)));
+        warm.run(Schedule::Fifo, 100_000);
+        warm.launch_attack(AsId(2), sbgp_core::AttackStrategy::FakeLink);
+        warm.run(Schedule::Fifo, 100_000);
+
+        assert_eq!(cold.next_hop_snapshot(), warm.next_hop_snapshot());
+        assert!(warm.unstable_ases().is_empty());
+    }
+
+    #[test]
+    fn hysteresis_blocks_the_figure2_downgrade() {
+        // Figure 2 gadget: the victim (1) downgrades under security 3rd —
+        // unless hysteresis lets it keep the secure route it was using.
+        let mut b = GraphBuilder::new(6);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_peering(AsId(1), AsId(2)).unwrap();
+        b.add_peering(AsId(0), AsId(2)).unwrap();
+        b.add_provider(AsId(3), AsId(2)).unwrap();
+        b.add_provider(AsId(4), AsId(3)).unwrap();
+        b.add_provider(AsId(5), AsId(0)).unwrap();
+        let g = b.build();
+        let dep = Deployment::full_from_iter(6, [AsId(0), AsId(1), AsId(2)]);
+        let policy = Policy::new(SecurityModel::Security3rd);
+
+        for (hysteresis, expect_secure) in [(false, false), (true, true)] {
+            let mut sim = Simulator::new(&g, &dep, policy, AttackScenario::normal(AsId(0)));
+            sim.set_hysteresis(hysteresis);
+            sim.run(Schedule::Fifo, 100_000);
+            assert!(sim.selected(AsId(1)).unwrap().secure, "secure before attack");
+
+            sim.launch_attack(AsId(4), sbgp_core::AttackStrategy::FakeLink);
+            sim.run(Schedule::Fifo, 100_000);
+            let victim = sim.selected(AsId(1)).unwrap();
+            assert_eq!(
+                victim.secure, expect_secure,
+                "hysteresis={hysteresis}: victim secure={}",
+                victim.secure
+            );
+            let census = sim.census();
+            assert_eq!(census.sources, 4);
+            if hysteresis {
+                assert_eq!(sim.is_happy(AsId(1)), Some(true));
+                assert!(census.secure >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn census_counts_are_consistent() {
+        let mut b = GraphBuilder::new(4);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_provider(AsId(2), AsId(1)).unwrap();
+        // 3 is isolated.
+        let g = b.build();
+        let dep = Deployment::empty(4);
+        let mut sim = Simulator::new(
+            &g,
+            &dep,
+            Policy::new(SecurityModel::Security3rd),
+            AttackScenario::attack(AsId(2), AsId(0)),
+        );
+        sim.run(Schedule::Fifo, 100_000);
+        let c = sim.census();
+        assert_eq!(c.sources, 2);
+        assert_eq!(c.happy + c.unhappy + c.routeless, c.sources);
+        assert_eq!(c.routeless, 1, "the isolated AS");
+    }
+
+    #[test]
+    fn random_schedules_converge_to_the_same_state_when_consistent() {
+        // Theorem 2.1 smoke test on a small mesh.
+        let mut b = GraphBuilder::new(6);
+        b.add_provider(AsId(0), AsId(1)).unwrap();
+        b.add_provider(AsId(0), AsId(2)).unwrap();
+        b.add_peering(AsId(1), AsId(2)).unwrap();
+        b.add_provider(AsId(1), AsId(3)).unwrap();
+        b.add_provider(AsId(2), AsId(3)).unwrap();
+        b.add_provider(AsId(4), AsId(1)).unwrap();
+        b.add_provider(AsId(5), AsId(2)).unwrap();
+        b.add_peering(AsId(4), AsId(5)).unwrap();
+        let g = b.build();
+        let dep = Deployment::full_from_iter(6, [AsId(0), AsId(1), AsId(4)]);
+        let mut first: Option<Vec<Option<AsId>>> = None;
+        for seed in 0..8u64 {
+            let mut sim = Simulator::new(
+                &g,
+                &dep,
+                Policy::new(SecurityModel::Security2nd),
+                AttackScenario::attack(AsId(5), AsId(0)),
+            );
+            let out = sim.run(Schedule::Random(seed), 100_000);
+            assert!(matches!(out, RunOutcome::Converged { .. }));
+            assert!(sim.unstable_ases().is_empty());
+            let snap = sim.next_hop_snapshot();
+            match &first {
+                None => first = Some(snap),
+                Some(f) => assert_eq!(&snap, f, "seed {seed} diverged"),
+            }
+        }
+    }
+}

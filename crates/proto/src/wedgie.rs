@@ -1,0 +1,191 @@
+//! The §2.3 / Figure 1 **BGP wedgie** gadget.
+//!
+//! When ASes place SecP at *different* positions, the routing system can
+//! have several stable states, and a transient link failure can wedge it in
+//! an unintended one. This module packages a minimal gadget with exactly
+//! the paper's mechanism:
+//!
+//! ```text
+//!        p ──▶ owns the only "real" transit to d
+//!        ▲
+//!        │ (provider)
+//!        B      B ranks security *below* LP (security 2nd/3rd)
+//!        ▲
+//!        │ (provider)
+//!        A      A ranks security 1st, runs S*BGP
+//!        ▲
+//!        │ (provider)
+//!        e      e is the one insecure AS; e is also d's provider
+//! ```
+//!
+//! Edges: `d → p` (customer), `B → p`, `A → B`, `e → A`, `d → e`. Everyone
+//! but `e` deploys S\*BGP.
+//!
+//! * **Intended state**: `A` uses its *secure* provider route `A–B–p–d`
+//!   (security 1st beats LP), so it exports nothing to `B`; `B` uses
+//!   `B–p–d`.
+//! * **Unintended state**: `A` uses the insecure customer route `A–e–d`
+//!   and exports it upward; `B` prefers the *customer* route `B–A–e–d`
+//!   (LP beats security for `B`), and then `A` can never return to the
+//!   secure route because `B`'s only announcement through it is looped.
+//!
+//! Failing and restoring the `p–d` link moves the system from the intended
+//! state to the unintended one, where it sticks — the wedgie.
+
+use sbgp_core::{AttackScenario, Deployment, Policy, SecurityModel};
+use sbgp_topology::{AsGraph, AsId, GraphBuilder};
+
+use crate::{Schedule, Simulator};
+
+/// Node ids of the gadget, for readable assertions and demos.
+#[derive(Clone, Copy, Debug)]
+pub struct WedgieIds {
+    /// The destination (the paper's AS 3).
+    pub d: AsId,
+    /// The transit provider whose link to `d` fails (AS 31027).
+    pub p: AsId,
+    /// The ISP that ranks security below LP (AS 29518).
+    pub b: AsId,
+    /// The ISP that ranks security 1st (AS 31283).
+    pub a: AsId,
+    /// The one insecure AS (AS 8928).
+    pub e: AsId,
+}
+
+/// Build the wedgie topology.
+pub fn wedgie_graph() -> (AsGraph, WedgieIds) {
+    let ids = WedgieIds {
+        d: AsId(0),
+        p: AsId(1),
+        b: AsId(2),
+        a: AsId(3),
+        e: AsId(4),
+    };
+    let mut builder = GraphBuilder::new(5);
+    builder.add_provider(ids.d, ids.p).unwrap();
+    builder.add_provider(ids.b, ids.p).unwrap();
+    builder.add_provider(ids.a, ids.b).unwrap();
+    builder.add_provider(ids.e, ids.a).unwrap();
+    builder.add_provider(ids.d, ids.e).unwrap();
+    (builder.build(), ids)
+}
+
+/// The deployment: everyone secure except `e`.
+pub fn wedgie_deployment(ids: &WedgieIds) -> Deployment {
+    Deployment::full_from_iter(5, [ids.d, ids.p, ids.b, ids.a])
+}
+
+/// Build a simulator with the paper's mixed priorities: `A` ranks security
+/// 1st, everyone else ranks it `b_model` (2nd or 3rd).
+pub fn wedgie_simulator<'g>(
+    graph: &'g AsGraph,
+    ids: &WedgieIds,
+    deployment: &Deployment,
+    b_model: SecurityModel,
+) -> Simulator<'g> {
+    let mut sim = Simulator::new(
+        graph,
+        deployment,
+        Policy::new(b_model),
+        AttackScenario::normal(ids.d),
+    );
+    sim.set_rank(ids.a, SecurityModel::Security1st);
+    sim
+}
+
+/// Run the full Figure 1 experiment: converge, fail `p–d`, reconverge,
+/// restore, reconverge. Returns `(intended, after_recovery)` next-hop
+/// snapshots; a wedgie occurred iff they differ.
+pub fn run_wedgie_experiment(b_model: SecurityModel) -> (Vec<Option<AsId>>, Vec<Option<AsId>>) {
+    let (graph, ids) = wedgie_graph();
+    let deployment = wedgie_deployment(&ids);
+    let mut sim = wedgie_simulator(&graph, &ids, &deployment, b_model);
+
+    sim.run(Schedule::Fifo, 100_000);
+    assert!(sim.unstable_ases().is_empty(), "initial convergence");
+    let intended = sim.next_hop_snapshot();
+
+    sim.fail_link(ids.p, ids.d);
+    sim.run(Schedule::Fifo, 100_000);
+
+    sim.restore_link(ids.p, ids.d);
+    sim.run(Schedule::Fifo, 100_000);
+    assert!(sim.unstable_ases().is_empty(), "post-recovery convergence");
+    let after = sim.next_hop_snapshot();
+
+    (intended, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intended_state_uses_the_secure_route() {
+        let (graph, ids) = wedgie_graph();
+        let deployment = wedgie_deployment(&ids);
+        let mut sim = wedgie_simulator(&graph, &ids, &deployment, SecurityModel::Security2nd);
+        sim.run(Schedule::Fifo, 100_000);
+        let a = sim.selected(ids.a).unwrap();
+        assert!(a.secure, "A uses its secure provider route");
+        assert_eq!(a.route.path, vec![ids.b, ids.p, ids.d]);
+        let b = sim.selected(ids.b).unwrap();
+        assert_eq!(b.route.path, vec![ids.p, ids.d]);
+    }
+
+    #[test]
+    fn failure_and_recovery_wedges_the_system() {
+        for model in [SecurityModel::Security2nd, SecurityModel::Security3rd] {
+            let (intended, after) = run_wedgie_experiment(model);
+            assert_ne!(intended, after, "{model}: system must be wedged");
+        }
+    }
+
+    #[test]
+    fn wedged_state_is_the_customer_route() {
+        let (graph, ids) = wedgie_graph();
+        let deployment = wedgie_deployment(&ids);
+        let mut sim = wedgie_simulator(&graph, &ids, &deployment, SecurityModel::Security2nd);
+        sim.run(Schedule::Fifo, 100_000);
+        sim.fail_link(ids.p, ids.d);
+        sim.run(Schedule::Fifo, 100_000);
+        // During the outage, A falls back to the insecure customer route
+        // and B happily takes it.
+        let a = sim.selected(ids.a).unwrap();
+        assert_eq!(a.route.path, vec![ids.e, ids.d]);
+        let b = sim.selected(ids.b).unwrap();
+        assert_eq!(b.route.path, vec![ids.a, ids.e, ids.d]);
+
+        sim.restore_link(ids.p, ids.d);
+        sim.run(Schedule::Fifo, 100_000);
+        // B sticks with the customer route; A cannot recover the secure
+        // one (B's announcement through it is looped).
+        let b = sim.selected(ids.b).unwrap();
+        assert_eq!(b.route.path, vec![ids.a, ids.e, ids.d], "B is wedged");
+        let a = sim.selected(ids.a).unwrap();
+        assert!(!a.secure, "A is stuck on the insecure route");
+    }
+
+    #[test]
+    fn consistent_priorities_do_not_wedge() {
+        // With everyone (including A) on the same model, the state after
+        // recovery matches the intended state — Theorem 2.1's guarantee.
+        for model in SecurityModel::ALL {
+            let (graph, ids) = wedgie_graph();
+            let deployment = wedgie_deployment(&ids);
+            let mut sim = Simulator::new(
+                &graph,
+                &deployment,
+                Policy::new(model),
+                AttackScenario::normal(ids.d),
+            );
+            sim.run(Schedule::Fifo, 100_000);
+            let intended = sim.next_hop_snapshot();
+            sim.fail_link(ids.p, ids.d);
+            sim.run(Schedule::Fifo, 100_000);
+            sim.restore_link(ids.p, ids.d);
+            sim.run(Schedule::Fifo, 100_000);
+            assert_eq!(sim.next_hop_snapshot(), intended, "{model} wedged");
+        }
+    }
+}

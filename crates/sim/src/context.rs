@@ -1,0 +1,121 @@
+//! The [`Internet`]: a topology plus everything experiments need to know
+//! about it.
+
+use sbgp_topology::gen::{self, GeneratedInternet, InternetConfig, IxpConfig};
+use sbgp_topology::tier::{TierConfig, TierMap};
+use sbgp_topology::{AsGraph, AsId};
+
+/// A topology bundled with its tier classification and content-provider
+/// list — the unit every experiment runs against.
+#[derive(Clone, Debug)]
+pub struct Internet {
+    /// Short description used in report headers ("synthetic-8000",
+    /// "synthetic-8000+ixp", a file name, ...).
+    pub name: String,
+    /// The AS graph.
+    pub graph: AsGraph,
+    /// Table 1 tier classification.
+    pub tiers: TierMap,
+    /// The 17 content providers (Figure 13's destinations).
+    pub content_providers: Vec<AsId>,
+}
+
+impl Internet {
+    /// Generate the default synthetic Internet at a given size and seed
+    /// (the stand-in for the paper's UCLA 2012 snapshot; see DESIGN.md §3).
+    pub fn synthetic(total_ases: usize, seed: u64) -> Internet {
+        Internet::from_generated(
+            gen::generate(&InternetConfig::sized(total_ases, seed)),
+            format!("synthetic-{total_ases}"),
+        )
+    }
+
+    /// Generate a synthetic Internet from an explicit generator config.
+    pub fn from_config(config: &InternetConfig, name: impl Into<String>) -> Internet {
+        Internet::from_generated(gen::generate(config), name.into())
+    }
+
+    /// As [`Internet::synthetic`], then augmented with synthetic IXP
+    /// full-mesh peering (the Appendix J robustness graph).
+    pub fn synthetic_with_ixp(total_ases: usize, seed: u64) -> Internet {
+        let generated = gen::generate(&InternetConfig::sized(total_ases, seed));
+        let (augmented, _added) = gen::augment_with_ixps(
+            &generated.graph,
+            &IxpConfig::scaled_to(total_ases, seed ^ 0x1f9),
+        );
+        let tier_config = generated.tier_config();
+        let tiers = TierMap::classify(&augmented, &tier_config);
+        Internet {
+            name: format!("synthetic-{total_ases}+ixp"),
+            graph: augmented,
+            tiers,
+            content_providers: generated.content_providers,
+        }
+    }
+
+    /// Wrap an externally built graph (e.g. a parsed CAIDA snapshot); tiers
+    /// are classified with the given config.
+    pub fn from_graph(
+        graph: AsGraph,
+        tier_config: &TierConfig,
+        name: impl Into<String>,
+    ) -> Internet {
+        let tiers = TierMap::classify(&graph, tier_config);
+        Internet {
+            name: name.into(),
+            graph,
+            tiers,
+            content_providers: tier_config.content_providers.clone(),
+        }
+    }
+
+    fn from_generated(generated: GeneratedInternet, name: String) -> Internet {
+        let tier_config = generated.tier_config();
+        let tiers = TierMap::classify(&generated.graph, &tier_config);
+        Internet {
+            name,
+            graph: generated.graph,
+            tiers,
+            content_providers: generated.content_providers,
+        }
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True when the graph has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_topology::tier::Tier;
+
+    #[test]
+    fn synthetic_internet_is_classified() {
+        let net = Internet::synthetic(1_200, 3);
+        assert_eq!(net.len(), 1_200);
+        assert_eq!(net.tiers.tier1().len(), 13);
+        assert_eq!(net.content_providers.len(), 17);
+        for &cp in &net.content_providers {
+            assert_eq!(net.tiers.tier(cp), Tier::Cp);
+        }
+        assert_eq!(net.name, "synthetic-1200");
+    }
+
+    #[test]
+    fn ixp_variant_has_more_peering() {
+        let base = Internet::synthetic(1_200, 3);
+        let aug = Internet::synthetic_with_ixp(1_200, 3);
+        assert!(aug.graph.num_peer_edges() > base.graph.num_peer_edges());
+        assert_eq!(
+            aug.graph.num_customer_provider_edges(),
+            base.graph.num_customer_provider_edges()
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! One driver per paper figure/table.
+//!
+//! Every driver takes an [`crate::Internet`], an [`ExperimentConfig`] (sampling
+//! sizes + seed + parallelism) and returns plain data; the `sbgp-bench`
+//! binaries render it. The mapping to the paper:
+//!
+//! | Module | Reproduces |
+//! |--------|------------|
+//! | [`baseline`] | §4.2's `H_{V,V}(∅)` table |
+//! | [`partitions`] | Figures 3, 4, 5, 6, the §4.7 source-tier table, and the Appendix K LP2 variants (Figures 24–25) |
+//! | [`rollout`] | Figures 7(a), 7(b), 8, 11 and the §5.3.1 early-adopter table |
+//! | [`per_destination`] | Figures 9, 10, 12 |
+//! | [`root_cause`] | Figures 13 and 16 |
+//! | [`extensions`] | §8's hysteresis and security-islands proposals, the RPKI-value ladder, and §4.5's traffic-weighted metric |
+
+pub mod baseline;
+pub mod extensions;
+pub mod partitions;
+pub mod per_destination;
+pub mod rollout;
+pub mod root_cause;
+
+use crate::runner::Parallelism;
+
+/// Sampling sizes shared by the experiment drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Attackers sampled (from `V` or from the non-stubs `M'`, per driver).
+    pub attackers: usize,
+    /// Destinations sampled (from `V`, from a tier, or from `S`).
+    pub destinations: usize,
+    /// Destinations sampled per tier for the tier-bucketed figures.
+    pub per_tier: usize,
+    /// Seed for all samplers (experiments derive sub-seeds from it).
+    pub seed: u64,
+    /// Worker threads.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            attackers: 25,
+            destinations: 100,
+            per_tier: 30,
+            seed: 42,
+            parallelism: Parallelism::auto(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A tiny configuration for unit tests.
+    pub fn small(seed: u64) -> Self {
+        ExperimentConfig {
+            attackers: 5,
+            destinations: 10,
+            per_tier: 4,
+            seed,
+            parallelism: Parallelism(2),
+        }
+    }
+}

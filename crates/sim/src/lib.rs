@@ -1,0 +1,35 @@
+//! Experiment harness for the SIGCOMM'13 partial-deployment S\*BGP study.
+//!
+//! This crate turns `sbgp-core`'s per-pair primitives into the paper's
+//! actual experiments:
+//!
+//! * [`Internet`] — a topology bundled with its Table 1 tier classification
+//!   (synthetic, IXP-augmented, or loaded from a relationship file);
+//! * [`sample`] — deterministic attacker/destination samplers (the paper's
+//!   `M`, `M'` and `D` sets, subsampled reproducibly when full `V × V`
+//!   enumeration is infeasible);
+//! * [`scenario`] — the §5 deployment scenarios (Tier 1+2 rollouts, CP
+//!   variants, Tier-2-only, all non-stubs, simplex-at-stubs);
+//! * [`runner`] — a crossbeam work-stealing pool that evaluates pair lists
+//!   with one reusable [`sbgp_core::Engine`] per worker;
+//! * [`experiments`] — one driver per figure/table, returning plain data
+//!   that the `sbgp-bench` binaries print;
+//! * [`report`] — aligned-text table rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod sample;
+pub mod scenario;
+pub mod weights;
+
+mod context;
+
+pub use context::Internet;
+pub use runner::Parallelism;
+
+pub use sbgp_core as core;
+pub use sbgp_topology as topology;

@@ -1,0 +1,334 @@
+//! The parallel simulation harness.
+//!
+//! The paper ran its `O(|M||D|(|V|+|E|))` computations with MPI on Blue
+//! Gene and Blacklight (Appendix H); here a crossbeam scope plays the same
+//! role on one machine. Work items (attacker–destination pairs, or whole
+//! destinations) are claimed from an atomic counter in small chunks; every
+//! worker owns its own reusable [`Engine`] / [`PairAnalyzer`] /
+//! [`PartitionComputer`], so there is no shared mutable state and no
+//! allocation in the steady loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sbgp_core::{
+    AttackScenario, Bounds, Deployment, Engine, HappyCount, PairAnalysis, PairAnalyzer,
+    PartitionComputer, PartitionCounts, Policy,
+};
+use sbgp_topology::AsId;
+
+use sbgp_core::metric::MetricAccumulator;
+
+use crate::Internet;
+
+/// Number of worker threads to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism(pub usize);
+
+impl Parallelism {
+    /// One worker per available hardware thread.
+    pub fn auto() -> Parallelism {
+        Parallelism(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Strictly sequential execution.
+    pub fn sequential() -> Parallelism {
+        Parallelism(1)
+    }
+}
+
+/// Items claimed per atomic fetch (amortizes contention).
+const CHUNK: usize = 16;
+
+/// Generic parallel map-reduce over `items`.
+///
+/// `make_worker` builds per-thread scratch (typically an engine); `step`
+/// folds one item into the thread-local accumulator; accumulators are
+/// merged with `merge` at the end. Deterministic up to `merge` order, so
+/// use commutative+associative reductions (all of ours are sums).
+pub fn map_reduce<T, W, Acc>(
+    par: Parallelism,
+    items: &[T],
+    make_worker: impl Fn() -> W + Sync,
+    make_acc: impl Fn() -> Acc + Sync,
+    step: impl Fn(&mut W, &mut Acc, &T) + Sync,
+    merge: impl FnMut(&mut Acc, Acc),
+) -> Acc
+where
+    T: Sync,
+    Acc: Send,
+{
+    let threads = par.0.clamp(1, items.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let mut merge = merge;
+
+    if threads == 1 {
+        let mut worker = make_worker();
+        let mut acc = make_acc();
+        for item in items {
+            step(&mut worker, &mut acc, item);
+        }
+        return acc;
+    }
+
+    let mut total = make_acc();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let make_worker = &make_worker;
+            let make_acc = &make_acc;
+            let step = &step;
+            handles.push(scope.spawn(move |_| {
+                let mut worker = make_worker();
+                let mut acc = make_acc();
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + CHUNK).min(items.len());
+                    for item in &items[start..end] {
+                        step(&mut worker, &mut acc, item);
+                    }
+                }
+                acc
+            }));
+        }
+        for h in handles {
+            merge(&mut total, h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope");
+    total
+}
+
+/// The metric `H_{M,D}(S)` over explicit pairs.
+pub fn metric(
+    net: &Internet,
+    pairs: &[(AsId, AsId)],
+    deployment: &Deployment,
+    policy: Policy,
+    par: Parallelism,
+) -> Bounds {
+    metric_with_stderr(net, pairs, deployment, policy, par).0
+}
+
+/// As [`metric`], additionally returning the standard error of the mean
+/// over the sampled pairs (how much subsampling `V × V` costs).
+pub fn metric_with_stderr(
+    net: &Internet,
+    pairs: &[(AsId, AsId)],
+    deployment: &Deployment,
+    policy: Policy,
+    par: Parallelism,
+) -> (Bounds, Bounds) {
+    let acc = map_reduce(
+        par,
+        pairs,
+        || Engine::new(&net.graph),
+        MetricAccumulator::default,
+        |engine, acc, &(m, d)| {
+            let o = engine.compute(AttackScenario::attack(m, d), deployment, policy);
+            let (lower, upper) = o.count_happy();
+            acc.add(HappyCount {
+                lower,
+                upper,
+                sources: net.graph.len() - 2,
+            });
+        },
+        |a, b| a.merge(b),
+    );
+    (acc.value(), acc.stderr())
+}
+
+/// Per-destination happy counts (summed over the attackers), for the
+/// per-destination sequences of Figures 7(b), 9, 10 and 12. Returned in
+/// `destinations` order.
+pub fn metric_by_destination(
+    net: &Internet,
+    attackers: &[AsId],
+    destinations: &[AsId],
+    deployment: &Deployment,
+    policy: Policy,
+    par: Parallelism,
+) -> Vec<HappyCount> {
+    let indexed: Vec<(usize, AsId)> = destinations.iter().copied().enumerate().collect();
+    map_reduce(
+        par,
+        &indexed,
+        || Engine::new(&net.graph),
+        || vec![HappyCount::default(); destinations.len()],
+        |engine, acc, &(slot, d)| {
+            for &m in attackers {
+                if m == d {
+                    continue;
+                }
+                let o = engine.compute(AttackScenario::attack(m, d), deployment, policy);
+                let (lower, upper) = o.count_happy();
+                acc[slot] += HappyCount {
+                    lower,
+                    upper,
+                    sources: net.graph.len() - 2,
+                };
+            }
+        },
+        |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        },
+    )
+}
+
+/// Summed root-cause analysis over pairs (Figures 13 and 16).
+pub fn analysis(
+    net: &Internet,
+    pairs: &[(AsId, AsId)],
+    deployment: &Deployment,
+    policy: Policy,
+    par: Parallelism,
+) -> PairAnalysis {
+    map_reduce(
+        par,
+        pairs,
+        || PairAnalyzer::new(&net.graph),
+        PairAnalysis::default,
+        |analyzer, acc, &(m, d)| {
+            *acc += analyzer.analyze(m, d, deployment, policy);
+        },
+        |a, b| *a += b,
+    )
+}
+
+/// Summed doomed/protectable/immune partition counts over pairs
+/// (Figures 3–6).
+pub fn partitions(
+    net: &Internet,
+    pairs: &[(AsId, AsId)],
+    policy: Policy,
+    par: Parallelism,
+) -> PartitionCounts {
+    map_reduce(
+        par,
+        pairs,
+        || PartitionComputer::new(&net.graph),
+        PartitionCounts::default,
+        |computer, acc, &(m, d)| {
+            acc.add(&computer.counts(m, d, policy));
+        },
+        |a, b| a.add(&b),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample;
+    use sbgp_core::SecurityModel;
+
+    fn net() -> Internet {
+        Internet::synthetic(600, 5)
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let net = net();
+        let attackers = sample::sample_non_stubs(&net, 6, 1);
+        let dests = sample::sample_all(&net, 10, 2);
+        let pairs = sample::pairs(&attackers, &dests);
+        let dep = Deployment::empty(net.len());
+        let policy = Policy::new(SecurityModel::Security3rd);
+        let seq = metric(&net, &pairs, &dep, policy, Parallelism(1));
+        let par = metric(&net, &pairs, &dep, policy, Parallelism(4));
+        assert!((seq.lower - par.lower).abs() < 1e-12);
+        assert!((seq.upper - par.upper).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_metric_is_majority_happy() {
+        // §4.2: with origin authentication alone, well over half the
+        // sources stay happy on average.
+        let net = net();
+        let attackers = sample::sample_all(&net, 12, 3);
+        let dests = sample::sample_all(&net, 12, 4);
+        let pairs = sample::pairs(&attackers, &dests);
+        let dep = Deployment::empty(net.len());
+        let b = metric(
+            &net,
+            &pairs,
+            &dep,
+            Policy::new(SecurityModel::Security3rd),
+            Parallelism(2),
+        );
+        assert!(b.lower > 0.5, "baseline lower bound {b}");
+        assert!(b.upper >= b.lower);
+    }
+
+    #[test]
+    fn per_destination_counts_align() {
+        let net = net();
+        let attackers = sample::sample_non_stubs(&net, 5, 1);
+        let dests = sample::sample_all(&net, 6, 2);
+        let dep = Deployment::empty(net.len());
+        let policy = Policy::new(SecurityModel::Security2nd);
+        let per = metric_by_destination(&net, &attackers, &dests, &dep, policy, Parallelism(2));
+        assert_eq!(per.len(), dests.len());
+        // Cross-check one destination against a direct metric call.
+        let pairs: Vec<(AsId, AsId)> = attackers
+            .iter()
+            .filter(|&&m| m != dests[0])
+            .map(|&m| (m, dests[0]))
+            .collect();
+        let direct = metric(&net, &pairs, &dep, policy, Parallelism(1));
+        let f = per[0].fraction();
+        assert!((f.lower - direct.lower).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analysis_identity_holds_in_aggregate() {
+        let net = net();
+        let attackers = sample::sample_non_stubs(&net, 4, 9);
+        let dests = sample::sample_all(&net, 6, 10);
+        let pairs = sample::pairs(&attackers, &dests);
+        let dep = Deployment::full_from_iter(
+            net.len(),
+            net.tiers.tier1().iter().copied(),
+        );
+        for model in SecurityModel::ALL {
+            let a = analysis(&net, &pairs, &dep, Policy::new(model), Parallelism(2));
+            assert!(a.metric_change_identity_holds(), "{model}");
+            assert_eq!(a.pairs, pairs.len());
+        }
+    }
+
+    #[test]
+    fn partition_fractions_bound_the_metric() {
+        // Immune fraction ≤ baseline happy ≤ 1 − doomed fraction, per pair
+        // set (§4.3's whole point).
+        let net = net();
+        let attackers = sample::sample_non_stubs(&net, 5, 21);
+        let dests = sample::sample_all(&net, 8, 22);
+        let pair_list = sample::pairs(&attackers, &dests);
+        let dep = Deployment::empty(net.len());
+        for model in SecurityModel::ALL {
+            let policy = Policy::new(model);
+            let parts = partitions(&net, &pair_list, policy, Parallelism(2));
+            let total = parts.sources() as f64;
+            let immune = parts.immune as f64 / total;
+            let doomed = parts.doomed as f64 / total;
+            let h = metric(&net, &pair_list, &dep, policy, Parallelism(2));
+            assert!(
+                immune <= h.lower + 1e-9,
+                "{model}: immune {immune} vs H {h}"
+            );
+            assert!(
+                h.upper <= 1.0 - doomed + 1e-9,
+                "{model}: doomed {doomed} vs H {h}"
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic attacker/destination sampling.
+//!
+//! The paper evaluates its metric over all `O(|V|²)` attacker–destination
+//! pairs on a Blue Gene; on one machine we estimate the same averages over
+//! seeded uniform samples (the comparison baseline \[22\] did the same).
+//! All samplers are deterministic in their seed so experiments are
+//! reproducible and comparable across deployments (§4.1 requires `M` and
+//! `D` to be fixed independently of `S`).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use sbgp_topology::tier::{Tier, TierMap};
+use sbgp_topology::AsId;
+
+use crate::Internet;
+
+/// Sample `count` distinct ids from `pool` (all of `pool` when it is
+/// smaller), preserving determinism under `seed`.
+pub fn sample_from(pool: &[AsId], count: usize, seed: u64) -> Vec<AsId> {
+    if pool.len() <= count {
+        return pool.to_vec();
+    }
+    // Partial Fisher–Yates over a copy.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = pool.to_vec();
+    for i in 0..count {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(count);
+    pool.sort_unstable();
+    pool
+}
+
+/// Sample from every AS (the paper's `M = D = V` setting).
+pub fn sample_all(net: &Internet, count: usize, seed: u64) -> Vec<AsId> {
+    let pool: Vec<AsId> = net.graph.ases().collect();
+    sample_from(&pool, count, seed)
+}
+
+/// Sample non-stub attackers (the paper's `M'`: stubs are assumed to be
+/// filtered by their providers, §5.2).
+pub fn sample_non_stubs(net: &Internet, count: usize, seed: u64) -> Vec<AsId> {
+    let pool = net.tiers.non_stubs();
+    sample_from(&pool, count, seed)
+}
+
+/// Sample destinations within one tier (Figures 4–6).
+pub fn sample_tier(net: &Internet, tier: Tier, count: usize, seed: u64) -> Vec<AsId> {
+    let pool = net.tiers.members(tier);
+    sample_from(&pool, count, seed)
+}
+
+/// All (attacker, destination) pairs with `m ≠ d`.
+pub fn pairs(attackers: &[AsId], destinations: &[AsId]) -> Vec<(AsId, AsId)> {
+    let mut out = Vec::with_capacity(attackers.len() * destinations.len());
+    for &m in attackers {
+        for &d in destinations {
+            if m != d {
+                out.push((m, d));
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: tier of an AS (used when bucketing results).
+pub fn tier_of(tiers: &TierMap, v: AsId) -> Tier {
+    tiers.tier(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_distinct() {
+        let net = Internet::synthetic(800, 9);
+        let a = sample_all(&net, 50, 7);
+        let b = sample_all(&net, 50, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        let mut c = a.clone();
+        c.dedup();
+        assert_eq!(c.len(), 50, "samples must be distinct");
+        let d = sample_all(&net, 50, 8);
+        assert_ne!(a, d, "different seeds sample differently");
+    }
+
+    #[test]
+    fn small_pools_are_returned_whole() {
+        let pool = vec![AsId(1), AsId(2)];
+        assert_eq!(sample_from(&pool, 10, 3), pool);
+    }
+
+    #[test]
+    fn non_stub_samples_exclude_stubs() {
+        let net = Internet::synthetic(800, 9);
+        let m = sample_non_stubs(&net, 30, 1);
+        for v in m {
+            assert!(!net.tiers.is_stub(v), "{v} is a stub");
+        }
+    }
+
+    #[test]
+    fn pair_enumeration_skips_self_attacks() {
+        let a = vec![AsId(1), AsId(2)];
+        let d = vec![AsId(2), AsId(3)];
+        let p = pairs(&a, &d);
+        assert_eq!(p.len(), 3);
+        assert!(!p.contains(&(AsId(2), AsId(2))));
+    }
+}

@@ -1,0 +1,150 @@
+//! Traffic-weighted metric variants.
+//!
+//! The paper's metric counts every source AS equally, and §1.2/§4.5
+//! acknowledge the caveat that "a large fraction of the Internet's traffic
+//! originates at a few ASes" (Labovitz et al.). The paper handles it by
+//! zooming in on content-provider *destinations*; this module additionally
+//! supports weighting *sources*, so experiments can ask "what fraction of
+//! traffic-weighted sources stay happy" instead of "what fraction of ASes".
+
+use sbgp_topology::tier::Tier;
+use sbgp_topology::AsId;
+
+use crate::Internet;
+
+/// Per-source weights for the metric.
+#[derive(Clone, Debug)]
+pub struct TrafficWeights {
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl TrafficWeights {
+    /// Every AS weighs the same (the paper's metric).
+    pub fn uniform(n: usize) -> TrafficWeights {
+        TrafficWeights {
+            weights: vec![1.0; n],
+            total: n as f64,
+        }
+    }
+
+    /// Hypergiant-skewed weights following the interdomain traffic studies
+    /// the paper cites: content providers dominate, small CPs and large
+    /// transit ASes matter, stubs trail. (Absolute values are a modeling
+    /// choice; only ratios matter.)
+    pub fn cp_heavy(net: &Internet) -> TrafficWeights {
+        let n = net.len();
+        let mut weights = vec![1.0; n];
+        for i in 0..n {
+            let v = AsId(i as u32);
+            weights[i] = match net.tiers.tier(v) {
+                Tier::Cp => 400.0,
+                Tier::SmallCp => 25.0,
+                Tier::Tier1 | Tier::Tier2 => 10.0,
+                Tier::Tier3 | Tier::Smdg => 4.0,
+                Tier::StubX => 2.0,
+                Tier::Stub => 1.0,
+            };
+        }
+        let total = weights.iter().sum();
+        TrafficWeights { weights, total }
+    }
+
+    /// Custom weights (must match the graph size).
+    pub fn custom(weights: Vec<f64>) -> TrafficWeights {
+        let total = weights.iter().sum();
+        TrafficWeights { weights, total }
+    }
+
+    /// The weight of one AS.
+    #[inline]
+    pub fn weight(&self, v: AsId) -> f64 {
+        self.weights[v.index()]
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when no AS is covered.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weighted happy fraction of one outcome, as `(lower, upper)` bounds
+    /// over the tie-break.
+    pub fn weighted_happy(&self, outcome: &sbgp_core::Outcome) -> sbgp_core::Bounds {
+        let mut lower = 0.0;
+        let mut upper = 0.0;
+        let mut denom = 0.0;
+        for v in outcome.sources() {
+            let w = self.weight(v);
+            denom += w;
+            let f = outcome.flags(v);
+            if f.surely_happy() {
+                lower += w;
+            }
+            if f.may_reach_destination() {
+                upper += w;
+            }
+        }
+        sbgp_core::Bounds {
+            lower: lower / denom.max(f64::MIN_POSITIVE),
+            upper: upper / denom.max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_core::{AttackScenario, Deployment, Engine, Policy, SecurityModel};
+
+    #[test]
+    fn uniform_weights_reduce_to_the_paper_metric() {
+        let net = Internet::synthetic(600, 3);
+        let w = TrafficWeights::uniform(net.len());
+        let mut engine = Engine::new(&net.graph);
+        let dep = Deployment::empty(net.len());
+        let m = net.tiers.tier2()[0];
+        let d = net.content_providers[0];
+        let o = engine.compute(
+            AttackScenario::attack(m, d),
+            &dep,
+            Policy::new(SecurityModel::Security3rd),
+        );
+        let (lo, hi) = o.count_happy();
+        let sources = net.len() - 2;
+        let b = w.weighted_happy(o);
+        assert!((b.lower - lo as f64 / sources as f64).abs() < 1e-12);
+        assert!((b.upper - hi as f64 / sources as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cp_heavy_weights_skew_toward_content() {
+        let net = Internet::synthetic(600, 3);
+        let w = TrafficWeights::cp_heavy(&net);
+        let cp = net.content_providers[0];
+        let stub = net
+            .graph
+            .ases()
+            .find(|&v| net.tiers.tier(v) == Tier::Stub)
+            .unwrap();
+        assert!(w.weight(cp) > 100.0 * w.weight(stub) / 2.0);
+        assert!(w.total() > net.len() as f64);
+        assert_eq!(w.len(), net.len());
+    }
+
+    #[test]
+    fn custom_weights_are_respected() {
+        let w = TrafficWeights::custom(vec![1.0, 3.0]);
+        assert_eq!(w.total(), 4.0);
+        assert_eq!(w.weight(AsId(1)), 3.0);
+    }
+}

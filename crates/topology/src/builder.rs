@@ -1,0 +1,266 @@
+//! Validated construction of [`AsGraph`]s from edge lists.
+
+use std::collections::HashMap;
+
+use crate::error::TopologyError;
+use crate::graph::{AsGraph, AsId, Relationship};
+
+/// Incremental, validated builder for [`AsGraph`].
+///
+/// Duplicate declarations of the same relationship are idempotent;
+/// contradictory declarations (e.g. `a` peers `b` and `a` is provider of
+/// `b`) are rejected. Peering between two ASes that already have a
+/// customer/provider edge is likewise rejected — the routing models assume a
+/// single relationship per adjacency.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Relationship per normalized pair `(min, max)`; the flag records
+    /// whether `min` is the customer (`true`) or the provider (`false`) for
+    /// customer→provider edges.
+    edges: HashMap<(u32, u32), EdgeKind>,
+    asn_labels: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeKind {
+    /// `min` pair member is the customer of `max`.
+    MinIsCustomer,
+    /// `max` pair member is the customer of `min`.
+    MaxIsCustomer,
+    Peer,
+}
+
+impl GraphBuilder {
+    /// Create a builder for a graph of `n` ASes with ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: HashMap::new(),
+            asn_labels: Vec::new(),
+        }
+    }
+
+    /// Number of ASes this builder was created with.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the builder covers zero ASes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Attach real-world ASN labels (index = AS id). Lengths other than `n`
+    /// are rejected at [`build`](Self::build) time via truncation/padding
+    /// being refused — pass exactly `n` labels.
+    pub fn set_asn_labels(&mut self, labels: Vec<u32>) {
+        self.asn_labels = labels;
+    }
+
+    fn check(&self, a: AsId, b: AsId) -> Result<(), TopologyError> {
+        for id in [a, b] {
+            if id.index() >= self.n {
+                return Err(TopologyError::IdOutOfRange { id, len: self.n });
+            }
+        }
+        if a == b {
+            return Err(TopologyError::SelfLoop(a));
+        }
+        Ok(())
+    }
+
+    fn insert(&mut self, a: AsId, b: AsId, kind: EdgeKind) -> Result<(), TopologyError> {
+        self.check(a, b)?;
+        let (key, kind) = if a.0 <= b.0 {
+            ((a.0, b.0), kind)
+        } else {
+            let flipped = match kind {
+                EdgeKind::MinIsCustomer => EdgeKind::MaxIsCustomer,
+                EdgeKind::MaxIsCustomer => EdgeKind::MinIsCustomer,
+                EdgeKind::Peer => EdgeKind::Peer,
+            };
+            ((b.0, a.0), flipped)
+        };
+        match self.edges.insert(key, kind) {
+            None => Ok(()),
+            Some(prev) if prev == kind => Ok(()),
+            Some(_) => Err(TopologyError::ConflictingRelationship(a, b)),
+        }
+    }
+
+    /// Declare that `customer` buys transit from `provider`.
+    pub fn add_provider(&mut self, customer: AsId, provider: AsId) -> Result<(), TopologyError> {
+        self.insert(customer, provider, EdgeKind::MinIsCustomer)
+    }
+
+    /// Declare a settlement-free peering between `a` and `b`.
+    pub fn add_peering(&mut self, a: AsId, b: AsId) -> Result<(), TopologyError> {
+        self.insert(a, b, EdgeKind::Peer)
+    }
+
+    /// Declare an edge by [`Relationship`], read from `a`'s perspective
+    /// (`a` is the customer for [`Relationship::CustomerToProvider`]).
+    pub fn add_edge(
+        &mut self,
+        a: AsId,
+        b: AsId,
+        rel: Relationship,
+    ) -> Result<(), TopologyError> {
+        match rel {
+            Relationship::CustomerToProvider => self.add_provider(a, b),
+            Relationship::PeerToPeer => self.add_peering(a, b),
+        }
+    }
+
+    /// True when the pair already has an edge of any kind.
+    pub fn has_edge(&self, a: AsId, b: AsId) -> bool {
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.edges.contains_key(&key)
+    }
+
+    /// Finalize into a CSR [`AsGraph`].
+    pub fn build(self) -> AsGraph {
+        let n = self.n;
+        // Per-AS neighbor lists in the three classes.
+        let mut customers: Vec<Vec<AsId>> = vec![Vec::new(); n];
+        let mut peers: Vec<Vec<AsId>> = vec![Vec::new(); n];
+        let mut providers: Vec<Vec<AsId>> = vec![Vec::new(); n];
+        let mut num_c2p = 0usize;
+        let mut num_p2p = 0usize;
+
+        for (&(lo, hi), &kind) in &self.edges {
+            let (lo, hi) = (AsId(lo), AsId(hi));
+            match kind {
+                EdgeKind::MinIsCustomer => {
+                    // lo is customer of hi.
+                    providers[lo.index()].push(hi);
+                    customers[hi.index()].push(lo);
+                    num_c2p += 1;
+                }
+                EdgeKind::MaxIsCustomer => {
+                    providers[hi.index()].push(lo);
+                    customers[lo.index()].push(hi);
+                    num_c2p += 1;
+                }
+                EdgeKind::Peer => {
+                    peers[lo.index()].push(hi);
+                    peers[hi.index()].push(lo);
+                    num_p2p += 1;
+                }
+            }
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut cust_end = Vec::with_capacity(n);
+        let mut peer_end = Vec::with_capacity(n);
+        let mut neighbors = Vec::with_capacity(2 * (num_c2p + num_p2p));
+        offsets.push(0u32);
+        for v in 0..n {
+            customers[v].sort_unstable();
+            peers[v].sort_unstable();
+            providers[v].sort_unstable();
+            neighbors.extend_from_slice(&customers[v]);
+            cust_end.push(neighbors.len() as u32);
+            neighbors.extend_from_slice(&peers[v]);
+            peer_end.push(neighbors.len() as u32);
+            neighbors.extend_from_slice(&providers[v]);
+            offsets.push(neighbors.len() as u32);
+        }
+
+        let asn_labels = if self.asn_labels.len() == n {
+            self.asn_labels
+        } else {
+            Vec::new()
+        };
+
+        AsGraph {
+            offsets,
+            cust_end,
+            peer_end,
+            neighbors,
+            asn_labels,
+            num_c2p,
+            num_p2p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        let err = b.add_provider(AsId(0), AsId(5)).unwrap_err();
+        assert!(matches!(err, TopologyError::IdOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        let err = b.add_peering(AsId(1), AsId(1)).unwrap_err();
+        assert_eq!(err, TopologyError::SelfLoop(AsId(1)));
+    }
+
+    #[test]
+    fn duplicate_same_relationship_is_idempotent() {
+        let mut b = GraphBuilder::new(2);
+        b.add_provider(AsId(0), AsId(1)).unwrap();
+        b.add_provider(AsId(0), AsId(1)).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_customer_provider_edges(), 1);
+    }
+
+    #[test]
+    fn duplicate_reversed_declaration_conflicts() {
+        let mut b = GraphBuilder::new(2);
+        b.add_provider(AsId(0), AsId(1)).unwrap();
+        let err = b.add_provider(AsId(1), AsId(0)).unwrap_err();
+        assert!(matches!(err, TopologyError::ConflictingRelationship(..)));
+    }
+
+    #[test]
+    fn peering_conflicts_with_transit() {
+        let mut b = GraphBuilder::new(2);
+        b.add_peering(AsId(0), AsId(1)).unwrap();
+        let err = b.add_provider(AsId(0), AsId(1)).unwrap_err();
+        assert!(matches!(err, TopologyError::ConflictingRelationship(..)));
+    }
+
+    #[test]
+    fn symmetric_peering_declaration_is_idempotent() {
+        let mut b = GraphBuilder::new(2);
+        b.add_peering(AsId(0), AsId(1)).unwrap();
+        b.add_peering(AsId(1), AsId(0)).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_peer_edges(), 1);
+        assert_eq!(g.peers(AsId(0)), &[AsId(1)]);
+        assert_eq!(g.peers(AsId(1)), &[AsId(0)]);
+    }
+
+    #[test]
+    fn has_edge_sees_both_orders() {
+        let mut b = GraphBuilder::new(3);
+        b.add_provider(AsId(2), AsId(1)).unwrap();
+        assert!(b.has_edge(AsId(1), AsId(2)));
+        assert!(b.has_edge(AsId(2), AsId(1)));
+        assert!(!b.has_edge(AsId(0), AsId(1)));
+    }
+
+    #[test]
+    fn labels_survive_build() {
+        let mut b = GraphBuilder::new(2);
+        b.add_peering(AsId(0), AsId(1)).unwrap();
+        b.set_asn_labels(vec![3356, 174]);
+        let g = b.build();
+        assert_eq!(g.asn_label(AsId(0)), 3356);
+        assert_eq!(g.asn_label(AsId(1)), 174);
+    }
+}

@@ -1,0 +1,232 @@
+//! Customer cones and valley-free distances.
+//!
+//! Two structural quantities drive most of the paper's findings:
+//!
+//! * the **customer cone** of an AS — everyone reachable by walking
+//!   provider→customer edges down from it. Tier 1 attackers are weak
+//!   (§4.7) because only their cone can hear their announcement as a
+//!   customer/peer route; Tier 1 destinations are doomed (§4.6) because
+//!   *nobody* has them in a cone (their up-closure is empty);
+//! * the **valley-free distance** — the length of the shortest
+//!   export-compliant (customer chains up, at most one peer edge, provider
+//!   chains down) path, which is what the SP step compares and what makes
+//!   the bogus `"m, d"` announcement one hop worse than the truth.
+//!
+//! These are diagnostics over a plain graph (no routing policies applied),
+//! useful for calibrating synthetic topologies and explaining experiment
+//! results.
+
+use std::collections::VecDeque;
+
+use crate::{AsGraph, AsId, AsSet};
+
+/// Compute the customer cone of `root`: `root` itself plus every AS
+/// reachable via provider→customer edges. Returned as an [`AsSet`].
+pub fn customer_cone(graph: &AsGraph, root: AsId) -> AsSet {
+    let mut cone = AsSet::new(graph.len());
+    cone.insert(root);
+    let mut queue = vec![root];
+    while let Some(u) = queue.pop() {
+        for &c in graph.customers(u) {
+            if cone.insert(c) {
+                queue.push(c);
+            }
+        }
+    }
+    cone
+}
+
+/// Customer-cone sizes for every AS, in `O(V · cone)` worst case but
+/// computed with an upward frontier so typical hierarchies cost far less.
+/// For large graphs prefer calling [`customer_cone`] for the few ASes of
+/// interest.
+pub fn cone_sizes(graph: &AsGraph) -> Vec<usize> {
+    graph
+        .ases()
+        .map(|v| customer_cone(graph, v).count())
+        .collect()
+}
+
+/// State tracked by the valley-free BFS: how far down the "mountain" a
+/// path has come (per Gao–Rexford, a valley-free path is a sequence of
+/// customer→provider steps, at most one peer step, then
+/// provider→customer steps).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Phase {
+    /// Still climbing customer→provider edges.
+    Up = 0,
+    /// Used the single peer edge.
+    Peered = 1,
+    /// Descending provider→customer edges.
+    Down = 2,
+}
+
+/// Shortest valley-free distances **to** `destination` from every AS —
+/// i.e. the length of the best export-compliant AS path each source could
+/// use, ignoring routing policy preferences. `u32::MAX` marks sources with
+/// no valley-free path.
+///
+/// This is a 3-phase BFS over the reversed path: walking *backwards* from
+/// the destination, a path that a source can use climbs
+/// customer→provider first (seen from the destination side), crosses at
+/// most one peer edge, then descends.
+pub fn valley_free_distances(graph: &AsGraph, destination: AsId) -> Vec<u32> {
+    let n = graph.len();
+    // dist[phase][v]
+    let mut dist = vec![[u32::MAX; 3]; n];
+    let mut queue: VecDeque<(AsId, Phase)> = VecDeque::new();
+    dist[destination.index()][Phase::Up as usize] = 0;
+    queue.push_back((destination, Phase::Up));
+
+    while let Some((u, phase)) = queue.pop_front() {
+        let du = dist[u.index()][phase as usize];
+        let mut relax = |v: AsId, next_phase: Phase, queue: &mut VecDeque<(AsId, Phase)>| {
+            let slot = &mut dist[v.index()][next_phase as usize];
+            if *slot == u32::MAX {
+                *slot = du + 1;
+                queue.push_back((v, next_phase));
+            }
+        };
+        match phase {
+            Phase::Up => {
+                // Still on the customer-chain prefix (as seen from d):
+                // extend to providers, or take the one peer edge, or start
+                // descending.
+                for &p in graph.providers(u) {
+                    relax(p, Phase::Up, &mut queue);
+                }
+                for &q in graph.peers(u) {
+                    relax(q, Phase::Peered, &mut queue);
+                }
+                for &c in graph.customers(u) {
+                    relax(c, Phase::Down, &mut queue);
+                }
+            }
+            Phase::Peered | Phase::Down => {
+                for &c in graph.customers(u) {
+                    relax(c, Phase::Down, &mut queue);
+                }
+            }
+        }
+    }
+
+    dist.into_iter()
+        .map(|per_phase| per_phase.into_iter().min().unwrap_or(u32::MAX))
+        .collect()
+}
+
+/// Summary of a distance distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistanceStats {
+    /// Sources with a valley-free path.
+    pub reachable: usize,
+    /// Mean distance among reachable sources (excluding the destination).
+    pub mean: f64,
+    /// Maximum finite distance.
+    pub max: u32,
+}
+
+/// Summarize [`valley_free_distances`] output.
+pub fn distance_stats(distances: &[u32], destination: AsId) -> DistanceStats {
+    let mut reachable = 0usize;
+    let mut sum = 0u64;
+    let mut max = 0u32;
+    for (i, &d) in distances.iter().enumerate() {
+        if i == destination.index() || d == u32::MAX {
+            continue;
+        }
+        reachable += 1;
+        sum += d as u64;
+        max = max.max(d);
+    }
+    DistanceStats {
+        reachable,
+        mean: sum as f64 / reachable.max(1) as f64,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, InternetConfig};
+    use crate::GraphBuilder;
+
+    fn diamond() -> AsGraph {
+        // 0 at top; 1, 2 below it (peers of each other); 3 below both.
+        let mut b = GraphBuilder::new(4);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_provider(AsId(2), AsId(0)).unwrap();
+        b.add_peering(AsId(1), AsId(2)).unwrap();
+        b.add_provider(AsId(3), AsId(1)).unwrap();
+        b.add_provider(AsId(3), AsId(2)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn cones_match_hierarchy() {
+        let g = diamond();
+        let top = customer_cone(&g, AsId(0));
+        assert_eq!(top.count(), 4);
+        let mid = customer_cone(&g, AsId(1));
+        assert_eq!(mid.iter().collect::<Vec<_>>(), vec![AsId(1), AsId(3)]);
+        let leaf = customer_cone(&g, AsId(3));
+        assert_eq!(leaf.count(), 1);
+        assert_eq!(cone_sizes(&g), vec![4, 2, 2, 1]);
+    }
+
+    #[test]
+    fn valley_free_distances_respect_export() {
+        // d(0) peers a(1); a peers b(2): no valley-free path 2 -> 0
+        // (two peer edges). b's customer c(3): also unreachable.
+        let mut bld = GraphBuilder::new(4);
+        bld.add_peering(AsId(0), AsId(1)).unwrap();
+        bld.add_peering(AsId(1), AsId(2)).unwrap();
+        bld.add_provider(AsId(3), AsId(2)).unwrap();
+        let g = bld.build();
+        let d = valley_free_distances(&g, AsId(0));
+        assert_eq!(d[1], 1, "direct peer");
+        assert_eq!(d[2], u32::MAX, "peer-peer valley");
+        assert_eq!(d[3], u32::MAX);
+    }
+
+    #[test]
+    fn valley_free_distance_uses_one_peer_hop() {
+        let g = diamond();
+        let d = valley_free_distances(&g, AsId(1));
+        assert_eq!(d[0], 1, "provider of d");
+        assert_eq!(d[2], 1, "peer of d");
+        assert_eq!(d[3], 1, "customer of d");
+        // From 0 to 3? destination 3:
+        let d3 = valley_free_distances(&g, AsId(3));
+        assert_eq!(d3[1], 1);
+        assert_eq!(d3[0], 2, "down through 1 or 2");
+        assert_eq!(d3[2], 1);
+    }
+
+    #[test]
+    fn distances_agree_with_engine_route_lengths() {
+        // On a generated graph, the baseline engine's normal-conditions
+        // route lengths can never beat the valley-free distance (the
+        // engine respects LP, which may force longer routes, but never
+        // shorter-than-possible ones).
+        let net = generate(&InternetConfig::sized(600, 9));
+        let d = net.content_providers[0];
+        let dist = valley_free_distances(&net.graph, d);
+        let stats = distance_stats(&dist, d);
+        assert_eq!(stats.reachable, net.graph.len() - 1, "connected graph");
+        assert!(stats.mean > 1.0 && stats.mean < 10.0, "mean {}", stats.mean);
+        assert!(stats.max < 20);
+    }
+
+    #[test]
+    fn tier1_has_empty_up_closure_but_big_cone() {
+        // The §4.6 asymmetry in structural terms.
+        let net = generate(&InternetConfig::sized(1_000, 9));
+        let t1 = net.tier1[0];
+        let cone = customer_cone(&net.graph, t1);
+        assert!(cone.count() > 50, "T1 cone {}", cone.count());
+        // Nobody has a T1 in their cone except the T1 itself.
+        assert_eq!(net.graph.provider_degree(t1), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! IXP peering augmentation (the paper's §2.2 / Appendix J robustness graph).
+//!
+//! Empirical AS graphs miss most peer–peer links established at Internet
+//! eXchange Points. The paper constructs an upper bound on the missing
+//! peering by full-meshing every pair of ASes that are members of the same
+//! IXP (552 933 extra edges on the 2012 snapshot). We reproduce the
+//! construction with synthetic IXP member lists: a handful of very large
+//! exchanges and many small ones, membership skewed toward ASes that
+//! already peer (mid-tier ISPs, content providers, stubs-x).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{AsGraph, AsId, GraphBuilder};
+
+/// Configuration for [`augment_with_ixps`].
+#[derive(Clone, Debug)]
+pub struct IxpConfig {
+    /// Number of exchanges to synthesize (paper's member list: 332 IXPs).
+    pub ixp_count: usize,
+    /// Mean membership size; actual sizes follow a heavy-tailed draw so a
+    /// few exchanges are much larger (as with AMS-IX/DE-CIX in reality).
+    pub mean_members: usize,
+    /// RNG seed for membership sampling.
+    pub seed: u64,
+}
+
+impl Default for IxpConfig {
+    fn default() -> Self {
+        IxpConfig {
+            ixp_count: 40,
+            mean_members: 24,
+            seed: 0x1f9,
+        }
+    }
+}
+
+impl IxpConfig {
+    /// Scale the default configuration to a graph of `n` ASes, keeping the
+    /// paper's rough proportionality (332 IXPs / 10 835 memberships on a
+    /// 39 056-AS graph).
+    pub fn scaled_to(n: usize, seed: u64) -> Self {
+        IxpConfig {
+            ixp_count: (n / 120).max(4),
+            mean_members: 24,
+            seed,
+        }
+    }
+}
+
+/// Augment `graph` with full-mesh peering at synthetic IXPs.
+///
+/// Returns the augmented graph (AS ids unchanged) and the number of
+/// peer–peer edges added. Pairs already adjacent keep their existing
+/// relationship, exactly as in the paper ("connecting every pair of ASes
+/// present in the same IXP that were not already connected").
+pub fn augment_with_ixps(graph: &AsGraph, config: &IxpConfig) -> (AsGraph, usize) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = graph.len();
+
+    // Membership propensity: ASes that already peer, provide transit or
+    // multihome are the ones present at exchanges. Weight = 1 + peer degree
+    // + customer degree; pure single-homed stubs get weight 1 and are
+    // therefore rare members, matching reality.
+    let mut weights: Vec<u64> = Vec::with_capacity(n);
+    let mut total = 0u64;
+    for v in graph.ases() {
+        let w = 1 + 4 * graph.peer_degree(v) as u64 + 2 * graph.customer_degree(v) as u64;
+        total += w;
+        weights.push(total);
+    }
+
+    let mut b = GraphBuilder::new(n);
+    for (a, c, rel) in graph.edges() {
+        b.add_edge(a, c, rel).expect("copying existing edge");
+    }
+
+    let mut added = 0usize;
+    let mut members: Vec<AsId> = Vec::new();
+    for _ in 0..config.ixp_count {
+        // Heavy-tailed membership size: mean/2 .. ~6x mean.
+        let size = heavy_tailed_size(&mut rng, config.mean_members);
+        members.clear();
+        let mut guard = 0usize;
+        while members.len() < size && guard < 40 * size {
+            guard += 1;
+            let v = weighted_pick(&mut rng, &weights, total);
+            if !members.contains(&v) {
+                members.push(v);
+            }
+        }
+        // Full mesh among members (upper bound on real peering).
+        for i in 0..members.len() {
+            for j in 0..i {
+                if !b.has_edge(members[i], members[j]) {
+                    b.add_peering(members[i], members[j]).expect("ixp peer");
+                    added += 1;
+                }
+            }
+        }
+    }
+
+    (b.build(), added)
+}
+
+fn heavy_tailed_size(rng: &mut StdRng, mean: usize) -> usize {
+    // Pareto-ish: u^{-0.7} scaled so the median sits near `mean`.
+    let u: f64 = rng.random_range(0.05f64..1.0);
+    let scale = mean as f64 * 0.78;
+    (scale * u.powf(-0.7)).round().max(2.0) as usize
+}
+
+fn weighted_pick(rng: &mut StdRng, cumulative: &[u64], total: u64) -> AsId {
+    let x = rng.random_range(0..total);
+    let idx = cumulative.partition_point(|&c| c <= x);
+    AsId(idx as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::internet::{generate, InternetConfig};
+
+    #[test]
+    fn augmentation_only_adds_peer_edges() {
+        let base = generate(&InternetConfig::sized(1_500, 11)).graph;
+        let (aug, added) = augment_with_ixps(&base, &IxpConfig::scaled_to(1_500, 3));
+        assert!(added > 0, "no edges added");
+        assert_eq!(
+            aug.num_customer_provider_edges(),
+            base.num_customer_provider_edges()
+        );
+        assert_eq!(aug.num_peer_edges(), base.num_peer_edges() + added);
+        // Existing relationships are preserved verbatim.
+        for v in base.ases() {
+            assert_eq!(base.providers(v), aug.providers(v), "{v} providers");
+            assert_eq!(base.customers(v), aug.customers(v), "{v} customers");
+        }
+    }
+
+    #[test]
+    fn augmentation_is_deterministic() {
+        let base = generate(&InternetConfig::sized(800, 5)).graph;
+        let cfg = IxpConfig::scaled_to(800, 9);
+        let (a, na) = augment_with_ixps(&base, &cfg);
+        let (b, nb) = augment_with_ixps(&base, &cfg);
+        assert_eq!(na, nb);
+        for v in a.ases() {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn membership_is_biased_away_from_plain_stubs() {
+        let base = generate(&InternetConfig::sized(2_000, 13)).graph;
+        let (aug, _) = augment_with_ixps(&base, &IxpConfig::scaled_to(2_000, 1));
+        // Gained peerings per class.
+        let mut stub_gain = 0usize;
+        let mut other_gain = 0usize;
+        let mut stubs = 0usize;
+        let mut others = 0usize;
+        for v in base.ases() {
+            let gain = aug.peer_degree(v) - base.peer_degree(v);
+            if base.customer_degree(v) == 0 && base.peer_degree(v) == 0 {
+                stub_gain += gain;
+                stubs += 1;
+            } else {
+                other_gain += gain;
+                others += 1;
+            }
+        }
+        let stub_rate = stub_gain as f64 / stubs.max(1) as f64;
+        let other_rate = other_gain as f64 / others.max(1) as f64;
+        assert!(
+            other_rate > 4.0 * stub_rate,
+            "stub rate {stub_rate}, other rate {other_rate}"
+        );
+    }
+}

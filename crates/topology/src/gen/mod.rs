@@ -1,0 +1,19 @@
+//! Seeded synthetic topology generators.
+//!
+//! The paper runs on the UCLA Cyclops AS graph of 2012-09-24 (39 056 ASes,
+//! 73 442 customer→provider and 62 129 peer–peer links) and on an
+//! IXP-augmented variant with ~553 k extra peer edges. Neither snapshot is
+//! redistributable here, so [`internet`] builds a structurally equivalent
+//! graph: a Tier-1 clique, a preferential-attachment transit hierarchy, a
+//! small set of richly-peered content providers and an ~85 % stub edge —
+//! the features the paper's results actually depend on. [`ixp`] reproduces
+//! the Appendix J augmentation by synthesizing IXP memberships and
+//! full-meshing co-members.
+//!
+//! Everything is deterministic under the configured seed.
+
+pub mod internet;
+pub mod ixp;
+
+pub use internet::{generate, GeneratedInternet, InternetConfig};
+pub use ixp::{augment_with_ixps, IxpConfig};

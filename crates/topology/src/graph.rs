@@ -1,0 +1,356 @@
+//! The compact AS-level graph.
+
+use std::fmt;
+
+/// Identifier of an AS inside an [`AsGraph`].
+///
+/// Ids are dense indices `0..graph.len()`, *not* real-world AS numbers.
+/// Real ASNs from parsed relationship files are kept in
+/// [`AsGraph::asn_label`] so output can refer to them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AsId(pub u32);
+
+impl AsId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Business relationship of an edge, read from the first AS's perspective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Relationship {
+    /// The first AS pays the second for transit (customer → provider).
+    CustomerToProvider,
+    /// Settlement-free peering.
+    PeerToPeer,
+}
+
+/// How a neighbor relates to a given AS, from that AS's point of view.
+///
+/// This is the granularity at which the BGP decision process (the `LP` step
+/// of §2.2.1) ranks routes: routes learned from customers beat routes
+/// learned from peers beat routes learned from providers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NeighborClass {
+    /// The neighbor is a customer of this AS (it pays us).
+    Customer,
+    /// The neighbor is a settlement-free peer.
+    Peer,
+    /// The neighbor is a provider of this AS (we pay it).
+    Provider,
+}
+
+/// An immutable AS-level topology with business relationships.
+///
+/// Neighbors of every AS are stored in one flat array, grouped per AS into
+/// three contiguous, sorted segments — customers, then peers, then
+/// providers — so the routing engine can iterate exactly the class it needs
+/// (e.g. "all providers of the current BFS frontier") with no branching or
+/// hashing.
+///
+/// Construct via [`crate::GraphBuilder`], [`crate::gen`] or [`crate::io`].
+#[derive(Clone, Debug)]
+pub struct AsGraph {
+    /// `offsets[v]..cust_end[v]` — customers of `v` in `neighbors`.
+    pub(crate) offsets: Vec<u32>,
+    /// End (absolute index) of `v`'s customer segment.
+    pub(crate) cust_end: Vec<u32>,
+    /// End (absolute index) of `v`'s peer segment; providers run to
+    /// `offsets[v + 1]`.
+    pub(crate) peer_end: Vec<u32>,
+    /// Flat, per-segment-sorted neighbor array.
+    pub(crate) neighbors: Vec<AsId>,
+    /// Optional real-world AS numbers (one per id); empty for synthetic
+    /// graphs.
+    pub(crate) asn_labels: Vec<u32>,
+    /// Number of customer→provider edges.
+    pub(crate) num_c2p: usize,
+    /// Number of peer–peer edges.
+    pub(crate) num_p2p: usize,
+}
+
+impl AsGraph {
+    /// Number of ASes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the graph has no ASes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over all AS ids.
+    pub fn ases(&self) -> impl Iterator<Item = AsId> + '_ {
+        (0..self.len() as u32).map(AsId)
+    }
+
+    /// Number of customer→provider edges.
+    #[inline]
+    pub fn num_customer_provider_edges(&self) -> usize {
+        self.num_c2p
+    }
+
+    /// Number of peer–peer edges.
+    #[inline]
+    pub fn num_peer_edges(&self) -> usize {
+        self.num_p2p
+    }
+
+    /// Total number of (undirected) adjacencies.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_c2p + self.num_p2p
+    }
+
+    /// The customers of `v` (sorted by id).
+    #[inline]
+    pub fn customers(&self, v: AsId) -> &[AsId] {
+        let i = v.index();
+        &self.neighbors[self.offsets[i] as usize..self.cust_end[i] as usize]
+    }
+
+    /// The peers of `v` (sorted by id).
+    #[inline]
+    pub fn peers(&self, v: AsId) -> &[AsId] {
+        let i = v.index();
+        &self.neighbors[self.cust_end[i] as usize..self.peer_end[i] as usize]
+    }
+
+    /// The providers of `v` (sorted by id).
+    #[inline]
+    pub fn providers(&self, v: AsId) -> &[AsId] {
+        let i = v.index();
+        &self.neighbors[self.peer_end[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// All neighbors of `v` regardless of class.
+    #[inline]
+    pub fn neighbors(&self, v: AsId) -> &[AsId] {
+        let i = v.index();
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Neighbors of `v` in a given class.
+    pub fn neighbors_in_class(&self, v: AsId, class: NeighborClass) -> &[AsId] {
+        match class {
+            NeighborClass::Customer => self.customers(v),
+            NeighborClass::Peer => self.peers(v),
+            NeighborClass::Provider => self.providers(v),
+        }
+    }
+
+    /// Number of customers of `v` ("customer degree", the paper's measure of
+    /// AS size).
+    #[inline]
+    pub fn customer_degree(&self, v: AsId) -> usize {
+        self.customers(v).len()
+    }
+
+    /// Number of peers of `v` ("peering degree").
+    #[inline]
+    pub fn peer_degree(&self, v: AsId) -> usize {
+        self.peers(v).len()
+    }
+
+    /// Number of providers of `v`.
+    #[inline]
+    pub fn provider_degree(&self, v: AsId) -> usize {
+        self.providers(v).len()
+    }
+
+    /// Total degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: AsId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// How `to` relates to `from`, if they are adjacent.
+    ///
+    /// Runs a binary search in each of `from`'s (sorted) segments.
+    pub fn classify(&self, from: AsId, to: AsId) -> Option<NeighborClass> {
+        if self.customers(from).binary_search(&to).is_ok() {
+            Some(NeighborClass::Customer)
+        } else if self.peers(from).binary_search(&to).is_ok() {
+            Some(NeighborClass::Peer)
+        } else if self.providers(from).binary_search(&to).is_ok() {
+            Some(NeighborClass::Provider)
+        } else {
+            None
+        }
+    }
+
+    /// True when `a` and `b` share an edge of any kind.
+    pub fn are_adjacent(&self, a: AsId, b: AsId) -> bool {
+        self.classify(a, b).is_some()
+    }
+
+    /// The real-world ASN label for `v`, when the graph was parsed from a
+    /// relationship file. Synthetic graphs label each AS with its own id.
+    pub fn asn_label(&self, v: AsId) -> u32 {
+        if self.asn_labels.is_empty() {
+            v.0
+        } else {
+            self.asn_labels[v.index()]
+        }
+    }
+
+    /// Iterate over every edge once, as `(a, b, relationship)` with the
+    /// relationship read from `a`'s side (`a` is the customer for
+    /// [`Relationship::CustomerToProvider`]; for peering, `a < b`).
+    pub fn edges(&self) -> impl Iterator<Item = (AsId, AsId, Relationship)> + '_ {
+        self.ases().flat_map(move |v| {
+            let provs = self
+                .providers(v)
+                .iter()
+                .map(move |&p| (v, p, Relationship::CustomerToProvider));
+            let peers = self
+                .peers(v)
+                .iter()
+                .filter(move |&&p| v < p)
+                .map(move |&p| (v, p, Relationship::PeerToPeer));
+            provs.chain(peers)
+        })
+    }
+
+    /// True when the customer→provider edges form a DAG (no AS is,
+    /// transitively, its own provider). The Gao–Rexford stability conditions
+    /// assume this; all generated graphs satisfy it by construction and
+    /// parsed graphs can be checked with this method.
+    pub fn provider_hierarchy_is_acyclic(&self) -> bool {
+        // Kahn's algorithm over customer→provider edges.
+        let n = self.len();
+        let mut indeg = vec![0u32; n]; // number of customers (incoming in provider direction)
+        for v in self.ases() {
+            indeg[v.index()] = self.customer_degree(v) as u32;
+        }
+        let mut queue: Vec<AsId> = self.ases().filter(|&v| indeg[v.index()] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &p in self.providers(v) {
+                indeg[p.index()] -= 1;
+                if indeg[p.index()] == 0 {
+                    queue.push(p);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// True when the graph is connected, ignoring edge directions.
+    pub fn is_connected(&self) -> bool {
+        let n = self.len();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![AsId(0)];
+        seen[0] = true;
+        let mut count = 0usize;
+        while let Some(v) = stack.pop() {
+            count += 1;
+            for &u in self.neighbors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> AsGraph {
+        // 0 is provider of 1 and 2; 1 and 2 peer; 3 is customer of both 1 and 2.
+        let mut b = GraphBuilder::new(4);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_provider(AsId(2), AsId(0)).unwrap();
+        b.add_peering(AsId(1), AsId(2)).unwrap();
+        b.add_provider(AsId(3), AsId(1)).unwrap();
+        b.add_provider(AsId(3), AsId(2)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn segments_are_consistent() {
+        let g = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.customers(AsId(0)), &[AsId(1), AsId(2)]);
+        assert_eq!(g.providers(AsId(0)), &[] as &[AsId]);
+        assert_eq!(g.peers(AsId(1)), &[AsId(2)]);
+        assert_eq!(g.providers(AsId(3)), &[AsId(1), AsId(2)]);
+        assert_eq!(g.customers(AsId(3)), &[] as &[AsId]);
+        assert_eq!(g.num_customer_provider_edges(), 4);
+        assert_eq!(g.num_peer_edges(), 1);
+    }
+
+    #[test]
+    fn classify_is_symmetric_in_the_right_way() {
+        let g = diamond();
+        assert_eq!(g.classify(AsId(0), AsId(1)), Some(NeighborClass::Customer));
+        assert_eq!(g.classify(AsId(1), AsId(0)), Some(NeighborClass::Provider));
+        assert_eq!(g.classify(AsId(1), AsId(2)), Some(NeighborClass::Peer));
+        assert_eq!(g.classify(AsId(2), AsId(1)), Some(NeighborClass::Peer));
+        assert_eq!(g.classify(AsId(0), AsId(3)), None);
+    }
+
+    #[test]
+    fn edge_iterator_visits_each_edge_once() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        let c2p = edges
+            .iter()
+            .filter(|(_, _, r)| *r == Relationship::CustomerToProvider)
+            .count();
+        assert_eq!(c2p, 4);
+    }
+
+    #[test]
+    fn acyclic_and_connected() {
+        let g = diamond();
+        assert!(g.provider_hierarchy_is_acyclic());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn cycle_detection_finds_provider_loops() {
+        let mut b = GraphBuilder::new(3);
+        b.add_provider(AsId(0), AsId(1)).unwrap();
+        b.add_provider(AsId(1), AsId(2)).unwrap();
+        b.add_provider(AsId(2), AsId(0)).unwrap();
+        let g = b.build();
+        assert!(!g.provider_hierarchy_is_acyclic());
+    }
+
+    #[test]
+    fn degree_accessors() {
+        let g = diamond();
+        assert_eq!(g.customer_degree(AsId(0)), 2);
+        assert_eq!(g.peer_degree(AsId(1)), 1);
+        assert_eq!(g.provider_degree(AsId(3)), 2);
+        assert_eq!(g.degree(AsId(1)), 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! CAIDA serial-1 relationship-file I/O.
+//!
+//! Format (one edge per line, `#` comments):
+//!
+//! ```text
+//! <provider-asn>|<customer-asn>|-1
+//! <peer-asn>|<peer-asn>|0
+//! ```
+//!
+//! Real-world ASNs are remapped to dense [`AsId`]s in first-appearance
+//! order; the original numbers are preserved as [`AsGraph::asn_label`]s.
+//! This is the format of CAIDA's `as-rel` releases and of the UCLA Cyclops
+//! snapshots the paper used, so published snapshots can be dropped in as a
+//! replacement for the synthetic generator.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use crate::{AsGraph, AsId, GraphBuilder, Relationship, TopologyError};
+
+/// Parse a serial-1 relationship document from any reader.
+pub fn parse_relationships<R: Read>(reader: R) -> Result<AsGraph, TopologyError> {
+    let reader = BufReader::new(reader);
+    let mut ids: HashMap<u32, AsId> = HashMap::new();
+    let mut labels: Vec<u32> = Vec::new();
+    let mut edges: Vec<(AsId, AsId, Relationship)> = Vec::new();
+
+    let mut intern = |asn: u32, labels: &mut Vec<u32>| -> AsId {
+        *ids.entry(asn).or_insert_with(|| {
+            let id = AsId(labels.len() as u32);
+            labels.push(asn);
+            id
+        })
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('|');
+        let (a, b, rel) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), Some(rel)) => (a, b, rel),
+            _ => {
+                return Err(TopologyError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected 'a|b|rel', got {line:?}"),
+                })
+            }
+        };
+        let parse_asn = |s: &str| -> Result<u32, TopologyError> {
+            s.trim().parse().map_err(|_| TopologyError::Parse {
+                line: lineno + 1,
+                message: format!("bad ASN {s:?}"),
+            })
+        };
+        let a = parse_asn(a)?;
+        let b = parse_asn(b)?;
+        let a = intern(a, &mut labels);
+        let b = intern(b, &mut labels);
+        match rel.trim() {
+            // serial-1: "a|b|-1" means a is the *provider* of b.
+            "-1" => edges.push((b, a, Relationship::CustomerToProvider)),
+            "0" => edges.push((a, b, Relationship::PeerToPeer)),
+            other => {
+                return Err(TopologyError::Parse {
+                    line: lineno + 1,
+                    message: format!("unknown relationship code {other:?}"),
+                })
+            }
+        }
+    }
+
+    let mut builder = GraphBuilder::new(labels.len());
+    builder.set_asn_labels(labels);
+    for (a, b, rel) in edges {
+        builder.add_edge(a, b, rel)?;
+    }
+    Ok(builder.build())
+}
+
+/// Parse a serial-1 relationship file from disk.
+pub fn read_relationships_file(path: &Path) -> Result<AsGraph, TopologyError> {
+    let file = std::fs::File::open(path)?;
+    parse_relationships(file)
+}
+
+/// Serialize `graph` to serial-1 text (using ASN labels when present).
+pub fn write_relationships(graph: &AsGraph) -> String {
+    let mut out = String::new();
+    out.push_str("# serial-1 AS relationships: <provider>|<customer>|-1, <peer>|<peer>|0\n");
+    for (a, b, rel) in graph.edges() {
+        let (la, lb) = (graph.asn_label(a), graph.asn_label(b));
+        match rel {
+            // `a` is the customer in our edge iterator.
+            Relationship::CustomerToProvider => {
+                writeln!(out, "{lb}|{la}|-1").expect("string write")
+            }
+            Relationship::PeerToPeer => writeln!(out, "{la}|{lb}|0").expect("string write"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, InternetConfig};
+
+    const SAMPLE: &str = "\
+# a comment
+3356|21740|-1
+174|21740|0
+
+3356|174|0
+701|3356|-1
+";
+
+    #[test]
+    fn parses_sample() {
+        let g = parse_relationships(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_customer_provider_edges(), 2);
+        assert_eq!(g.num_peer_edges(), 2);
+        // Find ids via labels.
+        let id_of = |asn: u32| g.ases().find(|&v| g.asn_label(v) == asn).unwrap();
+        let (l3, enom, cogent, uunet) = (id_of(3356), id_of(21740), id_of(174), id_of(701));
+        assert_eq!(g.providers(enom), &[l3]);
+        assert!(g.peers(enom).contains(&cogent));
+        assert!(g.peers(l3).contains(&cogent));
+        assert_eq!(g.providers(l3), &[uunet]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            parse_relationships("1|2".as_bytes()),
+            Err(TopologyError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_relationships("1|2|7".as_bytes()),
+            Err(TopologyError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_relationships("x|2|0".as_bytes()),
+            Err(TopologyError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_conflicts() {
+        let doc = "1|2|-1\n2|1|-1\n";
+        assert!(matches!(
+            parse_relationships(doc.as_bytes()),
+            Err(TopologyError::ConflictingRelationship(..))
+        ));
+    }
+
+    #[test]
+    fn round_trips_generated_graph() {
+        let g = generate(&InternetConfig::sized(600, 3)).graph;
+        let text = write_relationships(&g);
+        let g2 = parse_relationships(text.as_bytes()).unwrap();
+        assert_eq!(g.len(), g2.len());
+        assert_eq!(
+            g.num_customer_provider_edges(),
+            g2.num_customer_provider_edges()
+        );
+        assert_eq!(g.num_peer_edges(), g2.num_peer_edges());
+        // Compare adjacency via labels (ids may be permuted).
+        let mut to_g2 = std::collections::HashMap::new();
+        for v in g2.ases() {
+            to_g2.insert(g2.asn_label(v), v);
+        }
+        for v in g.ases() {
+            let v2 = to_g2[&g.asn_label(v)];
+            let mut provs: Vec<u32> = g.providers(v).iter().map(|&p| g.asn_label(p)).collect();
+            let mut provs2: Vec<u32> =
+                g2.providers(v2).iter().map(|&p| g2.asn_label(p)).collect();
+            provs.sort_unstable();
+            provs2.sort_unstable();
+            assert_eq!(provs, provs2, "{v} providers");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! AS-level topology substrate for the SIGCOMM'13 "Is the Juice Worth the
+//! Squeeze?" reproduction.
+//!
+//! This crate provides everything the routing layers need to know about the
+//! Internet's structure:
+//!
+//! * [`AsGraph`] — a compact, immutable AS-level graph annotated with
+//!   Gao–Rexford business relationships (customer→provider and peer–peer),
+//!   stored in CSR form so the routing engine can walk neighbor classes
+//!   without hashing.
+//! * [`GraphBuilder`] — validated construction from edge lists.
+//! * [`tier`] — the paper's Table 1 taxonomy (Tier 1/2/3, content providers,
+//!   small content providers, stubs, stubs-x, SMDG).
+//! * [`gen`] — seeded synthetic Internet generators calibrated to the
+//!   UCLA 2012 snapshot used by the paper, plus IXP peering augmentation
+//!   (the paper's Appendix J robustness graph).
+//! * [`io`] — CAIDA serial-1 relationship-file parsing and serialization, so
+//!   real snapshots can be substituted for the synthetic graphs.
+//! * [`cone`] — customer cones and valley-free distances, the structural
+//!   quantities behind the paper's Tier-1 findings.
+//! * [`prune`] — the paper's §2.2 preprocessing (recursive removal of
+//!   provider-less low-degree ASes).
+//! * [`AsSet`] — a dense bitset over AS ids shared by all downstream crates
+//!   (deployment sets, visited sets, ...).
+//!
+//! The graph is deliberately a plain data structure: no interior mutability,
+//! no lifetimes beyond a shared borrow, no macro tricks. Everything the
+//! routing engine touches per-(attacker, destination) run is an index into a
+//! flat array.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod set;
+
+pub mod cone;
+pub mod gen;
+pub mod io;
+pub mod prune;
+pub mod stats;
+pub mod tier;
+
+pub use builder::GraphBuilder;
+pub use error::TopologyError;
+pub use graph::{AsGraph, AsId, NeighborClass, Relationship};
+pub use set::AsSet;

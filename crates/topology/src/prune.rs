@@ -1,0 +1,189 @@
+//! Graph preprocessing per the paper's §2.2.
+//!
+//! The paper prepared the UCLA snapshot by "recursively removing all ASes
+//! that had no providers \[and\] had low degree (and were not Tier 1 ISPs)".
+//! [`prune_orphans`] implements exactly that fixpoint; [`largest_component`]
+//! restricts a graph to its largest connected component, which published
+//! snapshots occasionally need.
+
+use crate::{AsGraph, AsId, GraphBuilder};
+
+/// Result of a pruning pass: the reduced graph and, for each new id, the id
+/// it had in the input graph.
+#[derive(Clone, Debug)]
+pub struct Pruned {
+    /// The reduced graph.
+    pub graph: AsGraph,
+    /// `old_id[new.index()]` is the input-graph id of each surviving AS.
+    pub old_id: Vec<AsId>,
+}
+
+impl Pruned {
+    /// Map an input-graph id to the pruned graph, if it survived.
+    pub fn new_id(&self, old: AsId) -> Option<AsId> {
+        // old_id is sorted because retained ids keep their relative order.
+        self.old_id
+            .binary_search(&old)
+            .ok()
+            .map(|i| AsId(i as u32))
+    }
+}
+
+/// Recursively remove provider-less ASes whose total degree is below
+/// `min_degree`, never removing ids listed in `keep` (the Tier-1 clique).
+pub fn prune_orphans(graph: &AsGraph, min_degree: usize, keep: &[AsId]) -> Pruned {
+    let n = graph.len();
+    let mut removed = vec![false; n];
+    let mut keep_mask = vec![false; n];
+    for &k in keep {
+        keep_mask[k.index()] = true;
+    }
+
+    // Fixpoint: removing an AS lowers neighbors' degrees and can orphan
+    // ASes whose only provider was removed.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in graph.ases() {
+            if removed[v.index()] || keep_mask[v.index()] {
+                continue;
+            }
+            let provider_count = graph
+                .providers(v)
+                .iter()
+                .filter(|p| !removed[p.index()])
+                .count();
+            let degree = graph
+                .neighbors(v)
+                .iter()
+                .filter(|u| !removed[u.index()])
+                .count();
+            if provider_count == 0 && degree < min_degree {
+                removed[v.index()] = true;
+                changed = true;
+            }
+        }
+    }
+
+    rebuild(graph, &removed)
+}
+
+/// Restrict `graph` to its largest connected component.
+pub fn largest_component(graph: &AsGraph) -> Pruned {
+    let n = graph.len();
+    let mut comp = vec![u32::MAX; n];
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut stack = Vec::new();
+    for v in graph.ases() {
+        if comp[v.index()] != u32::MAX {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        sizes.push(0);
+        comp[v.index()] = c;
+        stack.push(v);
+        while let Some(u) = stack.pop() {
+            sizes[c as usize] += 1;
+            for &w in graph.neighbors(u) {
+                if comp[w.index()] == u32::MAX {
+                    comp[w.index()] = c;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    let biggest = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0);
+    let removed: Vec<bool> = comp.iter().map(|&c| c != biggest).collect();
+    rebuild(graph, &removed)
+}
+
+fn rebuild(graph: &AsGraph, removed: &[bool]) -> Pruned {
+    let mut old_id = Vec::new();
+    let mut new_id = vec![AsId(u32::MAX); graph.len()];
+    for v in graph.ases() {
+        if !removed[v.index()] {
+            new_id[v.index()] = AsId(old_id.len() as u32);
+            old_id.push(v);
+        }
+    }
+    let mut b = GraphBuilder::new(old_id.len());
+    let labels: Vec<u32> = old_id.iter().map(|&v| graph.asn_label(v)).collect();
+    b.set_asn_labels(labels);
+    for (a, c, rel) in graph.edges() {
+        if !removed[a.index()] && !removed[c.index()] {
+            b.add_edge(new_id[a.index()], new_id[c.index()], rel)
+                .expect("rebuilding pruned graph");
+        }
+    }
+    Pruned {
+        graph: b.build(),
+        old_id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1 form a peered core; 2 hangs off 0; 3 and 4 are provider-less
+    /// low-degree orphans (4 only connected to 3).
+    fn orphan_graph() -> AsGraph {
+        let mut b = GraphBuilder::new(5);
+        b.add_peering(AsId(0), AsId(1)).unwrap();
+        b.add_provider(AsId(2), AsId(0)).unwrap();
+        b.add_peering(AsId(3), AsId(1)).unwrap();
+        b.add_provider(AsId(4), AsId(3)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn prune_removes_orphans_recursively() {
+        let g = orphan_graph();
+        // 3 has no providers and degree 2 (< 3): removed. That orphans 4
+        // (its only provider was 3, degree drops to 0): removed too.
+        let pruned = prune_orphans(&g, 3, &[AsId(0), AsId(1)]);
+        assert_eq!(pruned.graph.len(), 3);
+        assert_eq!(pruned.old_id, vec![AsId(0), AsId(1), AsId(2)]);
+        assert_eq!(pruned.new_id(AsId(2)), Some(AsId(2)));
+        assert_eq!(pruned.new_id(AsId(3)), None);
+    }
+
+    #[test]
+    fn keep_list_protects_tier1() {
+        let g = orphan_graph();
+        let pruned = prune_orphans(&g, 3, &[AsId(0), AsId(1), AsId(3)]);
+        // 3 survives, so 4 keeps its provider; but 4 itself has no
+        // providers? No: 4's provider is 3, which survives, so 4 stays.
+        assert_eq!(pruned.graph.len(), 5);
+    }
+
+    #[test]
+    fn largest_component_selected() {
+        let mut b = GraphBuilder::new(6);
+        b.add_peering(AsId(0), AsId(1)).unwrap();
+        b.add_provider(AsId(2), AsId(0)).unwrap();
+        b.add_peering(AsId(3), AsId(4)).unwrap();
+        // 5 is isolated.
+        let g = b.build();
+        let lc = largest_component(&g);
+        assert_eq!(lc.graph.len(), 3);
+        assert_eq!(lc.old_id, vec![AsId(0), AsId(1), AsId(2)]);
+    }
+
+    #[test]
+    fn labels_follow_pruning() {
+        let mut b = GraphBuilder::new(3);
+        b.set_asn_labels(vec![100, 200, 300]);
+        b.add_peering(AsId(0), AsId(1)).unwrap();
+        // 2 isolated.
+        let g = b.build();
+        let lc = largest_component(&g);
+        assert_eq!(lc.graph.asn_label(AsId(0)), 100);
+        assert_eq!(lc.graph.asn_label(AsId(1)), 200);
+    }
+}

@@ -1,0 +1,193 @@
+//! A dense bitset over AS ids.
+
+use std::fmt;
+
+use crate::AsId;
+
+/// Dense bitset keyed by [`AsId`], used for deployment sets, visited marks
+/// and sampling masks throughout the workspace.
+#[derive(Clone, PartialEq, Eq)]
+pub struct AsSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AsSet {
+    /// An empty set over a universe of `n` ASes.
+    pub fn new(n: usize) -> Self {
+        AsSet {
+            words: vec![0; n.div_ceil(64)],
+            len: n,
+        }
+    }
+
+    /// A set containing every AS of an `n`-AS universe.
+    pub fn full(n: usize) -> Self {
+        let mut s = AsSet::new(n);
+        for i in 0..n {
+            s.insert(AsId(i as u32));
+        }
+        s
+    }
+
+    /// Build from an iterator of members.
+    pub fn from_iter(n: usize, iter: impl IntoIterator<Item = AsId>) -> Self {
+        let mut s = AsSet::new(n);
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Size of the universe (not the membership count).
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Insert `id`; returns true when it was newly inserted.
+    pub fn insert(&mut self, id: AsId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Remove `id`; returns true when it was present.
+    pub fn remove(&mut self, id: AsId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: AsId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no AS is a member.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Remove all members, keeping the universe size.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &AsSet) {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place set difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &AsSet) {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &AsSet) {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Iterate over members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = AsId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    Some(AsId((wi * 64) as u32 + b))
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for AsSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<AsId> for AsSet {
+    /// Collect into a set whose universe is just large enough for the
+    /// largest member. Prefer [`AsSet::from_iter`] with an explicit universe
+    /// when interoperating with a graph.
+    fn from_iter<T: IntoIterator<Item = AsId>>(iter: T) -> Self {
+        let ids: Vec<AsId> = iter.into_iter().collect();
+        let n = ids.iter().map(|id| id.index() + 1).max().unwrap_or(0);
+        AsSet::from_iter(n, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = AsSet::new(130);
+        assert!(s.insert(AsId(0)));
+        assert!(s.insert(AsId(64)));
+        assert!(s.insert(AsId(129)));
+        assert!(!s.insert(AsId(129)));
+        assert!(s.contains(AsId(64)));
+        assert!(!s.contains(AsId(63)));
+        assert_eq!(s.count(), 3);
+        assert!(s.remove(AsId(64)));
+        assert!(!s.remove(AsId(64)));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let members = [AsId(5), AsId(64), AsId(65), AsId(127), AsId(128)];
+        let s = AsSet::from_iter(200, members);
+        let got: Vec<AsId> = s.iter().collect();
+        assert_eq!(got, members);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = AsSet::from_iter(10, [AsId(1), AsId(2), AsId(3)]);
+        let b = AsSet::from_iter(10, [AsId(3), AsId(4)]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 4);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![AsId(1), AsId(2)]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![AsId(3)]);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = AsSet::full(70);
+        assert_eq!(s.count(), 70);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.universe(), 70);
+    }
+}

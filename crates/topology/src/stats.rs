@@ -1,0 +1,132 @@
+//! Topology summary statistics (for reports and generator calibration).
+
+use std::fmt;
+
+use crate::tier::{Tier, TierMap, FIGURE_TIER_ORDER};
+use crate::AsGraph;
+
+/// Summary statistics of an AS graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of ASes.
+    pub ases: usize,
+    /// Customer→provider edge count.
+    pub c2p_edges: usize,
+    /// Peer–peer edge count.
+    pub p2p_edges: usize,
+    /// Number of stub ASes (no customers, no peers).
+    pub stubs: usize,
+    /// Number of stub-x ASes (no customers, some peers).
+    pub stubs_x: usize,
+    /// Maximum customer degree.
+    pub max_customer_degree: usize,
+    /// Maximum peer degree.
+    pub max_peer_degree: usize,
+    /// Mean providers per AS that has any provider.
+    pub mean_providers: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics for `graph`.
+    pub fn compute(graph: &AsGraph) -> GraphStats {
+        let mut stubs = 0;
+        let mut stubs_x = 0;
+        let mut max_cd = 0;
+        let mut max_pd = 0;
+        let mut prov_sum = 0usize;
+        let mut prov_count = 0usize;
+        for v in graph.ases() {
+            let cd = graph.customer_degree(v);
+            let pd = graph.peer_degree(v);
+            let pr = graph.provider_degree(v);
+            if cd == 0 {
+                if pd == 0 {
+                    stubs += 1;
+                } else {
+                    stubs_x += 1;
+                }
+            }
+            max_cd = max_cd.max(cd);
+            max_pd = max_pd.max(pd);
+            if pr > 0 {
+                prov_sum += pr;
+                prov_count += 1;
+            }
+        }
+        GraphStats {
+            ases: graph.len(),
+            c2p_edges: graph.num_customer_provider_edges(),
+            p2p_edges: graph.num_peer_edges(),
+            stubs,
+            stubs_x,
+            max_customer_degree: max_cd,
+            max_peer_degree: max_pd,
+            mean_providers: prov_sum as f64 / prov_count.max(1) as f64,
+        }
+    }
+
+    /// Fraction of ASes that are stubs of either kind.
+    pub fn stub_share(&self) -> f64 {
+        (self.stubs + self.stubs_x) as f64 / self.ases.max(1) as f64
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ASes:              {}", self.ases)?;
+        writeln!(f, "c2p edges:         {}", self.c2p_edges)?;
+        writeln!(f, "p2p edges:         {}", self.p2p_edges)?;
+        writeln!(
+            f,
+            "stubs / stubs-x:   {} / {} ({:.1}% of ASes)",
+            self.stubs,
+            self.stubs_x,
+            100.0 * self.stub_share()
+        )?;
+        writeln!(f, "max cust degree:   {}", self.max_customer_degree)?;
+        writeln!(f, "max peer degree:   {}", self.max_peer_degree)?;
+        write!(f, "mean providers:    {:.2}", self.mean_providers)
+    }
+}
+
+/// Per-tier AS counts in the paper's figure order.
+pub fn tier_census(tiers: &TierMap, n: usize) -> Vec<(Tier, usize)> {
+    let mut counts = FIGURE_TIER_ORDER
+        .iter()
+        .map(|&t| (t, 0usize))
+        .collect::<Vec<_>>();
+    for i in 0..n {
+        let t = tiers.tier(crate::AsId(i as u32));
+        let slot = counts.iter_mut().find(|(tt, _)| *tt == t).expect("tier");
+        slot.1 += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, InternetConfig};
+    use crate::tier::TierMap;
+
+    #[test]
+    fn stats_add_up() {
+        let gen = generate(&InternetConfig::sized(1_200, 21));
+        let s = GraphStats::compute(&gen.graph);
+        assert_eq!(s.ases, 1_200);
+        assert_eq!(s.c2p_edges, gen.graph.num_customer_provider_edges());
+        assert!(s.stub_share() > 0.7);
+        assert!(s.mean_providers >= 1.0);
+        let shown = s.to_string();
+        assert!(shown.contains("ASes:"));
+    }
+
+    #[test]
+    fn census_covers_everyone() {
+        let gen = generate(&InternetConfig::sized(1_200, 21));
+        let tiers = TierMap::classify(&gen.graph, &gen.tier_config());
+        let census = tier_census(&tiers, gen.graph.len());
+        let total: usize = census.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 1_200);
+    }
+}

@@ -1,0 +1,107 @@
+//! Collateral damage and collateral benefit (§6.1, Figures 14/15/17):
+//! securing *other* ASes can flip an insecure bystander's fate — in both
+//! directions.
+//!
+//! ```text
+//! cargo run --release --example collateral
+//! ```
+
+use bgp_juice::prelude::*;
+
+/// Figure 14's mechanism: a secure AS `a` switches to a longer secure
+/// route, stretching its customer `s`'s legitimate path past the bogus one.
+fn damage_gadget() -> (AsGraph, Deployment, AsId, AsId, AsId) {
+    // ids: 0=d, 1..3 secure chain (r, q, p2), 4=p1, 5=a, 6=s (bystander),
+    // 7=b, 8=x, 9=m.
+    let mut b = GraphBuilder::new(10);
+    b.add_provider(AsId(0), AsId(1)).unwrap();
+    b.add_provider(AsId(1), AsId(2)).unwrap();
+    b.add_provider(AsId(2), AsId(3)).unwrap();
+    b.add_provider(AsId(0), AsId(4)).unwrap();
+    b.add_provider(AsId(5), AsId(3)).unwrap();
+    b.add_provider(AsId(5), AsId(4)).unwrap();
+    b.add_provider(AsId(6), AsId(5)).unwrap();
+    b.add_provider(AsId(6), AsId(7)).unwrap();
+    b.add_provider(AsId(8), AsId(7)).unwrap();
+    b.add_provider(AsId(9), AsId(8)).unwrap();
+    let graph = b.build();
+    let deployment =
+        Deployment::full_from_iter(10, [AsId(0), AsId(1), AsId(2), AsId(3), AsId(5)]);
+    (graph, deployment, AsId(9), AsId(0), AsId(6))
+}
+
+/// Figure 15's mechanism: securing the legitimate side tips a tie-break,
+/// and an insecure customer below inherits the win.
+fn benefit_gadget() -> (AsGraph, Deployment, AsId, AsId, AsId) {
+    // ids: 0=d, 6=w, 2=pd, 3=pm, 4=m, 1=x (torn), 5=c (beneficiary).
+    let mut b = GraphBuilder::new(7);
+    b.add_provider(AsId(0), AsId(6)).unwrap();
+    b.add_provider(AsId(6), AsId(2)).unwrap();
+    b.add_provider(AsId(4), AsId(3)).unwrap();
+    b.add_peering(AsId(1), AsId(2)).unwrap();
+    b.add_peering(AsId(1), AsId(3)).unwrap();
+    b.add_provider(AsId(5), AsId(1)).unwrap();
+    let graph = b.build();
+    let deployment = Deployment::full_from_iter(7, [AsId(0), AsId(1), AsId(2), AsId(6)]);
+    (graph, deployment, AsId(4), AsId(0), AsId(5))
+}
+
+fn fate(outcome: &Outcome, v: AsId) -> &'static str {
+    let f = outcome.flags(v);
+    if f.surely_happy() {
+        "legitimate destination"
+    } else if f.surely_unhappy() {
+        "ATTACKER"
+    } else {
+        "tie-break dependent"
+    }
+}
+
+fn main() {
+    println!("== collateral DAMAGE (Figure 14 mechanism, security 2nd) ==\n");
+    let (graph, deployment, m, d, bystander) = damage_gadget();
+    let mut engine = Engine::new(&graph);
+    let policy = Policy::new(SecurityModel::Security2nd);
+
+    let o = engine.compute(AttackScenario::attack(m, d), &Deployment::empty(10), policy);
+    println!("S = ∅:        bystander routes to the {}", fate(o, bystander));
+    let o = engine.compute(AttackScenario::attack(m, d), &deployment, policy);
+    println!("S deployed:   bystander routes to the {}", fate(o, bystander));
+    assert!(o.flags(bystander).surely_unhappy());
+    println!("=> securing five *other* ASes made this AS worse off\n");
+
+    let o = engine.compute(
+        AttackScenario::attack(m, d),
+        &deployment,
+        Policy::new(SecurityModel::Security3rd),
+    );
+    println!(
+        "same deployment under security 3rd: bystander routes to the {}",
+        fate(o, bystander)
+    );
+    assert!(o.flags(bystander).surely_happy());
+    println!("=> Theorem 6.1: security 3rd is monotone — no collateral damage\n");
+
+    println!("== collateral BENEFIT (Figure 15 mechanism, security 3rd) ==\n");
+    let (graph, deployment, m, d, beneficiary) = benefit_gadget();
+    let mut engine = Engine::new(&graph);
+    let policy = Policy::new(SecurityModel::Security3rd);
+
+    let o = engine.compute(AttackScenario::attack(m, d), &Deployment::empty(7), policy);
+    println!("S = ∅:        beneficiary: {}", fate(o, beneficiary));
+    let o = engine.compute(AttackScenario::attack(m, d), &deployment, policy);
+    println!("S deployed:   beneficiary: {}", fate(o, beneficiary));
+    assert!(o.flags(beneficiary).surely_happy());
+    println!("=> an AS that deployed nothing is protected because its provider's");
+    println!("   tie now breaks toward the secure (legitimate) route");
+
+    // Aggregate view: the analyzer counts these phenomena per pair.
+    let mut analyzer = PairAnalyzer::new(&graph);
+    let a = analyzer.analyze(m, d, &deployment, policy);
+    println!(
+        "\nanalyzer counters: protected={}, collateral_benefit={}, collateral_damage={}",
+        a.protected, a.collateral_benefit, a.collateral_damage
+    );
+    assert!(a.metric_change_identity_holds());
+    println!("identity: ΔH = protected + benefit − damage ✓");
+}

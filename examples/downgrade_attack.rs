@@ -1,0 +1,90 @@
+//! The Figure 2 protocol downgrade attack, step by step.
+//!
+//! A webhosting stub (the paper's AS 21740) with a *secure* one-hop route
+//! to a Tier-1 destination (Level3, AS 3356) abandons it for a bogus
+//! four-hop route the moment an attacker fakes adjacency to Level3 —
+//! because its routing policy ranks a peer route above a provider route,
+//! and security only 2nd (or 3rd).
+//!
+//! ```text
+//! cargo run --release --example downgrade_attack
+//! ```
+
+use bgp_juice::prelude::*;
+
+/// Human labels for the gadget (the paper's AS numbers).
+const NAMES: [(&str, u32); 6] = [
+    ("Level3 (Tier-1 destination)", 0),
+    ("21740 eNom (victim stub)", 1),
+    ("174 Cogent (peer of both)", 2),
+    ("3491 PCCW", 3),
+    ("m (attacker)", 4),
+    ("3536 DoD NIC (single-homed stub)", 5),
+];
+
+fn build() -> AsGraph {
+    let mut b = GraphBuilder::new(6);
+    b.add_provider(AsId(1), AsId(0)).unwrap(); // eNom buys from Level3
+    b.add_peering(AsId(1), AsId(2)).unwrap(); // eNom peers Cogent
+    b.add_peering(AsId(0), AsId(2)).unwrap(); // Level3 peers Cogent
+    b.add_provider(AsId(3), AsId(2)).unwrap(); // PCCW buys from Cogent
+    b.add_provider(AsId(4), AsId(3)).unwrap(); // attacker buys from PCCW
+    b.add_provider(AsId(5), AsId(0)).unwrap(); // DoD NIC buys from Level3
+    b.build()
+}
+
+fn show(outcome: &Outcome) {
+    for (name, id) in NAMES {
+        let v = AsId(id);
+        match outcome.route(v) {
+            Some(r) if r.class != RouteClass::Origin => println!(
+                "  {name:34} {:?} route, {} hops, secure={}, {}",
+                r.class,
+                r.length,
+                r.secure,
+                if r.flags.surely_happy() {
+                    "→ legitimate destination"
+                } else if r.flags.surely_unhappy() {
+                    "→ ATTACKER"
+                } else {
+                    "→ depends on tie-break"
+                }
+            ),
+            _ => println!("  {name:34} (origin / no route)"),
+        }
+    }
+}
+
+fn main() {
+    let graph = build();
+    // Level3, eNom and Cogent run S*BGP.
+    let deployment = Deployment::full_from_iter(6, [AsId(0), AsId(1), AsId(2)]);
+    let mut engine = Engine::new(&graph);
+
+    for model in SecurityModel::ALL {
+        println!("==== {model} ====");
+        println!("normal conditions:");
+        let o = engine.compute(AttackScenario::normal(AsId(0)), &deployment, Policy::new(model));
+        show(o);
+
+        println!("under the \"m, Level3\" attack:");
+        let o = engine.compute(
+            AttackScenario::attack(AsId(4), AsId(0)),
+            &deployment,
+            Policy::new(model),
+        );
+        show(o);
+
+        let victim = o.route(AsId(1)).expect("victim routes somewhere");
+        match model {
+            SecurityModel::Security1st => {
+                assert!(victim.secure, "Theorem 3.1: no downgrade when security is 1st");
+                println!("  => the victim keeps its secure route (Theorem 3.1)\n");
+            }
+            _ => {
+                assert!(!victim.secure && victim.flags.surely_unhappy());
+                println!("  => PROTOCOL DOWNGRADE: secure 1-hop route abandoned for a bogus 4-hop peer route\n");
+            }
+        }
+    }
+}

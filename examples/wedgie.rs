@@ -1,0 +1,76 @@
+//! The Figure 1 BGP wedgie, simulated at the message level.
+//!
+//! When ASes disagree on where security belongs in the decision process,
+//! the routing system acquires *two* stable states; a link flap moves it
+//! from the intended one to the unintended one, where it sticks.
+//!
+//! ```text
+//! cargo run --release --example wedgie
+//! ```
+
+use bgp_juice::prelude::*;
+use bgp_juice::proto::wedgie::{wedgie_deployment, wedgie_graph, wedgie_simulator};
+use bgp_juice::proto::Schedule;
+
+fn describe(sim: &bgp_juice::proto::Simulator<'_>, ids: &bgp_juice::proto::wedgie::WedgieIds) {
+    for (name, v) in [("A (security 1st)", ids.a), ("B (security 2nd)", ids.b)] {
+        match sim.selected(v) {
+            Some(sel) => println!(
+                "  {name}: path {:?}, secure={}",
+                sel.route
+                    .path
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>(),
+                sel.secure
+            ),
+            None => println!("  {name}: no route"),
+        }
+    }
+}
+
+fn main() {
+    let (graph, ids) = wedgie_graph();
+    let deployment = wedgie_deployment(&ids);
+    println!(
+        "topology: d={}, p={}, B={}, A={}, e={} (only e is insecure)",
+        ids.d, ids.p, ids.b, ids.a, ids.e
+    );
+
+    let mut sim = wedgie_simulator(&graph, &ids, &deployment, SecurityModel::Security2nd);
+    sim.run(Schedule::Fifo, 100_000);
+    println!("\n[1] intended stable state (A on its secure provider route):");
+    describe(&sim, &ids);
+    let intended = sim.next_hop_snapshot();
+
+    println!("\n[2] the p–d link fails...");
+    sim.fail_link(ids.p, ids.d);
+    sim.run(Schedule::Fifo, 100_000);
+    describe(&sim, &ids);
+
+    println!("\n[3] the link recovers — but the system is wedged:");
+    sim.restore_link(ids.p, ids.d);
+    sim.run(Schedule::Fifo, 100_000);
+    describe(&sim, &ids);
+    assert!(sim.unstable_ases().is_empty(), "must be a stable state");
+    assert_ne!(intended, sim.next_hop_snapshot(), "wedgie!");
+    println!("\nB now insists on the customer route through A, so A can never");
+    println!("recover its secure route: an unintended — but stable — outcome.");
+
+    // The paper's prescriptive guideline: consistent SecP priorities.
+    println!("\n[4] rerun with everyone ranking security 1st:");
+    let mut sim = bgp_juice::proto::Simulator::new(
+        &graph,
+        &deployment,
+        Policy::new(SecurityModel::Security1st),
+        AttackScenario::normal(ids.d),
+    );
+    sim.run(Schedule::Fifo, 100_000);
+    let before = sim.next_hop_snapshot();
+    sim.fail_link(ids.p, ids.d);
+    sim.run(Schedule::Fifo, 100_000);
+    sim.restore_link(ids.p, ids.d);
+    sim.run(Schedule::Fifo, 100_000);
+    assert_eq!(before, sim.next_hop_snapshot());
+    println!("  the system returns to the intended state (Theorem 2.1).");
+}

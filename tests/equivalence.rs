@@ -1,0 +1,209 @@
+//! The crown-jewel property test: the Appendix B routing-outcome engine
+//! must agree with the message-level BGP/S\*BGP protocol simulator on
+//! random topologies, deployments, attacks, security models and LP
+//! variants.
+//!
+//! Theorem 2.1 guarantees a *unique* stable state whenever all ASes rank
+//! security consistently, so the protocol simulator's fixed point is a
+//! complete oracle for the engine: every AS must end up with a route of
+//! the same class, length and security, leading to a root the engine's
+//! `BPR` flags admit.
+
+use proptest::prelude::*;
+
+use bgp_juice::prelude::*;
+use bgp_juice::proto::{RunOutcome, Schedule, Simulator};
+use bgp_juice::topology::NeighborClass;
+
+/// Build a random valley-free topology from pairwise edge codes.
+/// Providers always have smaller ids, so the hierarchy is acyclic.
+fn graph_from_codes(n: usize, codes: &[u8]) -> AsGraph {
+    let mut b = GraphBuilder::new(n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match codes[k] % 8 {
+                // Sparse: most pairs are unconnected.
+                0 | 1 | 2 | 3 => {}
+                4 => b.add_peering(AsId(i as u32), AsId(j as u32)).unwrap(),
+                // i is the provider of j.
+                _ => b.add_provider(AsId(j as u32), AsId(i as u32)).unwrap(),
+            }
+            k += 1;
+        }
+    }
+    b.build()
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    n: usize,
+    codes: Vec<u8>,
+    secure_bits: Vec<bool>,
+    attacker: usize,
+    destination: usize,
+    /// Use the origin-hijack strategy instead of the fake link.
+    hijack: bool,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (4usize..10).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        (
+            Just(n),
+            proptest::collection::vec(any::<u8>(), pairs),
+            proptest::collection::vec(any::<bool>(), n),
+            0..n,
+            0..n,
+            any::<bool>(),
+        )
+            .prop_map(|(n, codes, secure_bits, attacker, destination, hijack)| Instance {
+                n,
+                codes,
+                secure_bits,
+                attacker,
+                destination,
+                hijack,
+            })
+    })
+}
+
+fn class_matches(engine: RouteClass, proto: NeighborClass) -> bool {
+    matches!(
+        (engine, proto),
+        (RouteClass::Customer, NeighborClass::Customer)
+            | (RouteClass::Peer, NeighborClass::Peer)
+            | (RouteClass::Provider, NeighborClass::Provider)
+    )
+}
+
+fn check_instance(inst: &Instance, model: SecurityModel, variant: LpVariant) {
+    let graph = graph_from_codes(inst.n, &inst.codes);
+    let deployment = Deployment::full_from_iter(
+        inst.n,
+        inst.secure_bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| AsId(i as u32)),
+    );
+    let d = AsId(inst.destination as u32);
+    let m = AsId(inst.attacker as u32);
+    let scenario = if m == d {
+        AttackScenario::normal(d)
+    } else if inst.hijack {
+        AttackScenario::hijack(m, d)
+    } else {
+        AttackScenario::attack(m, d)
+    };
+    let policy = Policy::with_variant(model, variant);
+
+    let mut engine = Engine::new(&graph);
+    let outcome = engine.compute(scenario, &deployment, policy);
+
+    let mut sim = Simulator::new(&graph, &deployment, policy, scenario);
+    let run = sim.run(Schedule::Fifo, 2_000_000);
+    assert!(
+        matches!(run, RunOutcome::Converged { .. }),
+        "simulator did not converge: {inst:?} {model} {variant}"
+    );
+    assert!(
+        sim.unstable_ases().is_empty(),
+        "simulator fixed point is not stable: {inst:?} {model} {variant}"
+    );
+
+    for v in graph.ases() {
+        if v == d || (scenario.is_attack() && v == m) {
+            continue;
+        }
+        let ctx = || format!("{inst:?} {model} {variant} at {v}");
+        match (outcome.route(v), sim.selected(v)) {
+            (None, None) => {}
+            (Some(er), Some(sel)) => {
+                assert!(
+                    class_matches(er.class, sel.class),
+                    "class mismatch: engine {er:?} vs proto {sel:?} ({})",
+                    ctx()
+                );
+                assert_eq!(er.length, sel.route.length(), "length mismatch ({})", ctx());
+                assert_eq!(er.secure, sel.secure, "security mismatch ({})", ctx());
+                let to_attacker = scenario
+                    .attacker
+                    .map(|m| sel.route.contains(m))
+                    .unwrap_or(false);
+                if to_attacker {
+                    assert!(
+                        er.flags.may_reach_attacker(),
+                        "proto routes to m but engine says TO_D only ({})",
+                        ctx()
+                    );
+                } else {
+                    assert!(
+                        er.flags.may_reach_destination(),
+                        "proto routes to d but engine says TO_M only ({})",
+                        ctx()
+                    );
+                }
+            }
+            (er, sel) => panic!(
+                "reachability mismatch: engine {er:?} vs proto {sel:?} ({})",
+                ctx()
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn engine_matches_protocol_simulator_standard_lp(inst in arb_instance()) {
+        for model in SecurityModel::ALL {
+            check_instance(&inst, model, LpVariant::Standard);
+        }
+    }
+
+    #[test]
+    fn engine_matches_protocol_simulator_lp_variants(inst in arb_instance()) {
+        for model in SecurityModel::ALL {
+            check_instance(&inst, model, LpVariant::LpK(2));
+        }
+        check_instance(&inst, SecurityModel::Security2nd, LpVariant::LpK(1));
+        check_instance(&inst, SecurityModel::Security3rd, LpVariant::LpInf);
+        check_instance(&inst, SecurityModel::Security1st, LpVariant::LpInf);
+    }
+}
+
+/// A deterministic regression net: the equivalence must also hold on a
+/// structured (generated) topology, not just proptest soup.
+#[test]
+fn engine_matches_protocol_simulator_on_generated_internet() {
+    let net = Internet::synthetic(160, 9);
+    let step = scenario::tier12_step(&net, 5, 5);
+    let d = net.content_providers[0];
+    let m = net.tiers.tier2()[1];
+    for model in SecurityModel::ALL {
+        let policy = Policy::new(model);
+        let scenario = AttackScenario::attack(m, d);
+        let mut engine = Engine::new(&net.graph);
+        let outcome = engine.compute(scenario, &step.deployment, policy);
+        let mut sim = Simulator::new(&net.graph, &step.deployment, policy, scenario);
+        let run = sim.run(Schedule::Random(model as u64), 5_000_000);
+        assert!(matches!(run, RunOutcome::Converged { .. }), "{model}");
+        assert!(sim.unstable_ases().is_empty(), "{model}");
+        for v in net.graph.ases() {
+            if v == d || v == m {
+                continue;
+            }
+            match (outcome.route(v), sim.selected(v)) {
+                (None, None) => {}
+                (Some(er), Some(sel)) => {
+                    assert_eq!(er.length, sel.route.length(), "{model} {v}");
+                    assert_eq!(er.secure, sel.secure, "{model} {v}");
+                    assert!(class_matches(er.class, sel.class), "{model} {v}");
+                }
+                (er, sel) => panic!("{model} {v}: {er:?} vs {sel:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Property tests for the paper's theorems on random valley-free
+//! topologies.
+//!
+//! * **Theorem 2.1** — with consistent SecP priorities, BGP converges to a
+//!   unique stable state regardless of message ordering.
+//! * **Theorem 3.1** — under security 1st, a source whose normal secure
+//!   route avoids the attacker keeps a secure route during the attack.
+//! * **Theorem 6.1** — security 3rd is monotone: growing the deployment
+//!   never turns a happy source unhappy.
+//! * **Appendix E soundness** — immune/doomed predictions hold for every
+//!   concrete deployment.
+//! * **Appendix C bounds** — tie-break bounds are ordered and bracket the
+//!   partition-derived limits.
+
+use proptest::prelude::*;
+
+use bgp_juice::prelude::*;
+use bgp_juice::proto::{RunOutcome, Schedule, Simulator};
+
+fn graph_from_codes(n: usize, codes: &[u8]) -> AsGraph {
+    let mut b = GraphBuilder::new(n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match codes[k] % 8 {
+                0 | 1 | 2 | 3 => {}
+                4 => b.add_peering(AsId(i as u32), AsId(j as u32)).unwrap(),
+                _ => b.add_provider(AsId(j as u32), AsId(i as u32)).unwrap(),
+            }
+            k += 1;
+        }
+    }
+    b.build()
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    n: usize,
+    codes: Vec<u8>,
+    secure_bits: Vec<bool>,
+    extra_bits: Vec<bool>,
+    attacker: usize,
+    destination: usize,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (5usize..11).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        (
+            Just(n),
+            proptest::collection::vec(any::<u8>(), pairs),
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(any::<bool>(), n),
+            0..n,
+            0..n,
+        )
+            .prop_map(
+                |(n, codes, secure_bits, extra_bits, attacker, destination)| Instance {
+                    n,
+                    codes,
+                    secure_bits,
+                    extra_bits,
+                    attacker,
+                    destination,
+                },
+            )
+    })
+}
+
+impl Instance {
+    fn attack_pair(&self) -> Option<(AsId, AsId)> {
+        if self.attacker == self.destination {
+            None
+        } else {
+            Some((AsId(self.attacker as u32), AsId(self.destination as u32)))
+        }
+    }
+
+    fn deployment(&self) -> Deployment {
+        Deployment::full_from_iter(
+            self.n,
+            self.secure_bits
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s)
+                .map(|(i, _)| AsId(i as u32)),
+        )
+    }
+
+    /// A strict superset of [`Instance::deployment`].
+    fn larger_deployment(&self) -> Deployment {
+        let mut dep = self.deployment();
+        for (i, &extra) in self.extra_bits.iter().enumerate() {
+            if extra {
+                dep.insert_full(AsId(i as u32));
+            }
+        }
+        dep
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 2.1: any message schedule reaches the same stable state.
+    #[test]
+    fn theorem_2_1_unique_stable_state(inst in arb_instance()) {
+        let graph = graph_from_codes(inst.n, &inst.codes);
+        let deployment = inst.deployment();
+        let scenario = match inst.attack_pair() {
+            Some((m, d)) => AttackScenario::attack(m, d),
+            None => AttackScenario::normal(AsId(inst.destination as u32)),
+        };
+        for model in SecurityModel::ALL {
+            let mut reference: Option<Vec<Option<AsId>>> = None;
+            for schedule in [Schedule::Fifo, Schedule::Random(1), Schedule::Random(99)] {
+                let mut sim =
+                    Simulator::new(&graph, &deployment, Policy::new(model), scenario);
+                let out = sim.run(schedule, 2_000_000);
+                prop_assert!(matches!(out, RunOutcome::Converged { .. }), "{model}");
+                prop_assert!(sim.unstable_ases().is_empty(), "{model}");
+                let snap = sim.next_hop_snapshot();
+                match &reference {
+                    None => reference = Some(snap),
+                    Some(r) => prop_assert_eq!(&snap, r, "{} under {:?}", model, schedule),
+                }
+            }
+        }
+    }
+
+    /// Theorem 3.1: no protocol downgrade under security 1st (unless the
+    /// attacker sat on the normal route).
+    #[test]
+    fn theorem_3_1_no_downgrade_when_security_first(inst in arb_instance()) {
+        let Some((m, d)) = inst.attack_pair() else { return Ok(()) };
+        let graph = graph_from_codes(inst.n, &inst.codes);
+        let deployment = inst.deployment();
+        let policy = Policy::new(SecurityModel::Security1st);
+        let mut engine = Engine::new(&graph);
+
+        let normal: Vec<(bool, bool)> = {
+            let o = engine.compute(AttackScenario::normal_marked(d, m), &deployment, policy);
+            graph
+                .ases()
+                .map(|v| (o.uses_secure_route(v), o.may_traverse_mark(v)))
+                .collect()
+        };
+        let o = engine.compute(AttackScenario::attack(m, d), &deployment, policy);
+        for v in graph.ases() {
+            if v == d || v == m {
+                continue;
+            }
+            let (was_secure, via_m) = normal[v.index()];
+            if was_secure && !via_m {
+                prop_assert!(
+                    o.uses_secure_route(v),
+                    "{v} downgraded under security 1st: {inst:?}"
+                );
+                prop_assert!(o.flags(v).surely_happy());
+            }
+        }
+
+        // The analyzer reports the same through its counters.
+        let mut analyzer = PairAnalyzer::new(&graph);
+        let a = analyzer.analyze(m, d, &deployment, policy);
+        prop_assert_eq!(a.downgraded, a.downgraded_via_attacker);
+    }
+
+    /// Theorem 6.1: security 3rd is monotone in the deployment.
+    #[test]
+    fn theorem_6_1_security_third_is_monotone(inst in arb_instance()) {
+        let Some((m, d)) = inst.attack_pair() else { return Ok(()) };
+        let graph = graph_from_codes(inst.n, &inst.codes);
+        let small = inst.deployment();
+        let large = inst.larger_deployment();
+        let policy = Policy::new(SecurityModel::Security3rd);
+        let mut engine = Engine::new(&graph);
+        let before: Vec<(bool, bool)> = {
+            let o = engine.compute(AttackScenario::attack(m, d), &small, policy);
+            graph
+                .ases()
+                .map(|v| {
+                    let f = o.flags(v);
+                    (f.surely_happy(), f.may_reach_destination())
+                })
+                .collect()
+        };
+        let o = engine.compute(AttackScenario::attack(m, d), &large, policy);
+        for v in graph.ases() {
+            if v == d || v == m {
+                continue;
+            }
+            let (sure, may) = before[v.index()];
+            if sure {
+                prop_assert!(
+                    o.flags(v).surely_happy(),
+                    "{v} lost sure-happiness: {inst:?}"
+                );
+            }
+            if may {
+                prop_assert!(
+                    o.flags(v).may_reach_destination(),
+                    "{v} lost possible-happiness: {inst:?}"
+                );
+            }
+        }
+
+        // Corollary: zero collateral damage in the analyzer.
+        let mut analyzer = PairAnalyzer::new(&graph);
+        prop_assert_eq!(analyzer.analyze(m, d, &large, policy).collateral_damage, 0);
+    }
+
+    /// Appendix E: immune and doomed fates are sound for every deployment.
+    #[test]
+    fn partition_fates_are_deployment_sound(inst in arb_instance()) {
+        let Some((m, d)) = inst.attack_pair() else { return Ok(()) };
+        let graph = graph_from_codes(inst.n, &inst.codes);
+        let mut computer = PartitionComputer::new(&graph);
+        let mut engine = Engine::new(&graph);
+        for model in SecurityModel::ALL {
+            let policy = Policy::new(model);
+            let fates = computer.compute(m, d, policy).to_vec();
+            for deployment in [inst.deployment(), inst.larger_deployment(), Deployment::empty(inst.n)] {
+                let o = engine.compute(AttackScenario::attack(m, d), &deployment, policy);
+                for v in graph.ases() {
+                    if v == d || v == m {
+                        continue;
+                    }
+                    match fates[v.index()] {
+                        Fate::Immune => prop_assert!(
+                            o.flags(v).surely_happy(),
+                            "{model}: immune {v} unhappy ({inst:?})"
+                        ),
+                        // Doomed = never happy. Under security 1st a doomed
+                        // source may end up routeless instead of on a bogus
+                        // route; under 2nd/3rd the class/length invariance
+                        // pins it to the attacker outright.
+                        Fate::Doomed => {
+                            prop_assert!(
+                                !o.flags(v).may_reach_destination(),
+                                "{model}: doomed {v} happy ({inst:?})"
+                            );
+                            if model != SecurityModel::Security1st {
+                                prop_assert!(
+                                    o.flags(v).surely_unhappy(),
+                                    "{model}: doomed {v} not on a bogus route ({inst:?})"
+                                );
+                            }
+                        }
+                        Fate::Protectable => {}
+                        Fate::Unreachable => prop_assert!(
+                            o.route(v).is_none(),
+                            "{model}: unreachable {v} routed ({inst:?})"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appendix C: bounds are ordered and the analyzer identity holds for
+    /// every model and deployment.
+    #[test]
+    fn bounds_and_identities(inst in arb_instance()) {
+        let Some((m, d)) = inst.attack_pair() else { return Ok(()) };
+        let graph = graph_from_codes(inst.n, &inst.codes);
+        let mut analyzer = PairAnalyzer::new(&graph);
+        for model in SecurityModel::ALL {
+            for deployment in [inst.deployment(), inst.larger_deployment()] {
+                let a = analyzer.analyze(m, d, &deployment, Policy::new(model));
+                prop_assert!(a.happy.lower <= a.happy.upper);
+                prop_assert!(a.happy_baseline.lower <= a.happy_baseline.upper);
+                prop_assert!(a.metric_change_identity_holds(), "{}", model);
+                prop_assert_eq!(a.secure_attack, a.wasted + a.protected, "{}", model);
+                prop_assert!(a.happy.upper <= a.sources);
+            }
+        }
+    }
+
+    /// Secure routes imply happiness in every model (a secure route cannot
+    /// lead to the attacker).
+    #[test]
+    fn secure_routes_are_legitimate(inst in arb_instance()) {
+        let Some((m, d)) = inst.attack_pair() else { return Ok(()) };
+        let graph = graph_from_codes(inst.n, &inst.codes);
+        let deployment = inst.larger_deployment();
+        let mut engine = Engine::new(&graph);
+        for model in SecurityModel::ALL {
+            let o = engine.compute(AttackScenario::attack(m, d), &deployment, Policy::new(model));
+            for v in graph.ases() {
+                if o.uses_secure_route(v) {
+                    prop_assert!(o.flags(v).surely_happy(), "{model} {v}");
+                }
+            }
+        }
+    }
+}
