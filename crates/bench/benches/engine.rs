@@ -4,7 +4,9 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sbgp_core::{AttackScenario, Deployment, Engine, PairAnalyzer, PartitionComputer, Policy, SecurityModel};
+use sbgp_core::{
+    AttackScenario, Deployment, Engine, PairAnalyzer, PartitionComputer, Policy, SecurityModel,
+};
 use sbgp_sim::Internet;
 use sbgp_topology::AsId;
 
@@ -23,11 +25,8 @@ fn engine_benches(c: &mut Criterion) {
                 |b, _| {
                     let mut engine = Engine::new(&net.graph);
                     b.iter(|| {
-                        let o = engine.compute(
-                            AttackScenario::attack(m, d),
-                            &dep,
-                            Policy::new(model),
-                        );
+                        let o =
+                            engine.compute(AttackScenario::attack(m, d), &dep, Policy::new(model));
                         black_box(o.count_happy())
                     });
                 },

@@ -26,7 +26,13 @@ fn generator_benches(c: &mut Criterion) {
         });
     });
     c.bench_function("tier-classify/4000", |b| {
-        b.iter(|| black_box(TierMap::classify(&base.graph, &TierConfig::default()).tier1().len()));
+        b.iter(|| {
+            black_box(
+                TierMap::classify(&base.graph, &TierConfig::default())
+                    .tier1()
+                    .len(),
+            )
+        });
     });
     c.bench_function("stats/4000", |b| {
         b.iter(|| black_box(GraphStats::compute(&base.graph).stub_share()));

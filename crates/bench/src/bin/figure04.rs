@@ -8,7 +8,12 @@ fn main() {
     cli.banner("Figure 4 — partitions by destination tier (Sec 3rd)", &net);
     println!(
         "{}",
-        render::render_by_destination_tier(&net, &cli.config, SecurityModel::Security3rd, cli.variant)
+        render::render_by_destination_tier(
+            &net,
+            &cli.config,
+            SecurityModel::Security3rd,
+            cli.variant
+        )
     );
     println!("paper: ~80% of sources are doomed when a Tier 1 destination is attacked");
 }

@@ -8,6 +8,11 @@ fn main() {
     cli.banner("Figure 5 — partitions by destination tier (Sec 2nd)", &net);
     println!(
         "{}",
-        render::render_by_destination_tier(&net, &cli.config, SecurityModel::Security2nd, cli.variant)
+        render::render_by_destination_tier(
+            &net,
+            &cli.config,
+            SecurityModel::Security2nd,
+            cli.variant
+        )
     );
 }

@@ -6,6 +6,9 @@ fn main() {
     let cli = Cli::parse();
     let net = cli.internet();
     cli.banner("Figure 8 — Tier 1+2+CP rollout, CP destinations", &net);
-    println!("{}", render::render_rollout(&rollout::figure8(&net, &cli.config)));
+    println!(
+        "{}",
+        render::render_rollout(&rollout::figure8(&net, &cli.config))
+    );
     println!("paper: ≥26% / 9.4% / 4% improvements for sec 1st/2nd/3rd at the last step");
 }

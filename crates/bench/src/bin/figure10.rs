@@ -5,7 +5,10 @@ use sbgp_sim::experiments::per_destination;
 fn main() {
     let cli = Cli::parse();
     let net = cli.internet();
-    cli.banner("Figure 10 — per-destination ΔH, Tier-2-only deployment", &net);
+    cli.banner(
+        "Figure 10 — per-destination ΔH, Tier-2-only deployment",
+        &net,
+    );
     println!(
         "{}",
         render::render_per_destination(&per_destination::figure10(&net, &cli.config))

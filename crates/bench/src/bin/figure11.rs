@@ -6,6 +6,9 @@ fn main() {
     let cli = Cli::parse();
     let net = cli.internet();
     cli.banner("Figure 11 — Tier 2 rollout", &net);
-    println!("{}", render::render_rollout(&rollout::figure11(&net, &cli.config)));
+    println!(
+        "{}",
+        render::render_rollout(&rollout::figure11(&net, &cli.config))
+    );
     println!("paper: grows more slowly than Figure 7; smaller sec-1st gains");
 }

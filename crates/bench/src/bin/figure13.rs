@@ -5,7 +5,10 @@ use sbgp_core::SecurityModel;
 fn main() {
     let cli = Cli::parse();
     let net = cli.internet();
-    cli.banner("Figure 13 — secure routes to CP destinations under attack", &net);
+    cli.banner(
+        "Figure 13 — secure routes to CP destinations under attack",
+        &net,
+    );
     println!(
         "{}",
         render::render_figure13(&net, &cli.config, SecurityModel::Security3rd)

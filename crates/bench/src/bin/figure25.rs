@@ -9,11 +9,21 @@ fn main() {
     cli.banner("Figure 25 — partitions by destination tier under LP2", &net);
     println!(
         "{}",
-        render::render_by_destination_tier(&net, &cli.config, SecurityModel::Security3rd, cli.variant)
+        render::render_by_destination_tier(
+            &net,
+            &cli.config,
+            SecurityModel::Security3rd,
+            cli.variant
+        )
     );
     println!(
         "{}",
-        render::render_by_destination_tier(&net, &cli.config, SecurityModel::Security2nd, cli.variant)
+        render::render_by_destination_tier(
+            &net,
+            &cli.config,
+            SecurityModel::Security2nd,
+            cli.variant
+        )
     );
     println!("paper: under LP2 most high-tier destinations become immune (short peer routes win)");
 }

@@ -1,8 +1,8 @@
 //! Regenerate the paper's entire evaluation in one run.
 //!
-//! Prints every figure/table in order; with `--asns`/sampling flags the
-//! fidelity–runtime trade-off is yours. `EXPERIMENTS.md` was produced by
-//! `run_all --asns 4000` (plus the `--ixp` and LP2 variants where noted).
+//! Prints every figure/table in order on stdout; with `--asns`/sampling
+//! flags the fidelity–runtime trade-off is yours (the paper's scale is
+//! `--asns 4000`, plus the `--ixp` and LP2 variants where noted).
 
 use std::time::Instant;
 
@@ -49,7 +49,10 @@ fn main() {
         "Figure 6",
         render::render_by_attacker_tier(&net, &cli.config, SecurityModel::Security3rd, cli.variant),
     );
-    section("§4.7 source tiers", render::render_by_source_tier(&net, &cli.config));
+    section(
+        "§4.7 source tiers",
+        render::render_by_source_tier(&net, &cli.config),
+    );
     section(
         "Figure 7",
         render::render_rollout(&rollout::figure7(&net, &cli.config)),
@@ -74,17 +77,29 @@ fn main() {
         "Figure 12",
         render::render_per_destination(&per_destination::figure12(&net, &cli.config)),
     );
-    section("§5.2.4 non-stubs", render::render_non_stubs(&net, &cli.config));
+    section(
+        "§5.2.4 non-stubs",
+        render::render_non_stubs(&net, &cli.config),
+    );
     section(
         "Figure 13",
         render::render_figure13(&net, &cli.config, SecurityModel::Security3rd),
     );
-    section("§5.3.1 early adopters", render::render_early_adopters(&net, &cli.config));
+    section(
+        "§5.3.1 early adopters",
+        render::render_early_adopters(&net, &cli.config),
+    );
     section("Figure 16", render::render_figure16(&net, &cli.config));
     section("Table 3", render::render_phenomena(&net, &cli.config));
     section("Figure 1 (wedgie)", render::render_wedgie());
-    section("Extension: RPKI value", render::render_rpki_value(&net, &cli.config));
-    section("Extension: weighted metric", render::render_weighted(&net, &cli.config));
+    section(
+        "Extension: RPKI value",
+        render::render_rpki_value(&net, &cli.config),
+    );
+    section(
+        "Extension: weighted metric",
+        render::render_weighted(&net, &cli.config),
+    );
     section(
         "Figure 24 (LP2)",
         render::render_figure3(&net, &cli.config, LpVariant::LpK(2)),

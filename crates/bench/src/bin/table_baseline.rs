@@ -4,6 +4,9 @@ use sbgp_bench::{render, Cli};
 fn main() {
     let cli = Cli::parse();
     let net = cli.internet();
-    cli.banner("Table §4.2 — baseline security from origin authentication", &net);
+    cli.banner(
+        "Table §4.2 — baseline security from origin authentication",
+        &net,
+    );
     println!("{}", render::render_baseline(&net, &cli.config));
 }

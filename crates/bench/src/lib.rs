@@ -6,8 +6,8 @@
 //! one go:
 //!
 //! ```text
-//! cargo run --release -p sbgp-bench --bin figure03 -- --asns 8000
-//! cargo run --release -p sbgp-bench --bin run_all -- --out EXPERIMENTS
+//! cargo run --release -p sbgp_bench --bin figure03 -- --asns 8000
+//! cargo run --release -p sbgp_bench --bin run_all -- --asns 4000 > EXPERIMENTS.txt
 //! ```
 //!
 //! Common flags: `--asns N`, `--seed S`, `--attackers A`,
@@ -78,9 +78,7 @@ impl Cli {
                 "--asns" => cli.asns = parse_num(&take("--asns")?)?,
                 "--seed" => cli.seed = parse_num(&take("--seed")?)?,
                 "--attackers" => cli.config.attackers = parse_num(&take("--attackers")?)?,
-                "--destinations" => {
-                    cli.config.destinations = parse_num(&take("--destinations")?)?
-                }
+                "--destinations" => cli.config.destinations = parse_num(&take("--destinations")?)?,
                 "--per-tier" => cli.config.per_tier = parse_num(&take("--per-tier")?)?,
                 "--threads" => {
                     cli.config.parallelism = Parallelism(parse_num(&take("--threads")?)?)
@@ -153,8 +151,17 @@ mod tests {
         assert!(!cli.ixp);
 
         let cli = parse(&[
-            "--asns", "1000", "--seed", "7", "--attackers", "9", "--ixp", "--policy", "lp2",
-            "--threads", "3",
+            "--asns",
+            "1000",
+            "--seed",
+            "7",
+            "--attackers",
+            "9",
+            "--ixp",
+            "--policy",
+            "lp2",
+            "--threads",
+            "3",
         ])
         .unwrap();
         assert_eq!(cli.asns, 1000);

@@ -36,7 +36,14 @@ pub fn render_figure3(net: &Internet, cfg: &ExperimentConfig, variant: LpVariant
     let f = partitions::figure3(net, cfg, variant);
     let mut out = String::new();
     out.push_str("Average immune/protectable/doomed source fractions, all pairs\n\n");
-    let mut t = Table::new(["model", "immune", "protectable", "doomed", "H(S) ≤", "bar █=immune ▒=protectable ·=doomed"]);
+    let mut t = Table::new([
+        "model",
+        "immune",
+        "protectable",
+        "doomed",
+        "H(S) ≤",
+        "bar █=immune ▒=protectable ·=doomed",
+    ]);
     for (model, s) in &f.models {
         t.row([
             model.label().to_string(),
@@ -90,7 +97,10 @@ pub fn render_by_destination_tier(
 ) -> String {
     let rows = partitions::by_destination_tier(net, cfg, Policy::with_variant(model, variant));
     render_tier_rows(
-        &format!("Partitions by destination tier; {} / {variant}", model.label()),
+        &format!(
+            "Partitions by destination tier; {} / {variant}",
+            model.label()
+        ),
         &rows,
         true,
     )
@@ -113,11 +123,7 @@ pub fn render_by_attacker_tier(
 
 /// §4.7: partitions by source tier.
 pub fn render_by_source_tier(net: &Internet, cfg: &ExperimentConfig) -> String {
-    let rows = partitions::by_source_tier(
-        net,
-        cfg,
-        Policy::new(SecurityModel::Security3rd),
-    );
+    let rows = partitions::by_source_tier(net, cfg, Policy::new(SecurityModel::Security3rd));
     render_tier_rows(
         "Partitions by source tier; Sec 3rd (paper: roughly uniform ≈60/15/25)",
         &rows,
@@ -231,9 +237,7 @@ pub fn render_figure13(net: &Internet, cfg: &ExperimentConfig, model: SecurityMo
 pub fn render_figure16(net: &Internet, cfg: &ExperimentConfig) -> String {
     let rcs = root_cause::figure16(net, cfg);
     let mut out = String::new();
-    out.push_str(
-        "Root causes at the last Tier 1+2 rollout step (fractions of sources)\n\n",
-    );
+    out.push_str("Root causes at the last Tier 1+2 rollout step (fractions of sources)\n\n");
     let mut t = Table::new([
         "model",
         "secure (normal)",
@@ -292,7 +296,9 @@ pub fn render_phenomena(net: &Internet, cfg: &ExperimentConfig) -> String {
         mark(rcs[2].analysis.collateral_damage > 0),
     ]);
     out.push_str(&t.render());
-    out.push_str("\npaper's Table 3: downgrades in {2nd,3rd}; benefits in all; damages in {1st,2nd}\n");
+    out.push_str(
+        "\npaper's Table 3: downgrades in {2nd,3rd}; benefits in all; damages in {1st,2nd}\n",
+    );
     out
 }
 
@@ -328,8 +334,10 @@ pub fn render_wedgie() -> String {
         "everyone ranks security 1st:            wedged = {}\n",
         before != sim.next_hop_snapshot()
     ));
-    out.push_str("\npaper: inconsistent SecP placement admits two stable states and the\n\
-                  system sticks in the unintended one after the link recovers\n");
+    out.push_str(
+        "\npaper: inconsistent SecP placement admits two stable states and the\n\
+                  system sticks in the unintended one after the link recovers\n",
+    );
     out
 }
 
@@ -391,7 +399,12 @@ pub fn render_hysteresis(net: &Internet, cfg: &ExperimentConfig) -> String {
         "§8 mitigation: keep a secure route while it remains available\n(message-level simulation: converge, then launch the attack)\n\n",
     );
     let mut t = Table::new([
-        "model", "attacks", "happy", "happy+hyst", "secure", "secure+hyst",
+        "model",
+        "attacks",
+        "happy",
+        "happy+hyst",
+        "secure",
+        "secure+hyst",
     ]);
     for r in &rows {
         let f = |x: usize, c: &sbgp_proto::SourceCensus| x as f64 / c.sources.max(1) as f64;

@@ -76,8 +76,7 @@ impl PairAnalysis {
     /// `ΔH = protected + benefit − damage`.
     pub fn metric_change_identity_holds(&self) -> bool {
         let dh = self.happy.lower as i64 - self.happy_baseline.lower as i64;
-        dh == self.protected as i64 + self.collateral_benefit as i64
-            - self.collateral_damage as i64
+        dh == self.protected as i64 + self.collateral_benefit as i64 - self.collateral_damage as i64
     }
 
     /// Change in the lower-bound metric versus the baseline, as a fraction
@@ -247,11 +246,21 @@ mod tests {
         let dep = Deployment::full_from_iter(6, [AsId(0), AsId(1), AsId(2)]);
         let mut an = PairAnalyzer::new(&g);
 
-        let a2 = an.analyze(AsId(4), AsId(0), &dep, Policy::new(SecurityModel::Security2nd));
+        let a2 = an.analyze(
+            AsId(4),
+            AsId(0),
+            &dep,
+            Policy::new(SecurityModel::Security2nd),
+        );
         assert_eq!(a2.downgraded, 2, "both 21740 and 174 downgrade");
         assert!(a2.metric_change_identity_holds());
 
-        let a1 = an.analyze(AsId(4), AsId(0), &dep, Policy::new(SecurityModel::Security1st));
+        let a1 = an.analyze(
+            AsId(4),
+            AsId(0),
+            &dep,
+            Policy::new(SecurityModel::Security1st),
+        );
         assert_eq!(a1.downgraded, 0, "Theorem 3.1");
         // 174 keeps a secure route it actually needed: protected.
         assert!(a1.protected >= 1);
@@ -276,12 +285,22 @@ mod tests {
         let dep = Deployment::full_from_iter(10, [AsId(0), AsId(1), AsId(2), AsId(3), AsId(5)]);
         let mut an = PairAnalyzer::new(&g);
 
-        let a = an.analyze(AsId(9), AsId(0), &dep, Policy::new(SecurityModel::Security2nd));
+        let a = an.analyze(
+            AsId(9),
+            AsId(0),
+            &dep,
+            Policy::new(SecurityModel::Security2nd),
+        );
         assert_eq!(a.collateral_damage, 1, "s suffers collateral damage");
         assert!(a.metric_change_identity_holds());
 
         // Theorem 6.1: none under security 3rd.
-        let a = an.analyze(AsId(9), AsId(0), &dep, Policy::new(SecurityModel::Security3rd));
+        let a = an.analyze(
+            AsId(9),
+            AsId(0),
+            &dep,
+            Policy::new(SecurityModel::Security3rd),
+        );
         assert_eq!(a.collateral_damage, 0);
     }
 
@@ -300,7 +319,12 @@ mod tests {
         let g = b.build();
         let mut an = PairAnalyzer::new(&g);
         let dep = Deployment::full_from_iter(7, [AsId(0), AsId(1), AsId(2), AsId(6)]);
-        let a = an.analyze(AsId(4), AsId(0), &dep, Policy::new(SecurityModel::Security3rd));
+        let a = an.analyze(
+            AsId(4),
+            AsId(0),
+            &dep,
+            Policy::new(SecurityModel::Security3rd),
+        );
         // x is protected (it was mixed in the baseline: not surely happy);
         // c is a collateral beneficiary (insecure, now surely happy).
         assert_eq!(a.protected, 1);
@@ -313,7 +337,12 @@ mod tests {
         let g = figure2();
         let dep = Deployment::full_from_iter(6, [AsId(0), AsId(1), AsId(2)]);
         let mut an = PairAnalyzer::new(&g);
-        let a = an.analyze(AsId(4), AsId(0), &dep, Policy::new(SecurityModel::Security2nd));
+        let a = an.analyze(
+            AsId(4),
+            AsId(0),
+            &dep,
+            Policy::new(SecurityModel::Security2nd),
+        );
         let mut sum = PairAnalysis::default();
         sum += a;
         sum += a;
@@ -327,7 +356,12 @@ mod tests {
         let g = figure2();
         let dep = Deployment::full_from_iter(6, [AsId(0), AsId(1), AsId(2)]);
         let mut an = PairAnalyzer::new(&g);
-        let a = an.analyze(AsId(4), AsId(0), &dep, Policy::new(SecurityModel::Security2nd));
+        let a = an.analyze(
+            AsId(4),
+            AsId(0),
+            &dep,
+            Policy::new(SecurityModel::Security2nd),
+        );
         // Under normal conditions the victim (1) and 174 (2) have secure
         // routes to d.
         assert_eq!(a.secure_normal, 2);

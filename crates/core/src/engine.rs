@@ -101,9 +101,7 @@ enum Mode {
     SecureOnly,
     /// Any route; when `tie_prefer_secure` (security 3rd), a validating AS
     /// keeps only the secure members of an equal-length `BPR` set.
-    Any {
-        tie_prefer_secure: bool,
-    },
+    Any { tie_prefer_secure: bool },
 }
 
 /// Which neighbor class a fix candidate extends.
@@ -179,7 +177,8 @@ impl<'g> Engine<'g> {
             assert!(m.index() < n, "attacker out of range");
         }
 
-        self.outcome.reset(n, scenario.destination, scenario.attacker);
+        self.outcome
+            .reset(n, scenario.destination, scenario.attacker);
         for q in [
             &mut self.cust_sec,
             &mut self.cust_any,
@@ -197,16 +196,35 @@ impl<'g> Engine<'g> {
         // Roots. The destination announces at depth 0; the attacker's bogus
         // "m, d" announcement makes it a root at depth 1 (§3.1).
         let d = scenario.destination;
-        self.fix_root(d, 0, deployment.signs_origin(d), RootFlags::TO_D, deployment);
+        self.fix_root(
+            d,
+            0,
+            deployment.signs_origin(d),
+            RootFlags::TO_D,
+            deployment,
+        );
         if let Some(m) = scenario.attacker {
-            self.fix_root(m, scenario.strategy.root_depth(), false, RootFlags::TO_M, deployment);
+            self.fix_root(
+                m,
+                scenario.strategy.root_depth(),
+                false,
+                RootFlags::TO_M,
+                deployment,
+            );
         }
 
         let k = policy.variant.interleave_depth();
         match policy.model {
             SecurityModel::Security1st => {
                 // Secure phase: every fully-secure class first (B.4).
-                self.interleave(k, &[(Class::Customer, Mode::SecureOnly), (Class::Peer, Mode::SecureOnly)], deployment);
+                self.interleave(
+                    k,
+                    &[
+                        (Class::Customer, Mode::SecureOnly),
+                        (Class::Peer, Mode::SecureOnly),
+                    ],
+                    deployment,
+                );
                 self.drain(Class::Customer, Mode::SecureOnly, u32::MAX, deployment);
                 self.drain(Class::Peer, Mode::SecureOnly, u32::MAX, deployment);
                 self.drain(Class::Provider, Mode::SecureOnly, u32::MAX, deployment);
@@ -482,7 +500,11 @@ mod tests {
         let g = chain();
         let dep = Deployment::empty(g.len());
         let mut e = Engine::new(&g);
-        let o = e.compute(AttackScenario::normal(AsId(0)), &dep, sec(SecurityModel::Security3rd));
+        let o = e.compute(
+            AttackScenario::normal(AsId(0)),
+            &dep,
+            sec(SecurityModel::Security3rd),
+        );
 
         // p learns d as a customer route of length 1.
         let p = o.route(AsId(1)).unwrap();
@@ -518,7 +540,11 @@ mod tests {
         let g = g.build();
         let dep = Deployment::empty(3);
         let mut e = Engine::new(&g);
-        let o = e.compute(AttackScenario::normal(AsId(0)), &dep, sec(SecurityModel::Security3rd));
+        let o = e.compute(
+            AttackScenario::normal(AsId(0)),
+            &dep,
+            sec(SecurityModel::Security3rd),
+        );
         assert!(o.route(AsId(1)).is_some());
         assert!(o.route(AsId(2)).is_none(), "valley-free export violated");
     }
@@ -540,7 +566,11 @@ mod tests {
         let g = b.build();
         let dep = Deployment::empty(5);
         let mut e = Engine::new(&g);
-        let o = e.compute(AttackScenario::normal(AsId(0)), &dep, sec(SecurityModel::Security3rd));
+        let o = e.compute(
+            AttackScenario::normal(AsId(0)),
+            &dep,
+            sec(SecurityModel::Security3rd),
+        );
         let v = o.route(AsId(3)).unwrap();
         assert_eq!(v.class, crate::RouteClass::Customer);
         assert_eq!(v.length, 3);
@@ -744,12 +774,20 @@ mod tests {
         let dep = Deployment::full_from_iter(5, [AsId(0), AsId(1), AsId(3), AsId(4)]);
         let mut e = Engine::new(&g);
         // Security 2nd: v picks the secure provider route (longer).
-        let o = e.compute(AttackScenario::normal(AsId(0)), &dep, sec(SecurityModel::Security2nd));
+        let o = e.compute(
+            AttackScenario::normal(AsId(0)),
+            &dep,
+            sec(SecurityModel::Security2nd),
+        );
         let v = o.route(AsId(1)).unwrap();
         assert!(v.secure);
         assert_eq!(v.length, 3);
         // Security 3rd: v picks the shorter insecure route.
-        let o = e.compute(AttackScenario::normal(AsId(0)), &dep, sec(SecurityModel::Security3rd));
+        let o = e.compute(
+            AttackScenario::normal(AsId(0)),
+            &dep,
+            sec(SecurityModel::Security3rd),
+        );
         let v = o.route(AsId(1)).unwrap();
         assert!(!v.secure);
         assert_eq!(v.length, 2);
@@ -769,7 +807,11 @@ mod tests {
         let mut e = Engine::new(&g);
 
         // Standard LP: customer wins.
-        let o = e.compute(AttackScenario::normal(AsId(0)), &dep, sec(SecurityModel::Security3rd));
+        let o = e.compute(
+            AttackScenario::normal(AsId(0)),
+            &dep,
+            sec(SecurityModel::Security3rd),
+        );
         assert_eq!(o.route(AsId(1)).unwrap().class, crate::RouteClass::Customer);
 
         // LP2: the 1-hop peer route wins.
@@ -833,8 +875,7 @@ mod tests {
         // Deploy S*BGP at {d, r, q, p2, a}: a switches to the secure
         // provider route (len 4); s's legitimate route becomes len 5 and
         // the bogus route (len 4) wins. Collateral damage.
-        let dep =
-            Deployment::full_from_iter(10, [AsId(0), AsId(1), AsId(2), AsId(3), AsId(5)]);
+        let dep = Deployment::full_from_iter(10, [AsId(0), AsId(1), AsId(2), AsId(3), AsId(5)]);
         let o = e.compute(attack, &dep, sec(SecurityModel::Security2nd));
         let a = o.route(AsId(5)).unwrap();
         assert!(a.secure);
@@ -879,7 +920,11 @@ mod tests {
         let g = b.build();
         let dep = Deployment::empty(3);
         let mut e = Engine::new(&g);
-        let o = e.compute(AttackScenario::normal(AsId(0)), &dep, sec(SecurityModel::Security3rd));
+        let o = e.compute(
+            AttackScenario::normal(AsId(0)),
+            &dep,
+            sec(SecurityModel::Security3rd),
+        );
         assert!(o.route(AsId(2)).is_none());
         assert_eq!(o.flags(AsId(2)), RootFlags::NONE);
     }
@@ -950,7 +995,11 @@ mod tests {
         let g = chain();
         let dep = Deployment::empty(g.len());
         let mut e = Engine::new(&g);
-        let o = e.compute(AttackScenario::normal(AsId(0)), &dep, sec(SecurityModel::Security3rd));
+        let o = e.compute(
+            AttackScenario::normal(AsId(0)),
+            &dep,
+            sec(SecurityModel::Security3rd),
+        );
         // e(5) -> q(4) -> t(2) -> p(1) -> d(0).
         assert_eq!(
             o.trace(AsId(5)),
@@ -992,13 +1041,25 @@ mod tests {
         let dep = Deployment::empty(g.len());
         let mut e = Engine::new(&g);
         let first: Vec<Option<crate::RouteInfo>> = {
-            let o = e.compute(AttackScenario::normal(AsId(0)), &dep, sec(SecurityModel::Security3rd));
+            let o = e.compute(
+                AttackScenario::normal(AsId(0)),
+                &dep,
+                sec(SecurityModel::Security3rd),
+            );
             g.ases().map(|v| o.route(v)).collect()
         };
         // Interleave a different computation.
-        let _ = e.compute(AttackScenario::attack(AsId(5), AsId(0)), &dep, sec(SecurityModel::Security2nd));
+        let _ = e.compute(
+            AttackScenario::attack(AsId(5), AsId(0)),
+            &dep,
+            sec(SecurityModel::Security2nd),
+        );
         let again: Vec<Option<crate::RouteInfo>> = {
-            let o = e.compute(AttackScenario::normal(AsId(0)), &dep, sec(SecurityModel::Security3rd));
+            let o = e.compute(
+                AttackScenario::normal(AsId(0)),
+                &dep,
+                sec(SecurityModel::Security3rd),
+            );
             g.ases().map(|v| o.route(v)).collect()
         };
         assert_eq!(first, again);

@@ -192,11 +192,19 @@ mod tests {
         let mut tight = MetricAccumulator::default();
         let mut loose = MetricAccumulator::default();
         for _ in 0..10 {
-            tight.add(HappyCount { lower: 5, upper: 5, sources: 10 });
+            tight.add(HappyCount {
+                lower: 5,
+                upper: 5,
+                sources: 10,
+            });
         }
         for i in 0..10 {
             let l = if i % 2 == 0 { 0 } else { 10 };
-            loose.add(HappyCount { lower: l, upper: l, sources: 10 });
+            loose.add(HappyCount {
+                lower: l,
+                upper: l,
+                sources: 10,
+            });
         }
         assert_eq!(tight.stderr().lower, 0.0, "constant samples");
         assert!(loose.stderr().lower > 0.1, "alternating samples");

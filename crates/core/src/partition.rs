@@ -205,11 +205,11 @@ impl<'g> PartitionComputer<'g> {
     fn compute_sec1(&mut self, m: AsId, d: AsId) {
         self.compute_reachability(m, d);
         let anchored = self.compute_anchored(m, d);
-        for i in 0..self.fates.len() {
+        for (i, fate) in self.fates.iter_mut().enumerate() {
             let r = self.reach[i];
             let to_d = r & ANY_D != 0;
             let to_m = r & ANY_M != 0;
-            self.fates[i] = match (to_d, to_m) {
+            *fate = match (to_d, to_m) {
                 // Immune needs a deployment-proof route; m-free sources
                 // without an anchor can end up routeless (never unhappy,
                 // but not guaranteed happy) — conservatively protectable.
@@ -355,7 +355,8 @@ impl<'g> PartitionComputer<'g> {
                 pd |= self.long_d[ui] || self.exact_d[ui] & (1 << k) != 0;
             }
             if u != d {
-                pm |= self.long_m[ui] || (k >= 1 && self.exact_m[ui] & (1 << k) != 0)
+                pm |= self.long_m[ui]
+                    || (k >= 1 && self.exact_m[ui] & (1 << k) != 0)
                     || (k == 1 && u == m);
             }
         }
@@ -381,12 +382,10 @@ impl<'g> PartitionComputer<'g> {
             }
             let mut bits = 0u8;
             for &u in self.graph.peers(v) {
-                if (u == d || (u != m && self.reach[u.index()] & UP_D != 0)) && bits & PEER_D == 0
-                {
+                if (u == d || (u != m && self.reach[u.index()] & UP_D != 0)) && bits & PEER_D == 0 {
                     bits |= PEER_D;
                 }
-                if (u == m || (u != d && self.reach[u.index()] & UP_M != 0)) && bits & PEER_M == 0
-                {
+                if (u == m || (u != d && self.reach[u.index()] & UP_M != 0)) && bits & PEER_M == 0 {
                     bits |= PEER_M;
                 }
             }
@@ -666,8 +665,8 @@ mod tests {
         b.add_provider(AsId(3), AsId(2)).unwrap(); // w customer of u
         b.add_peering(AsId(2), AsId(0)).unwrap(); // u peers d directly
         b.add_peering(AsId(1), AsId(2)).unwrap(); // v peers u
-        // attacker m(4) far away: customer of v? No — keep m isolated from
-        // v's perceivable routes: m is a customer of w.
+                                                  // attacker m(4) far away: customer of v? No — keep m isolated from
+                                                  // v's perceivable routes: m is a customer of w.
         b.add_provider(AsId(4), AsId(3)).unwrap();
         let g = b.build();
         let mut pc = PartitionComputer::new(&g);
@@ -737,14 +736,12 @@ mod tests {
                     continue;
                 }
                 match fates[v.index()] {
-                    Fate::Immune => assert!(
-                        o.flags(v).may_reach_destination(),
-                        "{v} predicted immune"
-                    ),
-                    Fate::Doomed => assert!(
-                        o.flags(v).may_reach_attacker(),
-                        "{v} predicted doomed"
-                    ),
+                    Fate::Immune => {
+                        assert!(o.flags(v).may_reach_destination(), "{v} predicted immune")
+                    }
+                    Fate::Doomed => {
+                        assert!(o.flags(v).may_reach_attacker(), "{v} predicted doomed")
+                    }
                     _ => {}
                 }
             }

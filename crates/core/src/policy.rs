@@ -263,6 +263,9 @@ mod tests {
         assert_eq!(SecurityModel::Security2nd.label(), "Sec 2nd");
         assert_eq!(LpVariant::LpK(2).to_string(), "LP2");
         assert_eq!(LpVariant::LpK(3).to_string(), "LP3");
-        assert_eq!(Policy::new(SecurityModel::Security1st).to_string(), "Sec 1st / LP");
+        assert_eq!(
+            Policy::new(SecurityModel::Security1st).to_string(),
+            "Sec 1st / LP"
+        );
     }
 }

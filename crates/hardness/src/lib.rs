@@ -103,7 +103,8 @@ pub fn reduce(instance: &SetCoverInstance) -> Gadget {
         for &e in members {
             assert!(e < n, "element out of range");
             // s_j is a customer of e's AS.
-            b.add_provider(sets[j], elements[e]).expect("set -> element");
+            b.add_provider(sets[j], elements[e])
+                .expect("set -> element");
         }
     }
     for &e in &elements {
@@ -401,7 +402,12 @@ mod tests {
                 k,
                 Policy::new(SecurityModel::Security3rd),
             );
-            assert!(g.happy <= b.happy, "k={k}: greedy {} > brute {}", g.happy, b.happy);
+            assert!(
+                g.happy <= b.happy,
+                "k={k}: greedy {} > brute {}",
+                g.happy,
+                b.happy
+            );
             assert!(g.secure.len() <= k);
         }
     }
@@ -420,9 +426,25 @@ mod tests {
         let gadget = reduce(&inst);
         let k = inst.universe + 2; // d + 3 elements + the big set
         let policy = Policy::new(SecurityModel::Security2nd);
-        let b = brute_force(&gadget.graph, gadget.attacker, gadget.destination, k, policy);
-        assert_eq!(b.happy, inst.universe + inst.sets.len(), "optimum protects all");
-        let g = greedy(&gadget.graph, gadget.attacker, gadget.destination, k, policy);
+        let b = brute_force(
+            &gadget.graph,
+            gadget.attacker,
+            gadget.destination,
+            k,
+            policy,
+        );
+        assert_eq!(
+            b.happy,
+            inst.universe + inst.sets.len(),
+            "optimum protects all"
+        );
+        let g = greedy(
+            &gadget.graph,
+            gadget.attacker,
+            gadget.destination,
+            k,
+            policy,
+        );
         assert!(
             g.happy < b.happy,
             "greedy {} should fall short of the optimum {}",

@@ -29,11 +29,15 @@
 use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use sbgp_core::policy::preference_key;
 use sbgp_core::{AttackScenario, Deployment, LpVariant, Policy, SecurityModel};
 use sbgp_topology::{AsGraph, AsId, NeighborClass};
+
+/// [`preference_key`] output plus the lowest-neighbor-id tie-break; the
+/// full comparison key of the decision process. Lower is better.
+type RankedKey = ((u32, u32, u32), u32);
 
 /// A route as carried in announcements: the sender's full AS path
 /// (sender first, destination last) and whether it was carried over S\*BGP
@@ -167,8 +171,12 @@ impl<'g> Simulator<'g> {
             variant: policy.variant,
             ranks: vec![policy.model; n],
             scenario,
-            rib_in: (0..n).map(|i| vec![None; graph.degree(AsId(i as u32))]).collect(),
-            adj_out: (0..n).map(|i| vec![None; graph.degree(AsId(i as u32))]).collect(),
+            rib_in: (0..n)
+                .map(|i| vec![None; graph.degree(AsId(i as u32))])
+                .collect(),
+            adj_out: (0..n)
+                .map(|i| vec![None; graph.degree(AsId(i as u32))])
+                .collect(),
             selected: vec![None; n],
             queue: VecDeque::new(),
             failed: Vec::new(),
@@ -225,7 +233,10 @@ impl<'g> Simulator<'g> {
             } else {
                 self.adj_out[attacker.index()][slot] = Some(bogus.clone());
             }
-            self.queue.push_back(Message { from: attacker, to: u });
+            self.queue.push_back(Message {
+                from: attacker,
+                to: u,
+            });
         }
     }
 
@@ -238,7 +249,10 @@ impl<'g> Simulator<'g> {
     }
 
     fn link_is_up(&self, a: AsId, b: AsId) -> bool {
-        !self.failed.iter().any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+        !self
+            .failed
+            .iter()
+            .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
     }
 
     /// Install the root announcements in the roots' adj-out and queue the
@@ -340,8 +354,7 @@ impl<'g> Simulator<'g> {
         // and the challenger is insecure.
         if self.hysteresis {
             if let Some(cur) = &self.selected[v.index()] {
-                let challenger_insecure =
-                    best.as_ref().map(|b| !b.secure).unwrap_or(true);
+                let challenger_insecure = best.as_ref().map(|b| !b.secure).unwrap_or(true);
                 if cur.secure && challenger_insecure && self.still_available(v, cur) {
                     best = self.selected[v.index()].clone();
                 }
@@ -361,11 +374,14 @@ impl<'g> Simulator<'g> {
     }
 
     /// The decision process: pick the best loop-free route in `rib_in`.
+    ///
+    /// `RankedKey` is the policy preference key plus the lowest-neighbor-id
+    /// tie-break; see [`preference_key`].
     fn best_route(&self, v: AsId) -> Option<Selected> {
         let vi = v.index();
         let validating = self.deployment.validates(v);
         let policy = Policy::with_variant(self.ranks[vi], self.variant);
-        let mut best: Option<(((u32, u32, u32), u32), Selected)> = None;
+        let mut best: Option<(RankedKey, Selected)> = None;
         for (slot, &u) in self.graph.neighbors(v).iter().enumerate() {
             let Some(route) = &self.rib_in[vi][slot] else {
                 continue;
@@ -753,7 +769,10 @@ mod tests {
             let mut sim = Simulator::new(&g, &dep, policy, AttackScenario::normal(AsId(0)));
             sim.set_hysteresis(hysteresis);
             sim.run(Schedule::Fifo, 100_000);
-            assert!(sim.selected(AsId(1)).unwrap().secure, "secure before attack");
+            assert!(
+                sim.selected(AsId(1)).unwrap().secure,
+                "secure before attack"
+            );
 
             sim.launch_attack(AsId(4), sbgp_core::AttackStrategy::FakeLink);
             sim.run(Schedule::Fifo, 100_000);

@@ -268,7 +268,10 @@ pub fn weighted_baseline(net: &Internet, cfg: &ExperimentConfig) -> Vec<(String,
     };
 
     vec![
-        ("uniform source weights".to_string(), run(&TrafficWeights::uniform(net.len()))),
+        (
+            "uniform source weights".to_string(),
+            run(&TrafficWeights::uniform(net.len())),
+        ),
         (
             "hypergiant-skewed weights".to_string(),
             run(&TrafficWeights::cp_heavy(net)),
@@ -290,7 +293,10 @@ mod tests {
         assert_eq!(rows.len(), 4);
         // Hijacking (no RPKI) is at least as damaging as the fake link,
         // and the full sec-1st deployment is the best defense.
-        assert!(rows[0].metric.lower <= rows[1].metric.lower + 1e-9, "RPKI helps");
+        assert!(
+            rows[0].metric.lower <= rows[1].metric.lower + 1e-9,
+            "RPKI helps"
+        );
         assert!(
             rows[3].metric.lower >= rows[1].metric.lower - 1e-9,
             "S*BGP sec-1st helps further"
@@ -316,7 +322,11 @@ mod tests {
 
     #[test]
     fn islands_sit_between_uniform_models() {
-        let rows = islands(&net(), &ExperimentConfig::small(3), SecurityModel::Security3rd);
+        let rows = islands(
+            &net(),
+            &ExperimentConfig::small(3),
+            SecurityModel::Security3rd,
+        );
         assert_eq!(rows.len(), 3);
         let uniform3 = rows[0].census.happy as f64 / rows[0].census.sources as f64;
         let island = rows[1].census.happy as f64 / rows[1].census.sources as f64;

@@ -38,11 +38,7 @@ impl DestinationSeries {
 
     /// Fraction of destinations whose lower-bound improvement is below `x`.
     pub fn fraction_below(&self, x: f64) -> f64 {
-        let n = self
-            .deltas
-            .iter()
-            .filter(|(_, b)| b.lower < x)
-            .count();
+        let n = self.deltas.iter().filter(|(_, b)| b.lower < x).count();
         n as f64 / self.deltas.len().max(1) as f64
     }
 }

@@ -165,14 +165,16 @@ mod tests {
             );
         }
         // Security 1st's metric change is at least security 3rd's.
-        assert!(
-            sec1.analysis.metric_change_lower() >= sec3.analysis.metric_change_lower() - 1e-9
-        );
+        assert!(sec1.analysis.metric_change_lower() >= sec3.analysis.metric_change_lower() - 1e-9);
     }
 
     #[test]
     fn figure13_bars_are_consistent() {
-        let bars = figure13(&net(), &ExperimentConfig::small(8), SecurityModel::Security3rd);
+        let bars = figure13(
+            &net(),
+            &ExperimentConfig::small(8),
+            SecurityModel::Security3rd,
+        );
         assert_eq!(bars.len(), 17);
         for b in &bars {
             assert!(b.secure_normal >= 0.0 && b.secure_normal <= 1.0);

@@ -1,8 +1,8 @@
 //! The parallel simulation harness.
 //!
 //! The paper ran its `O(|M||D|(|V|+|E|))` computations with MPI on Blue
-//! Gene and Blacklight (Appendix H); here a crossbeam scope plays the same
-//! role on one machine. Work items (attacker–destination pairs, or whole
+//! Gene and Blacklight (Appendix H); here a `std::thread::scope` plays the
+//! same role on one machine. Work items (attacker–destination pairs, or whole
 //! destinations) are claimed from an atomic counter in small chunks; every
 //! worker owns its own reusable [`Engine`] / [`PairAnalyzer`] /
 //! [`PartitionComputer`], so there is no shared mutable state and no
@@ -75,14 +75,14 @@ where
     }
 
     let mut total = make_acc();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let cursor = &cursor;
             let make_worker = &make_worker;
             let make_acc = &make_acc;
             let step = &step;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut worker = make_worker();
                 let mut acc = make_acc();
                 loop {
@@ -101,8 +101,7 @@ where
         for h in handles {
             merge(&mut total, h.join().expect("worker panicked"));
         }
-    })
-    .expect("scope");
+    });
     total
 }
 
@@ -294,10 +293,7 @@ mod tests {
         let attackers = sample::sample_non_stubs(&net, 4, 9);
         let dests = sample::sample_all(&net, 6, 10);
         let pairs = sample::pairs(&attackers, &dests);
-        let dep = Deployment::full_from_iter(
-            net.len(),
-            net.tiers.tier1().iter().copied(),
-        );
+        let dep = Deployment::full_from_iter(net.len(), net.tiers.tier1().iter().copied());
         for model in SecurityModel::ALL {
             let a = analysis(&net, &pairs, &dep, Policy::new(model), Parallelism(2));
             assert!(a.metric_change_identity_holds(), "{model}");

@@ -8,7 +8,7 @@
 //! `D` to be fixed independently of `S`).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use sbgp_topology::tier::{Tier, TierMap};
 use sbgp_topology::AsId;

@@ -35,9 +35,9 @@ impl TrafficWeights {
     pub fn cp_heavy(net: &Internet) -> TrafficWeights {
         let n = net.len();
         let mut weights = vec![1.0; n];
-        for i in 0..n {
+        for (i, w) in weights.iter_mut().enumerate() {
             let v = AsId(i as u32);
-            weights[i] = match net.tiers.tier(v) {
+            *w = match net.tiers.tier(v) {
                 Tier::Cp => 400.0,
                 Tier::SmallCp => 25.0,
                 Tier::Tier1 | Tier::Tier2 => 10.0,

@@ -106,12 +106,7 @@ impl GraphBuilder {
 
     /// Declare an edge by [`Relationship`], read from `a`'s perspective
     /// (`a` is the customer for [`Relationship::CustomerToProvider`]).
-    pub fn add_edge(
-        &mut self,
-        a: AsId,
-        b: AsId,
-        rel: Relationship,
-    ) -> Result<(), TopologyError> {
+    pub fn add_edge(&mut self, a: AsId, b: AsId, rel: Relationship) -> Result<(), TopologyError> {
         match rel {
             Relationship::CustomerToProvider => self.add_provider(a, b),
             Relationship::PeerToPeer => self.add_peering(a, b),

@@ -6,7 +6,7 @@
 //! acyclic provider hierarchy (a Gao–Rexford prerequisite) by construction.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::tier::TierConfig;
 use crate::{AsGraph, AsId, GraphBuilder};
@@ -253,7 +253,15 @@ pub fn generate(config: &InternetConfig) -> GeneratedInternet {
     for i in cp_end..n {
         let v = AsId(i as u32);
         let nprov = draw_count(&mut rng, c.mean_stub_providers, 1);
-        attach_providers(&mut b, &mut rng, &mut pool, v, nprov, c.stub_t1_bias, t1_end);
+        attach_providers(
+            &mut b,
+            &mut rng,
+            &mut pool,
+            v,
+            nprov,
+            c.stub_t1_bias,
+            t1_end,
+        );
         if i - cp_end < stub_x_target {
             let npeer = draw_count(&mut rng, c.stub_x_peer_mean, 1);
             // Stubs-x peer with transit ASes or with other already-built
@@ -304,13 +312,7 @@ fn attach_providers(
 }
 
 /// Attach up to `count` peering links from `v` to members of `partners`.
-fn attach_peers(
-    b: &mut GraphBuilder,
-    rng: &mut StdRng,
-    v: AsId,
-    count: usize,
-    partners: &[AsId],
-) {
+fn attach_peers(b: &mut GraphBuilder, rng: &mut StdRng, v: AsId, count: usize, partners: &[AsId]) {
     if partners.is_empty() {
         return;
     }

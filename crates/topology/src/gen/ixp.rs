@@ -9,7 +9,7 @@
 //! already peer (mid-tier ISPs, content providers, stubs-x).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::{AsGraph, AsId, GraphBuilder};
 

@@ -178,8 +178,7 @@ mod tests {
         for v in g.ases() {
             let v2 = to_g2[&g.asn_label(v)];
             let mut provs: Vec<u32> = g.providers(v).iter().map(|&p| g.asn_label(p)).collect();
-            let mut provs2: Vec<u32> =
-                g2.providers(v2).iter().map(|&p| g2.asn_label(p)).collect();
+            let mut provs2: Vec<u32> = g2.providers(v2).iter().map(|&p| g2.asn_label(p)).collect();
             provs.sort_unstable();
             provs2.sort_unstable();
             assert_eq!(provs, provs2, "{v} providers");

@@ -22,10 +22,7 @@ impl Pruned {
     /// Map an input-graph id to the pruned graph, if it survived.
     pub fn new_id(&self, old: AsId) -> Option<AsId> {
         // old_id is sorted because retained ids keep their relative order.
-        self.old_id
-            .binary_search(&old)
-            .ok()
-            .map(|i| AsId(i as u32))
+        self.old_id.binary_search(&old).ok().map(|i| AsId(i as u32))
     }
 }
 

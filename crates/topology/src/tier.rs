@@ -125,8 +125,7 @@ impl TierMap {
             .ases()
             .filter(|&v| graph.provider_degree(v) == 0 && graph.customer_degree(v) > 0)
             .collect();
-        t1_candidates
-            .sort_by_key(|&v| (std::cmp::Reverse(graph.customer_degree(v)), v));
+        t1_candidates.sort_by_key(|&v| (std::cmp::Reverse(graph.customer_degree(v)), v));
         t1_candidates.truncate(config.tier1_count);
         for &v in &t1_candidates {
             tiers[v.index()] = Tier::Tier1;
@@ -142,8 +141,7 @@ impl TierMap {
                     && !assigned.contains(v)
             })
             .collect();
-        with_providers
-            .sort_by_key(|&v| (std::cmp::Reverse(graph.customer_degree(v)), v));
+        with_providers.sort_by_key(|&v| (std::cmp::Reverse(graph.customer_degree(v)), v));
         let tier2: Vec<AsId> = with_providers
             .iter()
             .copied()
@@ -351,7 +349,15 @@ mod tests {
         // no customers — Table 1 row precedence).
         assert_eq!(
             m,
-            vec![AsId(0), AsId(1), AsId(2), AsId(3), AsId(4), AsId(5), AsId(6)]
+            vec![
+                AsId(0),
+                AsId(1),
+                AsId(2),
+                AsId(3),
+                AsId(4),
+                AsId(5),
+                AsId(6)
+            ]
         );
     }
 

@@ -25,8 +25,7 @@ fn damage_gadget() -> (AsGraph, Deployment, AsId, AsId, AsId) {
     b.add_provider(AsId(8), AsId(7)).unwrap();
     b.add_provider(AsId(9), AsId(8)).unwrap();
     let graph = b.build();
-    let deployment =
-        Deployment::full_from_iter(10, [AsId(0), AsId(1), AsId(2), AsId(3), AsId(5)]);
+    let deployment = Deployment::full_from_iter(10, [AsId(0), AsId(1), AsId(2), AsId(3), AsId(5)]);
     (graph, deployment, AsId(9), AsId(0), AsId(6))
 }
 
@@ -64,9 +63,15 @@ fn main() {
     let policy = Policy::new(SecurityModel::Security2nd);
 
     let o = engine.compute(AttackScenario::attack(m, d), &Deployment::empty(10), policy);
-    println!("S = ∅:        bystander routes to the {}", fate(o, bystander));
+    println!(
+        "S = ∅:        bystander routes to the {}",
+        fate(o, bystander)
+    );
     let o = engine.compute(AttackScenario::attack(m, d), &deployment, policy);
-    println!("S deployed:   bystander routes to the {}", fate(o, bystander));
+    println!(
+        "S deployed:   bystander routes to the {}",
+        fate(o, bystander)
+    );
     assert!(o.flags(bystander).surely_unhappy());
     println!("=> securing five *other* ASes made this AS worse off\n");
 

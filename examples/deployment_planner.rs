@@ -54,7 +54,13 @@ fn main() {
     for cand in &candidates {
         let dests = sample::sample_from(&scenario::secure_destinations(cand), 60, 3);
         // Operators will realistically run security 3rd (survey: 41%).
-        let delta = improvement(&net, &cand.deployment, &attackers, &dests, SecurityModel::Security3rd);
+        let delta = improvement(
+            &net,
+            &cand.deployment,
+            &attackers,
+            &dests,
+            SecurityModel::Security3rd,
+        );
         println!(
             "  {:24} |S| = {:4}  ΔH = {delta}",
             cand.label,
@@ -75,11 +81,11 @@ fn main() {
     for model in [SecurityModel::Security1st, SecurityModel::Security3rd] {
         let a = improvement(&net, &full.deployment, &attackers, &dests, model);
         let b = improvement(&net, &simplex.deployment, &attackers, &dests, model);
-        println!(
-            "{model}: full-at-stubs ΔH = {a}   simplex-at-stubs ΔH = {b}"
-        );
+        println!("{model}: full-at-stubs ΔH = {a}   simplex-at-stubs ΔH = {b}");
     }
-    println!("\nsimplex mode costs almost nothing — deploy it at the {} stubs",
-        full.deployment.secure_count() - full.non_stub_count);
+    println!(
+        "\nsimplex mode costs almost nothing — deploy it at the {} stubs",
+        full.deployment.secure_count() - full.non_stub_count
+    );
     println!("(§5.3.2: stubs never transit, so their validation doesn't protect others)");
 }

@@ -64,7 +64,11 @@ fn main() {
     for model in SecurityModel::ALL {
         println!("==== {model} ====");
         println!("normal conditions:");
-        let o = engine.compute(AttackScenario::normal(AsId(0)), &deployment, Policy::new(model));
+        let o = engine.compute(
+            AttackScenario::normal(AsId(0)),
+            &deployment,
+            Policy::new(model),
+        );
         show(o);
 
         println!("under the \"m, Level3\" attack:");
@@ -78,7 +82,10 @@ fn main() {
         let victim = o.route(AsId(1)).expect("victim routes somewhere");
         match model {
             SecurityModel::Security1st => {
-                assert!(victim.secure, "Theorem 3.1: no downgrade when security is 1st");
+                assert!(
+                    victim.secure,
+                    "Theorem 3.1: no downgrade when security is 1st"
+                );
                 println!("  => the victim keeps its secure route (Theorem 3.1)\n");
             }
             _ => {

@@ -45,22 +45,49 @@ fn main() {
         &[],
         policy,
     );
-    println!("\nS = ∅: {baseline}/{all_sources} sources surely happy (the torn elements count against)");
+    println!(
+        "\nS = ∅: {baseline}/{all_sources} sources surely happy (the torn elements count against)"
+    );
 
     // k = n + γ + 1 is exactly enough: d, all elements, and a minimum cover.
     let k = instance.universe + gamma + 1;
-    let exact = brute_force(&gadget.graph, gadget.attacker, gadget.destination, k, policy);
-    println!("\nbrute force, k = {k}: {}/{all_sources} happy", exact.happy);
+    let exact = brute_force(
+        &gadget.graph,
+        gadget.attacker,
+        gadget.destination,
+        k,
+        policy,
+    );
+    println!(
+        "\nbrute force, k = {k}: {}/{all_sources} happy",
+        exact.happy
+    );
     println!("  optimal S = {:?}", exact.secure);
     assert_eq!(exact.happy, all_sources, "a γ-cover protects everyone");
 
     // One AS less cannot (that *is* the reduction's forward direction).
-    let short = brute_force(&gadget.graph, gadget.attacker, gadget.destination, k - 1, policy);
-    println!("brute force, k = {}: {}/{all_sources} happy", k - 1, short.happy);
+    let short = brute_force(
+        &gadget.graph,
+        gadget.attacker,
+        gadget.destination,
+        k - 1,
+        policy,
+    );
+    println!(
+        "brute force, k = {}: {}/{all_sources} happy",
+        k - 1,
+        short.happy
+    );
     assert!(short.happy < all_sources);
 
     // The greedy heuristic is polynomial but myopic.
-    let g = greedy(&gadget.graph, gadget.attacker, gadget.destination, k, policy);
+    let g = greedy(
+        &gadget.graph,
+        gadget.attacker,
+        gadget.destination,
+        k,
+        policy,
+    );
     println!("greedy,      k = {k}: {}/{all_sources} happy", g.happy);
     println!(
         "\n=> deciding where to deploy S*BGP embeds Set Cover: Max-k-Security is NP-hard\n   (and simple heuristics{} leave value on the table here)",

@@ -65,7 +65,11 @@ fn main() {
 
     println!("\nattacks on island destinations:");
     let uniform3 = run("everyone security 3rd", false, SecurityModel::Security3rd);
-    let islanded = run("island sec 1st, outside sec 3rd", true, SecurityModel::Security3rd);
+    let islanded = run(
+        "island sec 1st, outside sec 3rd",
+        true,
+        SecurityModel::Security3rd,
+    );
     let uniform1 = run("everyone security 1st", false, SecurityModel::Security1st);
 
     // Structural insight: only *validating* ASes have a SecP step at all,

@@ -27,7 +27,11 @@ fn main() {
 
     // Evaluate under each security model with half the rollout deployed.
     let step = scenario::tier12_step(&net, 13, 50);
-    println!("deployment: {} ({} secure ASes)\n", step.label, step.deployment.secure_count());
+    println!(
+        "deployment: {} ({} secure ASes)\n",
+        step.label,
+        step.deployment.secure_count()
+    );
 
     let mut engine = Engine::new(&net.graph);
     for model in SecurityModel::ALL {
@@ -61,7 +65,13 @@ fn main() {
     );
     println!("\nH(∅)  = {baseline}  (origin authentication only)");
     for model in SecurityModel::ALL {
-        let h = runner::metric(&net, &pairs, &step.deployment, Policy::new(model), Parallelism(1));
+        let h = runner::metric(
+            &net,
+            &pairs,
+            &step.deployment,
+            Policy::new(model),
+            Parallelism(1),
+        );
         println!("H(S) − H(∅) under {model}: {}", h.minus(baseline));
     }
     println!("\n(the juice: big under security 1st, meagre under security 3rd)");

@@ -41,9 +41,10 @@
 //! assert!(h.lower > 0.0 && h.upper <= 1.0);
 //! ```
 //!
-//! See `README.md` for the architecture tour, `DESIGN.md` for the
-//! paper-to-module inventory, and `EXPERIMENTS.md` for measured-vs-paper
-//! results for every figure.
+//! See `README.md` for the architecture tour and the paper-to-crate
+//! inventory. Measured-vs-paper results for every figure are regenerated
+//! by `cargo run --release -p sbgp_bench --bin run_all` (one section per
+//! figure/table on stdout).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,75 @@
+//! Deliverable smoke tests.
+//!
+//! The workspace's real product is the set of figure/table binaries and
+//! examples; a green `cargo test` on the libraries alone would not notice
+//! a bin that no longer compiles. These tests shell out to cargo (sharing
+//! the same target directory, so everything already built stays cached)
+//! to assert that every registered target builds, and they run one figure
+//! binary end-to-end on a tiny topology to guard the full
+//! generator → sampler → engine → renderer pipeline.
+
+use std::path::Path;
+use std::process::Command;
+
+fn cargo() -> Command {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(Path::new(env!("CARGO_MANIFEST_DIR")));
+    cmd.arg("--offline");
+    cmd
+}
+
+/// Every bin, example, and bench target in the workspace must compile.
+#[test]
+fn all_targets_build() {
+    let out = cargo()
+        .args(["build", "--workspace", "--bins", "--examples", "--benches"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        out.status.success(),
+        "cargo build --bins --examples --benches failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// One figure binary, end to end, on a 200-AS topology: the banner and a
+/// rendered table must come out, and the process must exit 0.
+#[test]
+fn figure03_runs_end_to_end_on_tiny_topology() {
+    let out = cargo()
+        .args([
+            "run",
+            "-q",
+            "-p",
+            "sbgp_bench",
+            "--bin",
+            "figure03",
+            "--",
+            "--asns",
+            "200",
+            "--attackers",
+            "2",
+            "--destinations",
+            "4",
+            "--per-tier",
+            "1",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("failed to spawn cargo run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "figure03 exited nonzero:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("Figure 3"),
+        "figure03 printed no banner:\n{stdout}"
+    );
+    assert!(
+        stdout.lines().count() > 5,
+        "figure03 output suspiciously short:\n{stdout}"
+    );
+}

@@ -24,7 +24,7 @@ fn graph_from_codes(n: usize, codes: &[u8]) -> AsGraph {
         for j in (i + 1)..n {
             match codes[k] % 8 {
                 // Sparse: most pairs are unconnected.
-                0 | 1 | 2 | 3 => {}
+                0..=3 => {}
                 4 => b.add_peering(AsId(i as u32), AsId(j as u32)).unwrap(),
                 // i is the provider of j.
                 _ => b.add_provider(AsId(j as u32), AsId(i as u32)).unwrap(),
@@ -57,14 +57,16 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
             0..n,
             any::<bool>(),
         )
-            .prop_map(|(n, codes, secure_bits, attacker, destination, hijack)| Instance {
-                n,
-                codes,
-                secure_bits,
-                attacker,
-                destination,
-                hijack,
-            })
+            .prop_map(
+                |(n, codes, secure_bits, attacker, destination, hijack)| Instance {
+                    n,
+                    codes,
+                    secure_bits,
+                    attacker,
+                    destination,
+                    hijack,
+                },
+            )
     })
 }
 

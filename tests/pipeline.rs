@@ -19,7 +19,11 @@ fn generated_internet_has_paper_shape() {
     let stats = GraphStats::compute(&net.graph);
     assert!(net.graph.provider_hierarchy_is_acyclic());
     assert!(net.graph.is_connected());
-    assert!(stats.stub_share() > 0.75, "stub share {}", stats.stub_share());
+    assert!(
+        stats.stub_share() > 0.75,
+        "stub share {}",
+        stats.stub_share()
+    );
     assert_eq!(net.tiers.tier1().len(), 13);
     assert_eq!(net.tiers.tier2().len(), 100);
     assert_eq!(net.content_providers.len(), 17);

@@ -26,7 +26,11 @@ fn shape_claims(net: &Internet, cfg: &ExperimentConfig, variant: LpVariant) {
     // 2. Figure 3 ordering: upper bound shrinks with security priority.
     let f3 = partitions::figure3(net, cfg, variant);
     let ub: Vec<f64> = f3.models.iter().map(|(_, s)| s.upper_bound()).collect();
-    assert!(ub[0] >= ub[1] - 1e-9 && ub[1] >= ub[2] - 1e-9, "{}: {ub:?}", net.name);
+    assert!(
+        ub[0] >= ub[1] - 1e-9 && ub[1] >= ub[2] - 1e-9,
+        "{}: {ub:?}",
+        net.name
+    );
 
     // 3. T1 destinations are the most doomed tier (sec 3rd).
     let rows = partitions::by_destination_tier(

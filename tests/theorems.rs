@@ -23,7 +23,7 @@ fn graph_from_codes(n: usize, codes: &[u8]) -> AsGraph {
     for i in 0..n {
         for j in (i + 1)..n {
             match codes[k] % 8 {
-                0 | 1 | 2 | 3 => {}
+                0..=3 => {}
                 4 => b.add_peering(AsId(i as u32), AsId(j as u32)).unwrap(),
                 _ => b.add_provider(AsId(j as u32), AsId(i as u32)).unwrap(),
             }

@@ -1,0 +1,457 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the slice of the proptest API the workspace's property
+//! tests use: the [`strategy::Strategy`] combinators (`prop_map`,
+//! `prop_flat_map`), [`strategy::Just`], [`arbitrary::any`], integer
+//! ranges and tuples as strategies, [`collection::vec`], the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, and the
+//! `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is
+//! **no shrinking**. Cases are sampled deterministically from a fixed
+//! seed, and a failing case panics with the generated value visible in
+//! the assertion message. That keeps the stand-in small while preserving
+//! the tests' coverage and reproducibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// The RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// Core strategy trait and combinators.
+pub mod strategy {
+    use super::TestRng;
+    use core::marker::PhantomData;
+    use core::ops::Range;
+    use rand::Rng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Produce one value using `rng`.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then build and sample a dependent strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// A strategy that always yields a clone of the same value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, T> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn new_value(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+}
+
+/// `any::<T>()` — the canonical strategy for a type.
+pub mod arbitrary {
+    use super::strategy::{Any, Strategy};
+    use super::TestRng;
+    use core::marker::PhantomData;
+    use rand::{Rng, RngCore};
+
+    /// Types with a canonical strategy usable via [`any`].
+    pub trait Arbitrary: Sized {
+        /// Sample one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.random_range(-1.0e6f64..1.0e6)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`, e.g. `any::<u8>()`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use core::ops::Range;
+    use rand::Rng;
+
+    /// How many elements a [`vec`] strategy should produce.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.0.len() <= 1 {
+                self.size.0.start
+            } else {
+                rng.random_range(self.size.0.clone())
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A vector of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test-runner configuration and driver.
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Error type carried by a failing test case. `prop_assert!` in this
+    /// stand-in panics instead of returning this, but bodies may still
+    /// `return Ok(())` / construct errors explicitly, as with real
+    /// proptest.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to generate per property.
+        pub cases: u32,
+        /// Seed for the deterministic case stream.
+        pub rng_seed: u64,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                rng_seed: 0x5eed_cafe,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// Drives a strategy through `config.cases` deterministic cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Build a runner with a seed derived from `config`.
+        pub fn new(config: ProptestConfig) -> Self {
+            let rng = TestRng::seed_from_u64(config.rng_seed);
+            TestRunner { config, rng }
+        }
+
+        /// Run `test` on `config.cases` generated inputs. Failures panic
+        /// (no shrinking in this stand-in).
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        ) {
+            for case in 0..self.config.cases {
+                if let Err(e) = test(strategy.new_value(&mut self.rng)) {
+                    panic!("property failed on case {case}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// The usual `use proptest::prelude::*` imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy) { .. }` becomes
+/// a `#[test]` that samples the strategy `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($pat:pat in $strategy:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = $strategy;
+                let mut runner = $crate::test_runner::TestRunner::new($config);
+                runner.run(
+                    &strategy,
+                    |$pat| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking, so it just
+/// panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone)]
+    struct Pair {
+        n: usize,
+        flags: Vec<bool>,
+    }
+
+    fn arb_pair() -> impl Strategy<Value = Pair> {
+        (2usize..9).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(any::<bool>(), n))
+                .prop_map(|(n, flags)| Pair { n, flags })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_sizes_match(p in arb_pair()) {
+            prop_assert_eq!(p.n, p.flags.len());
+            prop_assert!(p.n >= 2 && p.n < 9, "n = {}", p.n);
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 10usize..20) {
+            prop_assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRunner;
+        let strat = crate::collection::vec(any::<u8>(), 5usize);
+        let mut first: Vec<Vec<u8>> = Vec::new();
+        TestRunner::new(ProptestConfig::with_cases(10)).run(&strat, |v| {
+            first.push(v);
+            Ok(())
+        });
+        let mut second: Vec<Vec<u8>> = Vec::new();
+        TestRunner::new(ProptestConfig::with_cases(10)).run(&strat, |v| {
+            second.push(v);
+            Ok(())
+        });
+        assert_eq!(first, second);
+        let _ = strat.new_value(&mut rand::SeedableRng::seed_from_u64(1));
+    }
+}
