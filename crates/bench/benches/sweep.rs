@@ -1,0 +1,59 @@
+//! Deployment-sweep performance: a 20-step monotone rollout evaluated from
+//! scratch versus incrementally. The rollout loop is the dominant cost of
+//! Figures 7–13, so this ratio is the headline number of the sweep
+//! subsystem (`bench_sweep` emits it as `BENCH_sweep.json`).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgp_bench::sweep_rollout_steps;
+use sbgp_core::{AttackScenario, Engine, Policy, SecurityModel, SweepEngine};
+use sbgp_sim::Internet;
+
+fn sweep_benches(c: &mut Criterion) {
+    let net = Internet::synthetic(4_000, 11);
+    let deps = sweep_rollout_steps(&net, 20);
+    let m = net.tiers.tier2()[0];
+    let d = net.content_providers[0];
+    let scenario = AttackScenario::attack(m, d);
+
+    let mut group = c.benchmark_group("sweep-rollout-20");
+    group.sample_size(5);
+    for model in SecurityModel::ALL {
+        let policy = Policy::new(model);
+        group.bench_with_input(
+            BenchmarkId::new("from-scratch", model.label()),
+            &policy,
+            |b, &policy| {
+                let mut engine = Engine::new(&net.graph);
+                b.iter(|| {
+                    let mut happy = 0usize;
+                    for dep in &deps {
+                        happy += engine.compute(scenario, dep, policy).count_happy().0;
+                    }
+                    black_box(happy)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sweep", model.label()),
+            &policy,
+            |b, &policy| {
+                let mut sweep = SweepEngine::new(&net.graph);
+                b.iter(|| {
+                    let mut happy = 0usize;
+                    sweep.begin(scenario, policy);
+                    for dep in &deps {
+                        sweep.advance(dep);
+                        happy += sweep.count_happy().0;
+                    }
+                    black_box(happy)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_benches);
+criterion_main!(benches);

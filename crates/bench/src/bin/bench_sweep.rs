@@ -1,0 +1,137 @@
+//! Deployment-sweep benchmark: time a growing Tier-2 rollout evaluated
+//! from scratch (one [`Engine::compute`] per step) against the incremental
+//! [`SweepEngine`] path, cross-check that both produce identical happy
+//! counts, and emit `BENCH_sweep.json` so the speedup lands in the perf
+//! trajectory. The default shape is the acceptance scenario: a 4000-AS
+//! graph swept over a 20-step monotone rollout.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sbgp_bench::{sweep_rollout_steps, Cli};
+use sbgp_core::{AttackScenario, Deployment, Engine, Policy, SecurityModel, SweepEngine};
+use sbgp_sim::sample;
+use sbgp_topology::AsId;
+
+const STEPS: usize = 20;
+/// Timed repetitions per side; the minimum is reported (standard
+/// noise-resistant wall-clock practice — both sides get the same deal).
+const REPS: usize = 3;
+
+struct ModelResult {
+    model: SecurityModel,
+    scratch_ms: f64,
+    sweep_ms: f64,
+    refixed_fraction: f64,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Sweep bench — incremental vs from-scratch rollout", &net);
+
+    let deps = sweep_rollout_steps(&net, STEPS);
+    let attackers = sample::sample_non_stubs(&net, cli.config.attackers.min(3), cli.seed);
+    let dests = sample::sample_all(&net, cli.config.destinations.min(2), cli.seed ^ 0xD);
+    let pairs: Vec<(AsId, AsId)> = sample::pairs(&attackers, &dests);
+    assert!(!pairs.is_empty(), "no (m, d) pairs sampled");
+    println!(
+        "rollout: {} steps to {} secure ASes; {} (m, d) pairs",
+        deps.len(),
+        deps.last().map(Deployment::secure_count).unwrap_or(0),
+        pairs.len()
+    );
+    println!();
+
+    let mut results = Vec::new();
+    for model in SecurityModel::ALL {
+        let policy = Policy::with_variant(model, cli.variant);
+
+        let mut scratch = std::time::Duration::MAX;
+        let mut scratch_counts = 0usize;
+        let mut engine = Engine::new(&net.graph);
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            scratch_counts = 0;
+            for &(m, d) in &pairs {
+                for dep in &deps {
+                    let o = engine.compute(AttackScenario::attack(m, d), dep, policy);
+                    scratch_counts += o.count_happy().0;
+                }
+            }
+            scratch = scratch.min(t0.elapsed());
+        }
+
+        let mut swept = std::time::Duration::MAX;
+        let mut sweep_counts = 0usize;
+        let mut sweep = SweepEngine::new(&net.graph);
+        for _ in 0..REPS {
+            let t1 = Instant::now();
+            sweep_counts = 0;
+            for &(m, d) in &pairs {
+                sweep.begin(AttackScenario::attack(m, d), policy);
+                for dep in &deps {
+                    sweep.advance(dep);
+                    sweep_counts += sweep.count_happy().0;
+                }
+            }
+            swept = swept.min(t1.elapsed());
+        }
+
+        assert_eq!(
+            scratch_counts, sweep_counts,
+            "{model}: sweep diverged from from-scratch outcomes"
+        );
+        let stats = sweep.stats();
+        let evaluated = stats.steps().max(1) * net.graph.len();
+        let r = ModelResult {
+            model,
+            scratch_ms: scratch.as_secs_f64() * 1e3,
+            sweep_ms: swept.as_secs_f64() * 1e3,
+            refixed_fraction: stats.refixed_ases as f64 / evaluated as f64,
+        };
+        println!(
+            "{:<8} from-scratch {:>9.1} ms   sweep {:>9.1} ms   speedup {:>5.2}x   re-fixed {:>5.1}% of AS-steps   {} grow rounds / {} incr steps",
+            r.model.label(),
+            r.scratch_ms,
+            r.sweep_ms,
+            r.scratch_ms / r.sweep_ms.max(1e-9),
+            r.refixed_fraction * 100.0,
+            stats.grow_rounds,
+            stats.incremental_steps
+        );
+        results.push(r);
+    }
+
+    let scratch_total: f64 = results.iter().map(|r| r.scratch_ms).sum();
+    let sweep_total: f64 = results.iter().map(|r| r.sweep_ms).sum();
+    let overall = scratch_total / sweep_total.max(1e-9);
+    println!();
+    println!("overall speedup: {overall:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"sweep\",");
+    let _ = writeln!(json, "  \"asns\": {},", net.graph.len());
+    let _ = writeln!(json, "  \"seed\": {},", cli.seed);
+    let _ = writeln!(json, "  \"steps\": {},", deps.len());
+    let _ = writeln!(json, "  \"pairs\": {},", pairs.len());
+    let _ = writeln!(json, "  \"models\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"model\": \"{}\", \"scratch_ms\": {:.3}, \"sweep_ms\": {:.3}, \"speedup\": {:.3}, \"refixed_fraction\": {:.5}}}{}",
+            r.model.label(),
+            r.scratch_ms,
+            r.sweep_ms,
+            r.scratch_ms / r.sweep_ms.max(1e-9),
+            r.refixed_fraction,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"overall_speedup\": {overall:.3}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("wrote BENCH_sweep.json");
+}

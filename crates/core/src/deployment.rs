@@ -109,6 +109,23 @@ impl Deployment {
         self.full.is_empty() && self.simplex.is_empty()
     }
 
+    /// True when this deployment only *adds* security relative to `prev`:
+    /// every full member stays full, and every signer keeps signing
+    /// (simplex members may upgrade to full). This is the monotone-growth
+    /// precondition under which [`crate::SweepEngine`] can recompute
+    /// routing outcomes incrementally.
+    pub fn is_monotone_extension_of(&self, prev: &Deployment) -> bool {
+        self.universe() == prev.universe()
+            && self.full.is_superset(&prev.full)
+            && prev.simplex.iter().all(|v| self.signs_origin(v))
+    }
+
+    /// The ASes that validate under `self` but did not under `prev` — the
+    /// dirty seeds of an incremental sweep step.
+    pub fn newly_validating<'a>(&'a self, prev: &'a Deployment) -> impl Iterator<Item = AsId> + 'a {
+        self.full.iter_added(&prev.full)
+    }
+
     /// Downgrade every stub in the deployment to simplex mode: the paper's
     /// §5.3.2 variant ("the error bars of Figure 7"). A *stub* here is an
     /// AS with no customers, matching the Ex-based argument that such ASes
@@ -177,6 +194,39 @@ mod tests {
         assert!(d.validates(AsId(1)));
         assert!(!d.validates(AsId(2)));
         assert_eq!(d.secure_count(), 2);
+    }
+
+    #[test]
+    fn monotone_extension_rules() {
+        let mut a = Deployment::empty(10);
+        a.insert_full(AsId(1));
+        a.insert_simplex(AsId(2));
+
+        // Adding members (and upgrading simplex to full) is monotone.
+        let mut b = a.clone();
+        b.insert_full(AsId(2));
+        b.insert_full(AsId(3));
+        b.insert_simplex(AsId(4));
+        assert!(b.is_monotone_extension_of(&a));
+        assert!(a.is_monotone_extension_of(&a));
+        assert_eq!(
+            b.newly_validating(&a).collect::<Vec<_>>(),
+            vec![AsId(2), AsId(3)]
+        );
+
+        // Losing a full member is not.
+        let c = Deployment::full_from_iter(10, [AsId(3)]);
+        assert!(!c.is_monotone_extension_of(&a));
+        // Downgrading full to simplex is not.
+        let mut d = Deployment::empty(10);
+        d.insert_simplex(AsId(1));
+        d.insert_simplex(AsId(2));
+        assert!(!d.is_monotone_extension_of(&a));
+        // A signer that stops signing is not.
+        let e = Deployment::full_from_iter(10, [AsId(1)]);
+        assert!(!e.is_monotone_extension_of(&a));
+        // Universe mismatch is not.
+        assert!(!Deployment::empty(9).is_monotone_extension_of(&a));
     }
 
     #[test]

@@ -166,32 +166,9 @@ impl<'g> Engine<'g> {
         deployment: &Deployment,
         policy: Policy,
     ) -> &Outcome {
-        let n = self.graph.len();
-        assert_eq!(
-            deployment.universe(),
-            n,
-            "deployment universe must match the graph"
-        );
-        assert!(scenario.destination.index() < n, "destination out of range");
-        if let Some(m) = scenario.attacker {
-            assert!(m.index() < n, "attacker out of range");
-        }
-
+        self.begin(scenario, deployment, policy);
         self.outcome
-            .reset(n, scenario.destination, scenario.attacker);
-        for q in [
-            &mut self.cust_sec,
-            &mut self.cust_any,
-            &mut self.peer_sec,
-            &mut self.peer_any,
-            &mut self.prov_sec,
-            &mut self.prov_any,
-        ] {
-            q.clear();
-        }
-        self.use_secure_queues =
-            policy.model != SecurityModel::Security3rd && !deployment.is_baseline();
-        self.mark = scenario.mark;
+            .reset(self.graph.len(), scenario.destination, scenario.attacker);
 
         // Roots. The destination announces at depth 0; the attacker's bogus
         // "m, d" announcement makes it a root at depth 1 (§3.1).
@@ -213,6 +190,49 @@ impl<'g> Engine<'g> {
             );
         }
 
+        self.run_schedule(policy, deployment);
+        &self.outcome
+    }
+
+    /// Validate inputs and reset the per-run machinery (queues, secure-queue
+    /// gating, mark) *without* touching the outcome buffers. `compute` calls
+    /// this before resetting the outcome; [`crate::SweepEngine`] calls it
+    /// before re-fixing only a dirty sub-region of a previous outcome.
+    pub(crate) fn begin(
+        &mut self,
+        scenario: AttackScenario,
+        deployment: &Deployment,
+        policy: Policy,
+    ) {
+        let n = self.graph.len();
+        assert_eq!(
+            deployment.universe(),
+            n,
+            "deployment universe must match the graph"
+        );
+        assert!(scenario.destination.index() < n, "destination out of range");
+        if let Some(m) = scenario.attacker {
+            assert!(m.index() < n, "attacker out of range");
+        }
+        for q in [
+            &mut self.cust_sec,
+            &mut self.cust_any,
+            &mut self.peer_sec,
+            &mut self.peer_any,
+            &mut self.prov_sec,
+            &mut self.prov_any,
+        ] {
+            q.clear();
+        }
+        self.use_secure_queues =
+            policy.model != SecurityModel::Security3rd && !deployment.is_baseline();
+        self.mark = scenario.mark;
+    }
+
+    /// Drain every queue in the model's stage order (Appendix B). All fix
+    /// candidates must already be enqueued — by the root fixes in `compute`,
+    /// or by boundary seeding in an incremental sweep step.
+    pub(crate) fn run_schedule(&mut self, policy: Policy, deployment: &Deployment) {
         let k = policy.variant.interleave_depth();
         match policy.model {
             SecurityModel::Security1st => {
@@ -270,8 +290,6 @@ impl<'g> Engine<'g> {
                 self.drain(Class::Provider, tie, u32::MAX, deployment);
             }
         }
-
-        &self.outcome
     }
 
     /// Read access to the last computed outcome.
@@ -279,7 +297,13 @@ impl<'g> Engine<'g> {
         &self.outcome
     }
 
-    fn fix_root(
+    /// Mutable access to the outcome buffers, for [`crate::SweepEngine`]'s
+    /// partial resets.
+    pub(crate) fn outcome_mut(&mut self) -> &mut Outcome {
+        &mut self.outcome
+    }
+
+    pub(crate) fn fix_root(
         &mut self,
         v: AsId,
         len: u32,
@@ -331,6 +355,58 @@ impl<'g> Engine<'g> {
                 if self.use_secure_queues && secure && deployment.validates(c) {
                     self.prov_sec.push(next, c.0);
                 }
+            }
+        }
+    }
+
+    /// Enqueue fix candidates for the unfixed AS `v` from every *fixed*
+    /// neighbor outside `region` — the incremental-sweep dual of
+    /// [`Engine::push_from_fixed`]. Neighbors inside `region` are skipped:
+    /// either they are re-fixed roots (whose own `push_from_fixed` already
+    /// ran) or they will push to `v` when the schedule fixes them.
+    pub(crate) fn seed_from_boundary(
+        &mut self,
+        v: AsId,
+        region: &sbgp_topology::AsSet,
+        deployment: &Deployment,
+    ) {
+        let validating = deployment.validates(v);
+        // Customer- and peer-class routes may only extend what the neighbor
+        // exports upward/sideways: its origin announcement or a customer
+        // route (Ex) — the same admission rule `try_fix` rescans with.
+        for &u in self.graph.customers(v) {
+            let ui = u.index();
+            let ukind = self.outcome.kind[ui];
+            if region.contains(u) || (ukind != KIND_ORIGIN && ukind != KIND_CUSTOMER) {
+                continue;
+            }
+            let next = self.outcome.len[ui] + 1;
+            self.cust_any.push(next, v.0);
+            if self.use_secure_queues && self.outcome.secure[ui] && validating {
+                self.cust_sec.push(next, v.0);
+            }
+        }
+        for &u in self.graph.peers(v) {
+            let ui = u.index();
+            let ukind = self.outcome.kind[ui];
+            if region.contains(u) || (ukind != KIND_ORIGIN && ukind != KIND_CUSTOMER) {
+                continue;
+            }
+            let next = self.outcome.len[ui] + 1;
+            self.peer_any.push(next, v.0);
+            if self.use_secure_queues && self.outcome.secure[ui] && validating {
+                self.peer_sec.push(next, v.0);
+            }
+        }
+        for &u in self.graph.providers(v) {
+            let ui = u.index();
+            if region.contains(u) || self.outcome.kind[ui] == KIND_UNFIXED {
+                continue;
+            }
+            let next = self.outcome.len[ui] + 1;
+            self.prov_any.push(next, v.0);
+            if self.use_secure_queues && self.outcome.secure[ui] && validating {
+                self.prov_sec.push(next, v.0);
             }
         }
     }

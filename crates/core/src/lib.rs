@@ -24,10 +24,14 @@
 //!   benefits and damages (§6.1), and the root-cause decomposition of
 //!   metric changes (§6.2, Figure 16).
 //! * [`metric`] — the security metric `H_{M,D}(S)` of §4.1.
+//! * [`sweep`] — the incremental deployment-sweep engine: for a fixed
+//!   `(m, d, policy)`, recompute outcomes along a monotonically growing
+//!   secure set by re-fixing only a dirty region (rollout curves cost a
+//!   fraction of from-scratch recomputation).
 //!
-//! The crate is single-threaded by design; [`Engine`] instances hold
-//! reusable scratch and the `sbgp-sim` crate runs one engine per worker
-//! thread to parallelize over (attacker, destination) pairs.
+//! The crate is single-threaded by design; [`Engine`] and [`SweepEngine`]
+//! instances hold reusable scratch and the `sbgp-sim` crate runs one per
+//! worker thread to parallelize over (attacker, destination) pairs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +44,7 @@ pub mod metric;
 pub mod outcome;
 pub mod partition;
 pub mod policy;
+pub mod sweep;
 
 pub use analysis::{PairAnalysis, PairAnalyzer};
 pub use attack::{AttackScenario, AttackStrategy};
@@ -49,6 +54,7 @@ pub use metric::{Bounds, HappyCount};
 pub use outcome::{Outcome, RootFlags, RouteClass, RouteInfo};
 pub use partition::{Fate, PartitionComputer, PartitionCounts};
 pub use policy::{LpVariant, Policy, SecurityModel};
+pub use sweep::{SweepEngine, SweepStats};
 
 /// Re-export of the topology substrate this crate builds on.
 pub use sbgp_topology as topology;

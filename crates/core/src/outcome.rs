@@ -153,6 +153,42 @@ impl Outcome {
         self.attacker = attacker;
     }
 
+    /// Overwrite `self` with a copy of `other`, reusing buffers.
+    pub(crate) fn copy_from(&mut self, other: &Outcome) {
+        self.kind.clone_from(&other.kind);
+        self.len.clone_from(&other.len);
+        self.secure.clone_from(&other.secure);
+        self.flags.clone_from(&other.flags);
+        self.via_mark.clone_from(&other.via_mark);
+        self.next_hop.clone_from(&other.next_hop);
+        self.destination = other.destination;
+        self.attacker = other.attacker;
+    }
+
+    /// Return `v` to the unfixed state, as if the run had never reached it.
+    pub(crate) fn unfix(&mut self, v: AsId) {
+        let i = v.index();
+        self.kind[i] = KIND_UNFIXED;
+        self.len[i] = u32::MAX;
+        self.secure[i] = false;
+        self.flags[i] = 0;
+        self.via_mark[i] = false;
+        self.next_hop[i] = u32::MAX;
+    }
+
+    /// True when `v`'s entry agrees with `other`'s on every field a
+    /// *neighbor* of `v` can observe (class, length, security, root flags,
+    /// mark traversal). The representative next hop is excluded: it can
+    /// shrink with the `BPR` set without changing what `v` offers others.
+    pub(crate) fn same_for_neighbors(&self, other: &Outcome, v: AsId) -> bool {
+        let i = v.index();
+        self.kind[i] == other.kind[i]
+            && self.len[i] == other.len[i]
+            && self.secure[i] == other.secure[i]
+            && self.flags[i] == other.flags[i]
+            && self.via_mark[i] == other.via_mark[i]
+    }
+
     /// Number of ASes covered.
     pub fn len(&self) -> usize {
         self.kind.len()
@@ -251,21 +287,28 @@ impl Outcome {
 
     /// Count happy sources: returns `(surely_happy, possibly_happy)` — the
     /// lower and upper tie-break bounds of §4.1.
+    ///
+    /// Branch-free over the flags array (the compiler vectorizes it), with
+    /// the roots' contributions removed afterwards; on large graphs this
+    /// scan otherwise rivals the routing computation itself.
     pub fn count_happy(&self) -> (usize, usize) {
         let mut lower = 0usize;
         let mut upper = 0usize;
-        for i in 0..self.kind.len() {
-            let v = AsId(i as u32);
-            if !self.is_source(v) {
-                continue;
-            }
-            let f = RootFlags(self.flags[i]);
-            if f.surely_happy() {
-                lower += 1;
-            }
-            if f.may_reach_destination() {
-                upper += 1;
-            }
+        for &f in &self.flags {
+            lower += usize::from(f == RootFlags::TO_D.0);
+            upper += usize::from(f & 1);
+        }
+        let root = |v: AsId| {
+            let f = self.flags[v.index()];
+            (usize::from(f == RootFlags::TO_D.0), usize::from(f & 1 != 0))
+        };
+        let (dl, du) = root(self.destination);
+        lower -= dl;
+        upper -= du;
+        if let Some(m) = self.attacker {
+            let (ml, mu) = root(m);
+            lower -= ml;
+            upper -= mu;
         }
         (lower, upper)
     }

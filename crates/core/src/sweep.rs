@@ -1,0 +1,557 @@
+//! Incremental deployment sweeps: amortize routing-outcome computation
+//! across a *growing* secure set.
+//!
+//! The paper's rollout curves (Figures 7–13) evaluate the metric along
+//! sequences of deployments `S_0 ⊆ S_1 ⊆ …` and recompute every `(m, d)`
+//! routing outcome from scratch at each step — even though most ASes' best
+//! routes are identical between adjacent steps. [`SweepEngine`] exploits
+//! Theorem 2.1 instead: the stable state is **unique** and characterized
+//! *locally* (every AS's route is the best export-legal extension of its
+//! neighbors' routes under [`crate::policy::preference_key`]), so a state
+//! that is locally consistent everywhere *is* the answer. When `S` grows
+//! monotonically, the engine therefore only has to re-fix a **dirty
+//! region** around the newly-validating ASes and verify consistency at its
+//! border:
+//!
+//! 1. seed the region with the ASes whose `validates` bit flipped (plus
+//!    the destination when its signing status flipped);
+//! 2. copy the previous outcome, unfix the region, re-enqueue boundary
+//!    offers from fixed neighbors, and re-run the ordinary bucket-queue
+//!    stage schedule restricted to the region;
+//! 3. compare the re-fixed region against the previous outcome; for every
+//!    changed AS, absorb the neighbors its old or new offer could actually
+//!    tie or beat under [`crate::policy::preference_key`] (hubs whose
+//!    short routes dwarf the offer stay out) and retry;
+//! 4. when no change escapes the region, the patched state is locally
+//!    consistent at every AS — inside the region by construction, outside
+//!    it because no input changed — and uniqueness makes it exact.
+//!
+//! The invariant is **monotone growth only** (`S' ⊇ S`, full members stay
+//! full, signers keep signing). Any other step — the first call, a shrink,
+//! a full→simplex downgrade, or a region that balloons past half the graph
+//! — falls back to a fresh [`Engine::compute`], so `advance` is *always*
+//! exact; incrementality is purely an optimization. The equivalence is
+//! enforced outcome-for-outcome by `tests/sweep_equivalence.rs` against
+//! fresh computes and, transitively, by the message-level simulator oracle
+//! in `tests/equivalence.rs`.
+
+use sbgp_topology::{AsGraph, AsId, AsSet};
+
+use crate::attack::AttackScenario;
+use crate::deployment::Deployment;
+use crate::engine::Engine;
+use crate::outcome::{
+    Outcome, RootFlags, KIND_CUSTOMER, KIND_ORIGIN, KIND_PEER, KIND_PROVIDER, KIND_UNFIXED,
+};
+use crate::policy::{preference_key, Policy};
+
+/// How the steps of a sweep were served (all counters cumulative since
+/// [`SweepEngine::begin`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Steps served by a fresh [`Engine::compute`] (first step, non-monotone
+    /// step, or dirty-region blow-up).
+    pub full_recomputes: usize,
+    /// Steps served by dirty-region re-fixing.
+    pub incremental_steps: usize,
+    /// Steps whose deployment change could not affect any outcome (only
+    /// non-destination simplex additions).
+    pub noop_steps: usize,
+    /// Total ASes re-fixed across all incremental steps.
+    pub refixed_ases: usize,
+    /// Extra verify-and-grow rounds beyond the first attempt.
+    pub grow_rounds: usize,
+}
+
+impl SweepStats {
+    /// Total steps served.
+    pub fn steps(&self) -> usize {
+        self.full_recomputes + self.incremental_steps + self.noop_steps
+    }
+}
+
+/// Incremental routing-outcome computer for one `(scenario, policy)` over a
+/// monotonically growing secure set.
+///
+/// Create one per worker thread and reuse it across `(m, d)` pairs:
+/// [`SweepEngine::begin`] starts a new sweep, then each
+/// [`SweepEngine::advance`] returns the exact stable outcome for the next
+/// deployment, reusing the previous step's state whenever the deployment
+/// grew monotonically.
+#[derive(Debug)]
+pub struct SweepEngine<'g> {
+    engine: Engine<'g>,
+    scenario: Option<AttackScenario>,
+    policy: Policy,
+    /// Deployment of the last served step.
+    prev: Option<Deployment>,
+    /// Final outcome of the last served step.
+    snapshot: Outcome,
+    /// The dirty region of the current incremental attempt.
+    region: AsSet,
+    region_list: Vec<AsId>,
+    /// Happy-source bounds of the current snapshot, maintained
+    /// incrementally (an `O(region)` patch instead of an `O(V)` rescan).
+    happy: (usize, usize),
+    stats: SweepStats,
+}
+
+impl<'g> SweepEngine<'g> {
+    /// Create a sweep engine for `graph`.
+    pub fn new(graph: &'g AsGraph) -> SweepEngine<'g> {
+        let n = graph.len();
+        SweepEngine {
+            engine: Engine::new(graph),
+            scenario: None,
+            policy: Policy::new(crate::policy::SecurityModel::Security3rd),
+            prev: None,
+            snapshot: Outcome::new_empty(),
+            region: AsSet::new(n),
+            region_list: Vec::new(),
+            happy: (0, 0),
+            stats: SweepStats::default(),
+        }
+    }
+
+    /// The topology this engine runs on.
+    pub fn graph(&self) -> &'g AsGraph {
+        self.engine.graph()
+    }
+
+    /// Start a new sweep for a fixed `(scenario, policy)`, discarding any
+    /// cached state: until the first [`SweepEngine::advance`],
+    /// [`SweepEngine::outcome`] is empty and the happy bounds are zero
+    /// (rather than stale data from the previous sweep). Statistics keep
+    /// accumulating across sweeps.
+    pub fn begin(&mut self, scenario: AttackScenario, policy: Policy) {
+        self.scenario = Some(scenario);
+        self.policy = policy;
+        self.prev = None;
+        self.snapshot
+            .reset(0, scenario.destination, scenario.attacker);
+        self.happy = (0, 0);
+    }
+
+    /// Compute the stable outcome for the next deployment of the sweep.
+    ///
+    /// Exact for *any* deployment; incremental when `deployment` is a
+    /// monotone extension of the previous step's. The returned outcome is
+    /// valid until the next `advance`/`begin` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`SweepEngine::begin`].
+    pub fn advance(&mut self, deployment: &Deployment) -> &Outcome {
+        let scenario = self.scenario.expect("SweepEngine::begin not called");
+        let monotone = self
+            .prev
+            .as_ref()
+            .is_some_and(|prev| deployment.is_monotone_extension_of(prev));
+        if !monotone {
+            return self.full_recompute(scenario, deployment);
+        }
+
+        // Dirty seeds: ASes whose `validates` bit flipped, plus the
+        // destination when its origin-signing status flipped. Simplex
+        // additions elsewhere are invisible to the engine (only the
+        // destination's signing is ever read) — a pure no-op.
+        let prev = self.prev.take().expect("monotone implies prev");
+        let d = scenario.destination;
+        self.region.clear();
+        self.region_list.clear();
+        for v in deployment.newly_validating(&prev) {
+            if self.region.insert(v) {
+                self.region_list.push(v);
+            }
+        }
+        if deployment.signs_origin(d) != prev.signs_origin(d) && self.region.insert(d) {
+            self.region_list.push(d);
+        }
+        if self.region_list.is_empty() {
+            self.stats.noop_steps += 1;
+            self.prev = Some(deployment.clone());
+            return &self.snapshot;
+        }
+
+        let max_region = self.graph().len() / 2;
+        loop {
+            if self.region_list.len() > max_region {
+                return self.full_recompute(scenario, deployment);
+            }
+            self.solve_region(scenario, deployment);
+            let escaped = self.grow_region(scenario, deployment);
+            if !escaped {
+                break;
+            }
+            self.stats.grow_rounds += 1;
+        }
+        // Patch the happy bounds by the region's delta before the snapshot
+        // is overwritten.
+        let outcome = self.engine.outcome();
+        for &v in &self.region_list {
+            if v == d || Some(v) == scenario.attacker {
+                continue;
+            }
+            let old = self.snapshot.flags(v);
+            let new = outcome.flags(v);
+            self.happy.0 += usize::from(new.surely_happy());
+            self.happy.0 -= usize::from(old.surely_happy());
+            self.happy.1 += usize::from(new.may_reach_destination());
+            self.happy.1 -= usize::from(old.may_reach_destination());
+        }
+
+        self.stats.incremental_steps += 1;
+        self.stats.refixed_ases += self.region_list.len();
+        self.snapshot.copy_from(self.engine.outcome());
+        self.prev = Some(deployment.clone());
+        &self.snapshot
+    }
+
+    /// The outcome of the last served step.
+    pub fn outcome(&self) -> &Outcome {
+        &self.snapshot
+    }
+
+    /// Happy-source tie-break bounds of the current outcome, identical to
+    /// [`Outcome::count_happy`] but maintained incrementally across steps.
+    pub fn count_happy(&self) -> (usize, usize) {
+        self.happy
+    }
+
+    /// Cumulative sweep statistics.
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
+
+    fn full_recompute(&mut self, scenario: AttackScenario, deployment: &Deployment) -> &Outcome {
+        self.stats.full_recomputes += 1;
+        self.engine.compute(scenario, deployment, self.policy);
+        self.snapshot.copy_from(self.engine.outcome());
+        self.happy = self.snapshot.count_happy();
+        self.prev = Some(deployment.clone());
+        &self.snapshot
+    }
+
+    /// One attempt: re-fix exactly the current region on top of the
+    /// previous outcome, treating everything outside it as fixed boundary.
+    fn solve_region(&mut self, scenario: AttackScenario, deployment: &Deployment) {
+        self.engine.begin(scenario, deployment, self.policy);
+        self.engine.outcome_mut().copy_from(&self.snapshot);
+        for &v in &self.region_list {
+            self.engine.outcome_mut().unfix(v);
+        }
+        // Roots inside the region are re-fixed exactly as `compute` would.
+        let d = scenario.destination;
+        if self.region.contains(d) {
+            self.engine.fix_root(
+                d,
+                0,
+                deployment.signs_origin(d),
+                RootFlags::TO_D,
+                deployment,
+            );
+        }
+        if let Some(m) = scenario.attacker {
+            if self.region.contains(m) {
+                self.engine.fix_root(
+                    m,
+                    scenario.strategy.root_depth(),
+                    false,
+                    RootFlags::TO_M,
+                    deployment,
+                );
+            }
+        }
+        for &v in &self.region_list {
+            if v == d || Some(v) == scenario.attacker {
+                continue;
+            }
+            self.engine.seed_from_boundary(v, &self.region, deployment);
+        }
+        self.engine.run_schedule(self.policy, deployment);
+    }
+
+    /// Check whether any change escaped the region; if so, absorb the
+    /// genuinely affected frontier and report `true`. Reports `false` when
+    /// the attempt is self-contained — i.e. the patched outcome is locally
+    /// consistent everywhere and therefore, by uniqueness, exact.
+    ///
+    /// A neighbor `u` of a changed AS `v` is *affected* only when `v`'s old
+    /// or new offer would tie or beat `u`'s current route under the
+    /// reference [`preference_key`] order: a tie means `v` sat in (or now
+    /// joins) `u`'s `BPR` set, a win means `u` switches. Anything strictly
+    /// worse — the common case, e.g. a hub whose short customer route
+    /// dwarfs a re-secured stub's offer — cannot change `u`'s selection, so
+    /// high-degree ASes stay out of the region unless truly implicated.
+    fn grow_region(&mut self, scenario: AttackScenario, deployment: &Deployment) -> bool {
+        let policy = self.policy;
+        let graph = self.engine.graph();
+        let outcome = self.engine.outcome();
+        let d = scenario.destination;
+        let mut frontier: Vec<AsId> = Vec::new();
+        for &v in &self.region_list {
+            if outcome.same_for_neighbors(&self.snapshot, v) {
+                continue;
+            }
+            // Each neighbor list with the route class `u` would learn from
+            // `v`: v's providers learn a customer route, and so on.
+            let classes: [(&[AsId], u8); 3] = [
+                (graph.providers(v), 0),
+                (graph.peers(v), 1),
+                (graph.customers(v), 2),
+            ];
+            for (neighbors, rank) in classes {
+                for &u in neighbors {
+                    if self.region.contains(u) || u == d || Some(u) == scenario.attacker {
+                        continue;
+                    }
+                    let validating = deployment.validates(u);
+                    let current = current_key(&self.snapshot, u, policy, validating);
+                    let old = offer_key(&self.snapshot, v, rank, policy, validating);
+                    let new = offer_key(outcome, v, rank, policy, validating);
+                    let affected = match current {
+                        None => old.is_some() || new.is_some(),
+                        Some(k) => old.is_some_and(|o| o <= k) || new.is_some_and(|o| o <= k),
+                    };
+                    if affected {
+                        frontier.push(u);
+                    }
+                }
+            }
+        }
+        let mut escaped = false;
+        for u in frontier {
+            if self.region.insert(u) {
+                self.region_list.push(u);
+                escaped = true;
+            }
+        }
+        escaped
+    }
+}
+
+/// `u`'s current position in the preference order, or `None` when it has no
+/// route. Roots never call this.
+fn current_key(
+    outcome: &Outcome,
+    u: AsId,
+    policy: Policy,
+    validating: bool,
+) -> Option<(u32, u32, u32)> {
+    let i = u.index();
+    let rank = match outcome.kind[i] {
+        KIND_UNFIXED => return None,
+        KIND_ORIGIN | KIND_CUSTOMER => 0,
+        KIND_PEER => 1,
+        KIND_PROVIDER => 2,
+        other => unreachable!("bad kind {other}"),
+    };
+    Some(preference_key(
+        policy,
+        validating,
+        rank,
+        outcome.len[i],
+        outcome.secure[i],
+    ))
+}
+
+/// The position of the route `u` would learn from `v` at class `rank`, or
+/// `None` when `v` has no route or may not export it at that class (Ex).
+fn offer_key(
+    outcome: &Outcome,
+    v: AsId,
+    rank: u8,
+    policy: Policy,
+    validating: bool,
+) -> Option<(u32, u32, u32)> {
+    let i = v.index();
+    let kind = outcome.kind[i];
+    if kind == KIND_UNFIXED {
+        return None;
+    }
+    if rank != 2 && kind != KIND_ORIGIN && kind != KIND_CUSTOMER {
+        return None;
+    }
+    Some(preference_key(
+        policy,
+        validating,
+        rank,
+        outcome.len[i] + 1,
+        outcome.secure[i] && validating,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{LpVariant, SecurityModel};
+    use sbgp_topology::GraphBuilder;
+
+    /// The Figure 2 downgrade gadget plus a second provider chain, so the
+    /// sweep has something interesting to re-fix.
+    fn gadget() -> AsGraph {
+        let mut b = GraphBuilder::new(8);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_peering(AsId(1), AsId(2)).unwrap();
+        b.add_peering(AsId(0), AsId(2)).unwrap();
+        b.add_provider(AsId(3), AsId(2)).unwrap();
+        b.add_provider(AsId(4), AsId(3)).unwrap();
+        b.add_provider(AsId(5), AsId(0)).unwrap();
+        b.add_provider(AsId(6), AsId(5)).unwrap();
+        b.add_provider(AsId(7), AsId(6)).unwrap();
+        b.build()
+    }
+
+    fn assert_outcomes_match(sweep: &Outcome, fresh: &Outcome, graph: &AsGraph, ctx: &str) {
+        for v in graph.ases() {
+            assert_eq!(sweep.route(v), fresh.route(v), "{ctx}: route at {v}");
+            assert_eq!(
+                sweep.next_hop(v),
+                fresh.next_hop(v),
+                "{ctx}: next hop at {v}"
+            );
+            assert_eq!(
+                sweep.may_traverse_mark(v),
+                fresh.may_traverse_mark(v),
+                "{ctx}: mark at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_matches_fresh_compute_on_growing_deployments() {
+        let g = gadget();
+        let scenario = AttackScenario::attack(AsId(4), AsId(0));
+        let steps: Vec<Deployment> = vec![
+            Deployment::empty(8),
+            Deployment::full_from_iter(8, [AsId(0)]),
+            Deployment::full_from_iter(8, [AsId(0), AsId(1), AsId(2)]),
+            Deployment::full_from_iter(8, [AsId(0), AsId(1), AsId(2), AsId(5), AsId(6)]),
+        ];
+        for model in SecurityModel::ALL {
+            for variant in [LpVariant::Standard, LpVariant::LpK(2), LpVariant::LpInf] {
+                let policy = Policy::with_variant(model, variant);
+                let mut sweep = SweepEngine::new(&g);
+                let mut fresh = Engine::new(&g);
+                sweep.begin(scenario, policy);
+                for (k, dep) in steps.iter().enumerate() {
+                    let got = sweep.advance(dep);
+                    let want = fresh.compute(scenario, dep, policy);
+                    assert_outcomes_match(got, want, &g, &format!("{policy} step {k}"));
+                    assert_eq!(
+                        sweep.count_happy(),
+                        want.count_happy(),
+                        "{policy} step {k}: incremental happy bounds"
+                    );
+                }
+                assert!(sweep.stats().incremental_steps >= 1, "{policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn destination_signing_flip_is_propagated() {
+        // The destination joining S flips secure bits along whole chains —
+        // the seed-the-destination path. The graph carries a long insecure
+        // tail so the dirty region stays well under the fallback cap.
+        let mut b = GraphBuilder::new(16);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_provider(AsId(5), AsId(0)).unwrap();
+        b.add_provider(AsId(6), AsId(5)).unwrap();
+        b.add_provider(AsId(7), AsId(6)).unwrap();
+        for i in 8..16u32 {
+            b.add_provider(AsId(i), AsId(i - 1)).unwrap();
+        }
+        let g = b.build();
+        let scenario = AttackScenario::normal(AsId(0));
+        let policy = Policy::new(SecurityModel::Security2nd);
+        let mut sweep = SweepEngine::new(&g);
+        let mut fresh = Engine::new(&g);
+        sweep.begin(scenario, policy);
+        let s0 = Deployment::full_from_iter(16, [AsId(1), AsId(5), AsId(6)]);
+        let mut s1 = s0.clone();
+        s1.insert_simplex(AsId(0)); // d signs (simplex) but never validates
+        for dep in [&s0, &s1] {
+            let got = sweep.advance(dep);
+            let want = fresh.compute(scenario, dep, policy);
+            assert_outcomes_match(got, want, &g, "signing flip");
+        }
+        assert_eq!(sweep.stats().incremental_steps, 1);
+        // The secure chain exists and the tail stayed insecure.
+        assert!(sweep.outcome().uses_secure_route(AsId(6)));
+        assert!(!sweep.outcome().uses_secure_route(AsId(7)));
+    }
+
+    #[test]
+    fn non_destination_simplex_additions_are_noops() {
+        let g = gadget();
+        let scenario = AttackScenario::attack(AsId(4), AsId(0));
+        let policy = Policy::new(SecurityModel::Security1st);
+        let mut sweep = SweepEngine::new(&g);
+        sweep.begin(scenario, policy);
+        let s0 = Deployment::full_from_iter(8, [AsId(0), AsId(1)]);
+        let mut s1 = s0.clone();
+        s1.insert_simplex(AsId(7));
+        sweep.advance(&s0);
+        sweep.advance(&s1);
+        assert_eq!(sweep.stats().noop_steps, 1);
+        let mut fresh = Engine::new(&g);
+        let want = fresh.compute(scenario, &s1, policy);
+        assert_outcomes_match(sweep.outcome(), want, &g, "noop step");
+    }
+
+    #[test]
+    fn non_monotone_steps_fall_back_to_full_recompute() {
+        let g = gadget();
+        let scenario = AttackScenario::attack(AsId(4), AsId(0));
+        let policy = Policy::new(SecurityModel::Security3rd);
+        let mut sweep = SweepEngine::new(&g);
+        sweep.begin(scenario, policy);
+        sweep.advance(&Deployment::full_from_iter(8, [AsId(0), AsId(1)]));
+        // Shrinking S is not monotone: exactness must survive via fallback.
+        let shrunk = Deployment::full_from_iter(8, [AsId(0)]);
+        let got = sweep.advance(&shrunk);
+        let mut fresh = Engine::new(&g);
+        let want = fresh.compute(scenario, &shrunk, policy);
+        assert_outcomes_match(got, want, &g, "fallback");
+        assert_eq!(sweep.stats().full_recomputes, 2);
+        assert_eq!(sweep.stats().incremental_steps, 0);
+    }
+
+    #[test]
+    fn collateral_damage_ripples_are_tracked() {
+        // The §6.1 collateral-damage gadget: securing {d, r, q, p2, a}
+        // *lengthens* a's route and flips s to unhappy — the change must
+        // propagate beyond the seeds themselves.
+        let mut b = GraphBuilder::new(10);
+        b.add_provider(AsId(0), AsId(1)).unwrap();
+        b.add_provider(AsId(1), AsId(2)).unwrap();
+        b.add_provider(AsId(2), AsId(3)).unwrap();
+        b.add_provider(AsId(0), AsId(4)).unwrap();
+        b.add_provider(AsId(5), AsId(3)).unwrap();
+        b.add_provider(AsId(5), AsId(4)).unwrap();
+        b.add_provider(AsId(6), AsId(5)).unwrap();
+        b.add_provider(AsId(6), AsId(7)).unwrap();
+        b.add_provider(AsId(8), AsId(7)).unwrap();
+        b.add_provider(AsId(9), AsId(8)).unwrap();
+        let g = b.build();
+        let scenario = AttackScenario::attack(AsId(9), AsId(0));
+        let policy = Policy::new(SecurityModel::Security2nd);
+        let mut sweep = SweepEngine::new(&g);
+        let mut fresh = Engine::new(&g);
+        sweep.begin(scenario, policy);
+        let steps = [
+            Deployment::empty(10),
+            Deployment::full_from_iter(10, [AsId(0), AsId(1), AsId(2)]),
+            Deployment::full_from_iter(10, [AsId(0), AsId(1), AsId(2), AsId(3), AsId(5)]),
+        ];
+        for (k, dep) in steps.iter().enumerate() {
+            let got = sweep.advance(dep);
+            let want = fresh.compute(scenario, dep, policy);
+            assert_outcomes_match(got, want, &g, &format!("step {k}"));
+        }
+        // The last step must show the damage (s = 6 surely unhappy).
+        assert!(sweep.outcome().flags(AsId(6)).surely_unhappy());
+        assert!(sweep.stats().incremental_steps >= 1);
+    }
+}

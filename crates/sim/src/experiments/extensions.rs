@@ -25,7 +25,7 @@ use sbgp_topology::AsId;
 
 use crate::experiments::ExperimentConfig;
 use crate::weights::TrafficWeights;
-use crate::{runner, sample, scenario, Internet};
+use crate::{runner, sample, scenario, sweep, Internet};
 
 /// One row of the RPKI-value ladder.
 #[derive(Clone, Debug)]
@@ -37,6 +37,11 @@ pub struct SecurityLadderRow {
 }
 
 /// The "security stack" ladder: nothing → RPKI → RPKI + S\*BGP.
+///
+/// The two fake-link security-3rd rows share their `(policy, strategy)` and
+/// differ only in the growing deployment, so they are served by a single
+/// `[∅, S]` sweep; the remaining rows change the attack strategy or the
+/// model and are computed fresh.
 pub fn rpki_value(net: &Internet, cfg: &ExperimentConfig) -> Vec<SecurityLadderRow> {
     let attackers = sample::sample_non_stubs(net, cfg.attackers, cfg.seed);
     let dests = sample::sample_all(net, cfg.destinations, cfg.seed ^ 0xD);
@@ -68,6 +73,14 @@ pub fn rpki_value(net: &Internet, cfg: &ExperimentConfig) -> Vec<SecurityLadderR
         acc.value()
     };
 
+    let fake_link_sec3 = sweep::metric_sweep(
+        net,
+        &pairs,
+        &[empty.clone(), step.deployment.clone()],
+        sec3,
+        cfg.parallelism,
+    );
+
     vec![
         SecurityLadderRow {
             label: "no RPKI (prefix hijack possible)".into(),
@@ -75,11 +88,11 @@ pub fn rpki_value(net: &Internet, cfg: &ExperimentConfig) -> Vec<SecurityLadderR
         },
         SecurityLadderRow {
             label: "RPKI only (attacker must fake a link)".into(),
-            metric: metric_with(&empty, sec3, AttackStrategy::FakeLink),
+            metric: fake_link_sec3[0],
         },
         SecurityLadderRow {
             label: "RPKI + S*BGP at T1+T2+stubs, security 3rd".into(),
-            metric: metric_with(&step.deployment, sec3, AttackStrategy::FakeLink),
+            metric: fake_link_sec3[1],
         },
         SecurityLadderRow {
             label: "RPKI + S*BGP at T1+T2+stubs, security 1st".into(),

@@ -12,7 +12,7 @@ use sbgp_topology::AsId;
 
 use crate::experiments::ExperimentConfig;
 use crate::scenario::{self, NamedDeployment};
-use crate::{runner, sample, Internet};
+use crate::{sample, sweep, Internet};
 
 /// One model's sorted per-destination series.
 #[derive(Clone, Debug)]
@@ -54,7 +54,10 @@ pub struct PerDestinationResult {
     pub series: Vec<DestinationSeries>,
 }
 
-/// Evaluate the sorted per-destination series for `step`.
+/// Evaluate the sorted per-destination series for `step`. Each
+/// `(m, d, model)` triple is one incremental `[∅, S]` sweep: the `∅` entry
+/// is the baseline (identical for every model — no secure routes exist) and
+/// the `S` entry reuses its routing state.
 pub fn per_destination(
     net: &Internet,
     cfg: &ExperimentConfig,
@@ -66,30 +69,23 @@ pub fn per_destination(
         cfg.destinations,
         cfg.seed ^ 0x9e5,
     );
-    let empty = Deployment::empty(net.len());
-    let baseline = runner::metric_by_destination(
-        net,
-        &attackers,
-        &dests,
-        &empty,
-        Policy::new(SecurityModel::Security3rd),
-        cfg.parallelism,
-    );
+    let deps = vec![Deployment::empty(net.len()), step.deployment.clone()];
 
     let mut series = Vec::with_capacity(3);
     for model in SecurityModel::ALL {
-        let with = runner::metric_by_destination(
+        let counts = sweep::metric_sweep_by_destination(
             net,
             &attackers,
             &dests,
-            &step.deployment,
+            &deps,
             Policy::new(model),
             cfg.parallelism,
         );
+        let (baseline, with) = (&counts[0], &counts[1]);
         let mut deltas: Vec<(AsId, Bounds)> = Vec::with_capacity(dests.len());
         let mut avg = Bounds::default();
         let mut n = 0usize;
-        for ((&d, w), b) in dests.iter().zip(&with).zip(&baseline) {
+        for ((&d, w), b) in dests.iter().zip(with).zip(baseline) {
             if w.sources == 0 {
                 continue;
             }

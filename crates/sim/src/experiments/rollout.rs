@@ -1,12 +1,19 @@
 //! Figures 7, 8, 11 and the §5.3.1 early-adopter comparison: metric
 //! improvements along partial-deployment rollouts.
+//!
+//! Rollouts grow `S` monotonically, so every `(m, d)` pair is evaluated as
+//! one [`crate::sweep`] pass over `[∅, S_1, S_2, …]`: the `S = ∅` step
+//! doubles as the per-destination baseline and each further step reuses the
+//! previous routing state incrementally. (Non-monotone step lists, like the
+//! §5.3.1 early-adopter scenarios, are still exact — the sweep engine falls
+//! back to full recomputation per step.)
 
 use sbgp_core::{Bounds, Deployment, HappyCount, Policy, SecurityModel};
 use sbgp_topology::AsId;
 
 use crate::experiments::ExperimentConfig;
 use crate::scenario::{self, NamedDeployment};
-use crate::{runner, sample, Internet};
+use crate::{sample, sweep, Internet};
 
 /// One rollout step's measured improvements.
 #[derive(Clone, Debug)]
@@ -37,24 +44,8 @@ pub struct RolloutResult {
     pub points: Vec<RolloutPoint>,
 }
 
-/// Average per-destination improvement over the given destination list.
-fn delta_over_destinations(
-    net: &Internet,
-    attackers: &[AsId],
-    destinations: &[AsId],
-    deployment: &Deployment,
-    policy: Policy,
-    baseline: &[HappyCount],
-    cfg: &ExperimentConfig,
-) -> Bounds {
-    let with = runner::metric_by_destination(
-        net,
-        attackers,
-        destinations,
-        deployment,
-        policy,
-        cfg.parallelism,
-    );
+/// Average per-destination improvement of `with` over `baseline`.
+fn delta_over_destinations(with: &[HappyCount], baseline: &[HappyCount]) -> Bounds {
     let mut lower = 0.0;
     let mut upper = 0.0;
     let mut n = 0usize;
@@ -73,9 +64,19 @@ fn delta_over_destinations(
     }
 }
 
+/// A step list prefixed with the `S = ∅` baseline, ready for a sweep.
+fn with_baseline(n: usize, deployments: impl IntoIterator<Item = Deployment>) -> Vec<Deployment> {
+    let mut deps = vec![Deployment::empty(n)];
+    deps.extend(deployments);
+    deps
+}
+
 /// Evaluate a rollout: for each step and each model, the metric improvement
 /// over the baseline for (a) the given destination sample and (b) the
-/// step's secure destinations, plus the simplex variant of (a).
+/// step's secure destinations, plus the simplex variant of (a). Each
+/// `(m, d, model)` triple is one incremental sweep over `[∅, steps…]`, the
+/// `∅` entry serving as that model's baseline (at `S = ∅` all models agree,
+/// so this matches the shared-baseline formulation exactly).
 pub fn evaluate_rollout(
     net: &Internet,
     cfg: &ExperimentConfig,
@@ -85,79 +86,77 @@ pub fn evaluate_rollout(
     destinations_label: &str,
 ) -> RolloutResult {
     let attackers = sample::sample_non_stubs(net, cfg.attackers, cfg.seed);
-    let empty = Deployment::empty(net.len());
-    // At S = ∅ all models agree; one baseline serves all.
-    let base_policy = Policy::new(SecurityModel::Security3rd);
-    let baseline_by_dest = runner::metric_by_destination(
-        net,
-        &attackers,
-        destinations,
-        &empty,
-        base_policy,
-        cfg.parallelism,
+    let plain = with_baseline(net.len(), steps.iter().map(|s| s.deployment.clone()));
+    let simplex = with_baseline(
+        net.len(),
+        steps
+            .iter()
+            .map(|s| scenario::simplex_variant(net, s).deployment),
     );
+    // Secure destinations per step (sampled for tractability). Their
+    // destination set changes with the step, so each step is its own
+    // two-point `[∅, S]` sweep.
+    let secure_dests: Vec<Vec<AsId>> = steps
+        .iter()
+        .map(|step| {
+            sample::sample_from(
+                &scenario::secure_destinations(step),
+                cfg.destinations,
+                cfg.seed ^ 0x5ec,
+            )
+        })
+        .collect();
 
-    let mut points = Vec::with_capacity(steps.len());
-    for step in steps {
-        let simplex = scenario::simplex_variant(net, step);
-        let mut delta = [Bounds::default(); 3];
-        let mut delta_simplex = [Bounds::default(); 3];
-        let mut delta_secure = [Bounds::default(); 3];
-
-        // Secure destinations of this step (sampled for tractability).
-        let secure_dests = sample::sample_from(
-            &scenario::secure_destinations(step),
-            cfg.destinations,
-            cfg.seed ^ 0x5ec,
-        );
-        let secure_baseline = runner::metric_by_destination(
+    let mut delta = vec![[Bounds::default(); 3]; steps.len()];
+    let mut delta_simplex = vec![[Bounds::default(); 3]; steps.len()];
+    let mut delta_secure = vec![[Bounds::default(); 3]; steps.len()];
+    for (i, model) in SecurityModel::ALL.into_iter().enumerate() {
+        let policy = Policy::new(model);
+        let counts = sweep::metric_sweep_by_destination(
             net,
             &attackers,
-            &secure_dests,
-            &empty,
-            base_policy,
+            destinations,
+            &plain,
+            policy,
             cfg.parallelism,
         );
-
-        for (i, model) in SecurityModel::ALL.into_iter().enumerate() {
-            let policy = Policy::new(model);
-            delta[i] = delta_over_destinations(
+        let simplex_counts = sweep::metric_sweep_by_destination(
+            net,
+            &attackers,
+            destinations,
+            &simplex,
+            policy,
+            cfg.parallelism,
+        );
+        for (k, step) in steps.iter().enumerate() {
+            delta[k][i] = delta_over_destinations(&counts[k + 1], &counts[0]);
+            delta_simplex[k][i] =
+                delta_over_destinations(&simplex_counts[k + 1], &simplex_counts[0]);
+            let pair = with_baseline(net.len(), [step.deployment.clone()]);
+            let secure_counts = sweep::metric_sweep_by_destination(
                 net,
                 &attackers,
-                destinations,
-                &step.deployment,
+                &secure_dests[k],
+                &pair,
                 policy,
-                &baseline_by_dest,
-                cfg,
+                cfg.parallelism,
             );
-            delta_simplex[i] = delta_over_destinations(
-                net,
-                &attackers,
-                destinations,
-                &simplex.deployment,
-                policy,
-                &baseline_by_dest,
-                cfg,
-            );
-            delta_secure[i] = delta_over_destinations(
-                net,
-                &attackers,
-                &secure_dests,
-                &step.deployment,
-                policy,
-                &secure_baseline,
-                cfg,
-            );
+            delta_secure[k][i] = delta_over_destinations(&secure_counts[1], &secure_counts[0]);
         }
-        points.push(RolloutPoint {
+    }
+
+    let points = steps
+        .iter()
+        .enumerate()
+        .map(|(k, step)| RolloutPoint {
             label: step.label.clone(),
             non_stub_count: step.non_stub_count,
             secure_count: step.deployment.secure_count(),
-            delta,
-            delta_simplex,
-            delta_secure_dest: delta_secure,
-        });
-    }
+            delta: delta[k],
+            delta_simplex: delta_simplex[k],
+            delta_secure_dest: delta_secure[k],
+        })
+        .collect();
     RolloutResult {
         name: name.to_string(),
         destinations: destinations_label.to_string(),

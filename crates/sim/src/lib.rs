@@ -10,8 +10,14 @@
 //!   enumeration is infeasible);
 //! * [`scenario`] — the §5 deployment scenarios (Tier 1+2 rollouts, CP
 //!   variants, Tier-2-only, all non-stubs, simplex-at-stubs);
-//! * [`runner`] — a crossbeam work-stealing pool that evaluates pair lists
-//!   with one reusable [`sbgp_core::Engine`] per worker;
+//! * [`runner`] — a `std::thread::scope` worker pool that evaluates pair
+//!   lists with one reusable [`sbgp_core::Engine`] per worker, reducing
+//!   per-chunk accumulators in a fixed order so results are bit-identical
+//!   at any thread count;
+//! * [`sweep`] — deployment-sweep runners: one [`sbgp_core::SweepEngine`]
+//!   per worker per `(m, d)` pair, deployments batched innermost, so
+//!   rollout sequences pay one full computation plus cheap incremental
+//!   patches instead of a full recomputation per step;
 //! * [`experiments`] — one driver per figure/table, returning plain data
 //!   that the `sbgp-bench` binaries print;
 //! * [`report`] — aligned-text table rendering.
@@ -24,6 +30,7 @@ pub mod report;
 pub mod runner;
 pub mod sample;
 pub mod scenario;
+pub mod sweep;
 pub mod weights;
 
 mod context;

@@ -8,6 +8,7 @@
 //! [`PartitionComputer`], so there is no shared mutable state and no
 //! allocation in the steady loop.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sbgp_core::{
@@ -40,15 +41,18 @@ impl Parallelism {
     }
 }
 
-/// Items claimed per atomic fetch (amortizes contention).
+/// Items claimed per atomic fetch (amortizes contention) and folded into
+/// one sub-accumulator (fixes the reduction order).
 const CHUNK: usize = 16;
 
 /// Generic parallel map-reduce over `items`.
 ///
 /// `make_worker` builds per-thread scratch (typically an engine); `step`
-/// folds one item into the thread-local accumulator; accumulators are
-/// merged with `merge` at the end. Deterministic up to `merge` order, so
-/// use commutative+associative reductions (all of ours are sums).
+/// folds one item into a per-chunk accumulator; chunk accumulators are
+/// merged with `merge` **in chunk order**, regardless of which worker
+/// computed which chunk. With a deterministic `step`, results are
+/// therefore bit-identical across every [`Parallelism`] — floating-point
+/// reductions included — which `tests/determinism.rs` pins down.
 pub fn map_reduce<T, W, Acc>(
     par: Parallelism,
     items: &[T],
@@ -61,19 +65,101 @@ where
     T: Sync,
     Acc: Send,
 {
-    let threads = par.0.clamp(1, items.len().max(1));
+    let n_chunks = items.len().div_ceil(CHUNK);
+    let threads = par.0.clamp(1, n_chunks.max(1));
+    let mut merge = merge;
+    let run_chunk = |worker: &mut W, chunk: usize| -> Acc {
+        let mut acc = make_acc();
+        let start = chunk * CHUNK;
+        let end = (start + CHUNK).min(items.len());
+        for item in &items[start..end] {
+            step(worker, &mut acc, item);
+        }
+        acc
+    };
+
+    if threads == 1 {
+        let mut worker = make_worker();
+        let mut total = make_acc();
+        for chunk in 0..n_chunks {
+            let acc = run_chunk(&mut worker, chunk);
+            merge(&mut total, acc);
+        }
+        return total;
+    }
+
+    // Workers stream chunk accumulators to the main thread, which merges
+    // them eagerly the moment the next-expected chunk is available: the
+    // reduction order stays fixed, and only out-of-order chunks are ever
+    // buffered (bounded by scheduling skew, not by item count).
     let cursor = AtomicUsize::new(0);
+    let mut total = make_acc();
+    let mut merged = 0usize;
+    let mut pending: HashMap<usize, Acc> = HashMap::new();
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Acc)>();
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let make_worker = &make_worker;
+            let run_chunk = &run_chunk;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut worker = make_worker();
+                loop {
+                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= n_chunks {
+                        break;
+                    }
+                    if tx.send((chunk, run_chunk(&mut worker, chunk))).is_err() {
+                        break; // Receiver gone: a sibling worker panicked.
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (chunk, acc) in rx {
+            pending.insert(chunk, acc);
+            while let Some(acc) = pending.remove(&merged) {
+                merge(&mut total, acc);
+                merged += 1;
+            }
+        }
+    });
+    assert_eq!(merged, n_chunks, "a worker panicked mid-reduction");
+    total
+}
+
+/// As [`map_reduce`], for reductions whose merge is **exactly**
+/// commutative and associative — integer counters, not floating-point
+/// sums. One accumulator lives per worker (not per chunk), so dense
+/// accumulators like the per-destination count matrices are allocated
+/// `threads` times instead of `items/16` times; exactness makes the
+/// result identical at any thread count regardless of merge order.
+pub fn map_reduce_commutative<T, W, Acc>(
+    par: Parallelism,
+    items: &[T],
+    make_worker: impl Fn() -> W + Sync,
+    make_acc: impl Fn() -> Acc + Sync,
+    step: impl Fn(&mut W, &mut Acc, &T) + Sync,
+    merge: impl FnMut(&mut Acc, Acc),
+) -> Acc
+where
+    T: Sync,
+    Acc: Send,
+{
+    let threads = par.0.clamp(1, items.len().max(1));
     let mut merge = merge;
 
     if threads == 1 {
         let mut worker = make_worker();
-        let mut acc = make_acc();
+        let mut total = make_acc();
         for item in items {
-            step(&mut worker, &mut acc, item);
+            step(&mut worker, &mut total, item);
         }
-        return acc;
+        return total;
     }
 
+    let cursor = AtomicUsize::new(0);
     let mut total = make_acc();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -156,7 +242,7 @@ pub fn metric_by_destination(
     par: Parallelism,
 ) -> Vec<HappyCount> {
     let indexed: Vec<(usize, AsId)> = destinations.iter().copied().enumerate().collect();
-    map_reduce(
+    map_reduce_commutative(
         par,
         &indexed,
         || Engine::new(&net.graph),
@@ -191,7 +277,7 @@ pub fn analysis(
     policy: Policy,
     par: Parallelism,
 ) -> PairAnalysis {
-    map_reduce(
+    map_reduce_commutative(
         par,
         pairs,
         || PairAnalyzer::new(&net.graph),
@@ -211,7 +297,7 @@ pub fn partitions(
     policy: Policy,
     par: Parallelism,
 ) -> PartitionCounts {
-    map_reduce(
+    map_reduce_commutative(
         par,
         pairs,
         || PartitionComputer::new(&net.graph),

@@ -1,0 +1,178 @@
+//! Deployment-sweep runners: evaluate the metric along a *sequence* of
+//! deployments with one [`SweepEngine`] per worker, so each `(m, d)` pair
+//! pays one full routing computation and a cheap incremental patch per
+//! additional step.
+//!
+//! The deployments are batched innermost: for every claimed `(m, d)` item
+//! a worker starts a sweep and advances it through the whole sequence
+//! before moving on, which is what lets [`SweepEngine`] reuse the previous
+//! step's routing state. Sequences should grow monotonically (each step a
+//! [`sbgp_core::Deployment::is_monotone_extension_of`] the previous one) to
+//! get the speedup; non-monotone steps are still *exact* — the sweep engine
+//! silently falls back to a full recomputation for them.
+//!
+//! Results are identical, bit for bit, to evaluating every step with
+//! [`crate::runner::metric`] / [`crate::runner::metric_by_destination`]
+//! (the sweep-equivalence property suite enforces the per-outcome version
+//! of this claim).
+
+use sbgp_core::metric::MetricAccumulator;
+use sbgp_core::{AttackScenario, Bounds, Deployment, HappyCount, Policy, SweepEngine};
+use sbgp_topology::AsId;
+
+use crate::runner::{map_reduce, map_reduce_commutative, Parallelism};
+use crate::Internet;
+
+/// The metric `H_{M,D}(S_k)` for every deployment `S_k` of a sweep, over
+/// explicit pairs. Returned in `deployments` order.
+pub fn metric_sweep(
+    net: &Internet,
+    pairs: &[(AsId, AsId)],
+    deployments: &[Deployment],
+    policy: Policy,
+    par: Parallelism,
+) -> Vec<Bounds> {
+    let accs = map_reduce(
+        par,
+        pairs,
+        || SweepEngine::new(&net.graph),
+        || vec![MetricAccumulator::default(); deployments.len()],
+        |sweep, acc, &(m, d)| {
+            sweep.begin(AttackScenario::attack(m, d), policy);
+            for (k, dep) in deployments.iter().enumerate() {
+                sweep.advance(dep);
+                let (lower, upper) = sweep.count_happy();
+                acc[k].add(HappyCount {
+                    lower,
+                    upper,
+                    sources: net.graph.len() - 2,
+                });
+            }
+        },
+        |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                x.merge(y);
+            }
+        },
+    );
+    accs.into_iter().map(|a| a.value()).collect()
+}
+
+/// Per-destination happy counts (summed over the attackers) for every
+/// deployment of a sweep: `result[k][i]` is destination `destinations[i]`
+/// under `deployments[k]`. The sweep analogue of
+/// [`crate::runner::metric_by_destination`].
+pub fn metric_sweep_by_destination(
+    net: &Internet,
+    attackers: &[AsId],
+    destinations: &[AsId],
+    deployments: &[Deployment],
+    policy: Policy,
+    par: Parallelism,
+) -> Vec<Vec<HappyCount>> {
+    let indexed: Vec<(usize, AsId)> = destinations.iter().copied().enumerate().collect();
+    map_reduce_commutative(
+        par,
+        &indexed,
+        || SweepEngine::new(&net.graph),
+        || vec![vec![HappyCount::default(); destinations.len()]; deployments.len()],
+        |sweep, acc, &(slot, d)| {
+            for &m in attackers {
+                if m == d {
+                    continue;
+                }
+                sweep.begin(AttackScenario::attack(m, d), policy);
+                for (k, dep) in deployments.iter().enumerate() {
+                    sweep.advance(dep);
+                    let (lower, upper) = sweep.count_happy();
+                    acc[k][slot] += HappyCount {
+                        lower,
+                        upper,
+                        sources: net.graph.len() - 2,
+                    };
+                }
+            }
+        },
+        |a, b| {
+            for (xs, ys) in a.iter_mut().zip(b) {
+                for (x, y) in xs.iter_mut().zip(ys) {
+                    *x += y;
+                }
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{runner, sample, scenario};
+    use sbgp_core::SecurityModel;
+
+    fn net() -> Internet {
+        Internet::synthetic(600, 5)
+    }
+
+    /// A small monotone sweep: ∅ plus two growing Tier 1+2 steps.
+    fn deployments(net: &Internet) -> Vec<Deployment> {
+        let mut deps = vec![Deployment::empty(net.len())];
+        deps.push(scenario::tier12_step(net, 3, 5).deployment);
+        deps.push(scenario::tier12_step(net, 3, 20).deployment);
+        deps
+    }
+
+    #[test]
+    fn sweep_metric_equals_per_step_metric() {
+        let net = net();
+        let attackers = sample::sample_non_stubs(&net, 4, 1);
+        let dests = sample::sample_all(&net, 6, 2);
+        let pairs = sample::pairs(&attackers, &dests);
+        let deps = deployments(&net);
+        for model in SecurityModel::ALL {
+            let policy = Policy::new(model);
+            let swept = metric_sweep(&net, &pairs, &deps, policy, Parallelism(2));
+            assert_eq!(swept.len(), deps.len());
+            for (k, dep) in deps.iter().enumerate() {
+                let fresh = runner::metric(&net, &pairs, dep, policy, Parallelism(2));
+                assert_eq!(swept[k], fresh, "{model} step {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_by_destination_equals_per_step_runs() {
+        let net = net();
+        let attackers = sample::sample_non_stubs(&net, 3, 7);
+        let dests = sample::sample_all(&net, 5, 8);
+        let deps = deployments(&net);
+        let policy = Policy::new(SecurityModel::Security2nd);
+        let swept =
+            metric_sweep_by_destination(&net, &attackers, &dests, &deps, policy, Parallelism(2));
+        assert_eq!(swept.len(), deps.len());
+        for (k, dep) in deps.iter().enumerate() {
+            let fresh = runner::metric_by_destination(
+                &net,
+                &attackers,
+                &dests,
+                dep,
+                policy,
+                Parallelism(2),
+            );
+            assert_eq!(swept[k], fresh, "step {k}");
+        }
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_singleton_sequences() {
+        let net = net();
+        let attackers = sample::sample_non_stubs(&net, 2, 3);
+        let dests = sample::sample_all(&net, 3, 4);
+        let pairs = sample::pairs(&attackers, &dests);
+        let policy = Policy::new(SecurityModel::Security3rd);
+        assert!(metric_sweep(&net, &pairs, &[], policy, Parallelism(1)).is_empty());
+        let single = vec![Deployment::empty(net.len())];
+        let swept = metric_sweep(&net, &pairs, &single, policy, Parallelism(1));
+        let fresh = runner::metric(&net, &pairs, &single[0], policy, Parallelism(1));
+        assert_eq!(swept, vec![fresh]);
+    }
+}

@@ -106,6 +106,38 @@ impl AsSet {
         }
     }
 
+    /// True when every member of `other` is also a member of `self`.
+    pub fn is_superset(&self, other: &AsSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| b & !a == 0)
+    }
+
+    /// Iterate over members of `self` that are *not* members of `prev`, in
+    /// increasing id order — the ASes "added since" an older snapshot of
+    /// the same universe.
+    pub fn iter_added<'a>(&'a self, prev: &'a AsSet) -> impl Iterator<Item = AsId> + 'a {
+        assert_eq!(self.len, prev.len, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&prev.words)
+            .enumerate()
+            .flat_map(|(wi, (&now, &old))| {
+                let mut w = now & !old;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        None
+                    } else {
+                        let b = w.trailing_zeros();
+                        w &= w - 1;
+                        Some(AsId((wi * 64) as u32 + b))
+                    }
+                })
+            })
+    }
+
     /// Iterate over members in increasing id order.
     pub fn iter(&self) -> impl Iterator<Item = AsId> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -180,6 +212,20 @@ mod tests {
         let mut i = a.clone();
         i.intersect_with(&b);
         assert_eq!(i.iter().collect::<Vec<_>>(), vec![AsId(3)]);
+    }
+
+    #[test]
+    fn superset_and_added() {
+        let old = AsSet::from_iter(130, [AsId(1), AsId(64)]);
+        let new = AsSet::from_iter(130, [AsId(1), AsId(64), AsId(65), AsId(129)]);
+        assert!(new.is_superset(&old));
+        assert!(!old.is_superset(&new));
+        assert!(new.is_superset(&new));
+        assert_eq!(
+            new.iter_added(&old).collect::<Vec<_>>(),
+            vec![AsId(65), AsId(129)]
+        );
+        assert_eq!(old.iter_added(&new).count(), 0);
     }
 
     #[test]

@@ -60,7 +60,8 @@ pub mod prelude {
     pub use sbgp_core::{
         AttackScenario, Bounds, Deployment, Engine, Fate, HappyCount, LpVariant, Outcome,
         PairAnalysis, PairAnalyzer, PartitionComputer, Policy, RouteClass, SecurityModel,
+        SweepEngine, SweepStats,
     };
-    pub use sbgp_sim::{runner, sample, scenario, Internet, Parallelism};
+    pub use sbgp_sim::{runner, sample, scenario, sweep, Internet, Parallelism};
     pub use sbgp_topology::{AsGraph, AsId, AsSet, GraphBuilder};
 }

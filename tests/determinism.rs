@@ -1,0 +1,123 @@
+//! Thread-count determinism: `runner::metric` and the sweep runners must
+//! produce **bit-identical** results at any [`Parallelism`] — including the
+//! floating-point metric bounds, not just integer counts. The runner
+//! guarantees this by reducing fixed-size work chunks in chunk order, no
+//! matter which worker computed which chunk.
+
+use bgp_juice::prelude::*;
+use bgp_juice::sim::sweep;
+
+fn net() -> Internet {
+    Internet::synthetic(600, 5)
+}
+
+fn parallelisms() -> [Parallelism; 3] {
+    [
+        Parallelism::sequential(),
+        Parallelism(2),
+        Parallelism::auto(),
+    ]
+}
+
+#[test]
+fn metric_is_bit_identical_across_thread_counts() {
+    let net = net();
+    let attackers = sample::sample_non_stubs(&net, 7, 1);
+    let dests = sample::sample_all(&net, 11, 2);
+    let pairs = sample::pairs(&attackers, &dests);
+    let dep = Deployment::full_from_iter(net.len(), net.tiers.tier1().iter().copied());
+    for model in SecurityModel::ALL {
+        let policy = Policy::new(model);
+        let reference = runner::metric(&net, &pairs, &dep, policy, Parallelism::sequential());
+        for par in parallelisms() {
+            let got = runner::metric(&net, &pairs, &dep, policy, par);
+            // Bit-identical, not approximately equal.
+            assert_eq!(
+                got.lower.to_bits(),
+                reference.lower.to_bits(),
+                "{model} lower @ {par:?}"
+            );
+            assert_eq!(
+                got.upper.to_bits(),
+                reference.upper.to_bits(),
+                "{model} upper @ {par:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn metric_with_stderr_is_bit_identical_across_thread_counts() {
+    let net = net();
+    let attackers = sample::sample_non_stubs(&net, 5, 3);
+    let dests = sample::sample_all(&net, 9, 4);
+    let pairs = sample::pairs(&attackers, &dests);
+    let dep = Deployment::empty(net.len());
+    let policy = Policy::new(SecurityModel::Security3rd);
+    let (ref_val, ref_err) =
+        runner::metric_with_stderr(&net, &pairs, &dep, policy, Parallelism::sequential());
+    for par in parallelisms() {
+        let (val, err) = runner::metric_with_stderr(&net, &pairs, &dep, policy, par);
+        assert_eq!(val.lower.to_bits(), ref_val.lower.to_bits(), "{par:?}");
+        assert_eq!(val.upper.to_bits(), ref_val.upper.to_bits(), "{par:?}");
+        assert_eq!(err.lower.to_bits(), ref_err.lower.to_bits(), "{par:?}");
+        assert_eq!(err.upper.to_bits(), ref_err.upper.to_bits(), "{par:?}");
+    }
+}
+
+#[test]
+fn sweep_results_are_bit_identical_across_thread_counts() {
+    let net = net();
+    let attackers = sample::sample_non_stubs(&net, 5, 7);
+    let dests = sample::sample_all(&net, 8, 8);
+    let pairs = sample::pairs(&attackers, &dests);
+    let deps = vec![
+        Deployment::empty(net.len()),
+        scenario::tier12_step(&net, 3, 5).deployment.clone(),
+        scenario::tier12_step(&net, 5, 20).deployment.clone(),
+    ];
+    for model in SecurityModel::ALL {
+        let policy = Policy::new(model);
+        let reference = sweep::metric_sweep(&net, &pairs, &deps, policy, Parallelism::sequential());
+        for par in parallelisms() {
+            let got = sweep::metric_sweep(&net, &pairs, &deps, policy, par);
+            assert_eq!(got.len(), reference.len());
+            for (k, (g, r)) in got.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    g.lower.to_bits(),
+                    r.lower.to_bits(),
+                    "{model} step {k} lower @ {par:?}"
+                );
+                assert_eq!(
+                    g.upper.to_bits(),
+                    r.upper.to_bits(),
+                    "{model} step {k} upper @ {par:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_by_destination_is_identical_across_thread_counts() {
+    let net = net();
+    let attackers = sample::sample_non_stubs(&net, 4, 9);
+    let dests = sample::sample_all(&net, 6, 10);
+    let deps = vec![
+        Deployment::empty(net.len()),
+        scenario::tier12_step(&net, 4, 10).deployment.clone(),
+    ];
+    let policy = Policy::new(SecurityModel::Security2nd);
+    let reference = sweep::metric_sweep_by_destination(
+        &net,
+        &attackers,
+        &dests,
+        &deps,
+        policy,
+        Parallelism::sequential(),
+    );
+    for par in parallelisms() {
+        let got = sweep::metric_sweep_by_destination(&net, &attackers, &dests, &deps, policy, par);
+        assert_eq!(got, reference, "{par:?}");
+    }
+}

@@ -80,7 +80,6 @@ fn class_matches(engine: RouteClass, proto: NeighborClass) -> bool {
 }
 
 fn check_instance(inst: &Instance, model: SecurityModel, variant: LpVariant) {
-    let graph = graph_from_codes(inst.n, &inst.codes);
     let deployment = Deployment::full_from_iter(
         inst.n,
         inst.secure_bits
@@ -89,6 +88,16 @@ fn check_instance(inst: &Instance, model: SecurityModel, variant: LpVariant) {
             .filter(|(_, &s)| s)
             .map(|(i, _)| AsId(i as u32)),
     );
+    check_instance_with_deployment(inst, &deployment, model, variant);
+}
+
+fn check_instance_with_deployment(
+    inst: &Instance,
+    deployment: &Deployment,
+    model: SecurityModel,
+    variant: LpVariant,
+) {
+    let graph = graph_from_codes(inst.n, &inst.codes);
     let d = AsId(inst.destination as u32);
     let m = AsId(inst.attacker as u32);
     let scenario = if m == d {
@@ -101,9 +110,9 @@ fn check_instance(inst: &Instance, model: SecurityModel, variant: LpVariant) {
     let policy = Policy::with_variant(model, variant);
 
     let mut engine = Engine::new(&graph);
-    let outcome = engine.compute(scenario, &deployment, policy);
+    let outcome = engine.compute(scenario, deployment, policy);
 
-    let mut sim = Simulator::new(&graph, &deployment, policy, scenario);
+    let mut sim = Simulator::new(&graph, deployment, policy, scenario);
     let run = sim.run(Schedule::Fifo, 2_000_000);
     assert!(
         matches!(run, RunOutcome::Converged { .. }),
@@ -176,35 +185,78 @@ proptest! {
     }
 }
 
+/// A deployment mixing full and simplex members from per-AS mode codes
+/// (simplex ASes sign their origin but neither validate nor prefer secure
+/// routes — §5.3.2's stub mode, previously uncovered by the oracle).
+fn deployment_from_modes(n: usize, modes: &[u8]) -> Deployment {
+    let mut dep = Deployment::empty(n);
+    for (i, &code) in modes.iter().enumerate() {
+        match code % 4 {
+            0 | 1 => {}
+            2 => dep.insert_simplex(AsId(i as u32)),
+            _ => dep.insert_full(AsId(i as u32)),
+        }
+    }
+    dep
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mixed full/simplex deployments, with extra weight on security 1st —
+    /// the model whose schedule depends most on who actually validates —
+    /// under both the fake-link and origin-hijack strategies (`inst.hijack`).
+    #[test]
+    fn engine_matches_protocol_simulator_with_simplex(
+        args in (arb_instance(), proptest::collection::vec(any::<u8>(), 10))
+    ) {
+        let (inst, modes) = args;
+        let dep = deployment_from_modes(inst.n, &modes[..inst.n]);
+        for model in SecurityModel::ALL {
+            check_instance_with_deployment(&inst, &dep, model, LpVariant::Standard);
+        }
+        check_instance_with_deployment(&inst, &dep, SecurityModel::Security1st, LpVariant::LpK(2));
+        check_instance_with_deployment(&inst, &dep, SecurityModel::Security1st, LpVariant::LpInf);
+    }
+}
+
 /// A deterministic regression net: the equivalence must also hold on a
-/// structured (generated) topology, not just proptest soup.
+/// structured (generated) topology, not just proptest soup. Both attack
+/// strategies are cross-checked, and the hijack pass additionally runs the
+/// §5.3.2 simplex-at-stubs deployment variant (origin-signing stubs that do
+/// not validate).
 #[test]
 fn engine_matches_protocol_simulator_on_generated_internet() {
     let net = Internet::synthetic(160, 9);
     let step = scenario::tier12_step(&net, 5, 5);
+    let simplex_step = scenario::simplex_variant(&net, &step);
     let d = net.content_providers[0];
     let m = net.tiers.tier2()[1];
     for model in SecurityModel::ALL {
         let policy = Policy::new(model);
-        let scenario = AttackScenario::attack(m, d);
-        let mut engine = Engine::new(&net.graph);
-        let outcome = engine.compute(scenario, &step.deployment, policy);
-        let mut sim = Simulator::new(&net.graph, &step.deployment, policy, scenario);
-        let run = sim.run(Schedule::Random(model as u64), 5_000_000);
-        assert!(matches!(run, RunOutcome::Converged { .. }), "{model}");
-        assert!(sim.unstable_ases().is_empty(), "{model}");
-        for v in net.graph.ases() {
-            if v == d || v == m {
-                continue;
-            }
-            match (outcome.route(v), sim.selected(v)) {
-                (None, None) => {}
-                (Some(er), Some(sel)) => {
-                    assert_eq!(er.length, sel.route.length(), "{model} {v}");
-                    assert_eq!(er.secure, sel.secure, "{model} {v}");
-                    assert!(class_matches(er.class, sel.class), "{model} {v}");
+        for (scenario, deployment) in [
+            (AttackScenario::attack(m, d), &step.deployment),
+            (AttackScenario::hijack(m, d), &simplex_step.deployment),
+        ] {
+            let mut engine = Engine::new(&net.graph);
+            let outcome = engine.compute(scenario, deployment, policy);
+            let mut sim = Simulator::new(&net.graph, deployment, policy, scenario);
+            let run = sim.run(Schedule::Random(model as u64), 5_000_000);
+            assert!(matches!(run, RunOutcome::Converged { .. }), "{model}");
+            assert!(sim.unstable_ases().is_empty(), "{model}");
+            for v in net.graph.ases() {
+                if v == d || v == m {
+                    continue;
                 }
-                (er, sel) => panic!("{model} {v}: {er:?} vs {sel:?}"),
+                match (outcome.route(v), sim.selected(v)) {
+                    (None, None) => {}
+                    (Some(er), Some(sel)) => {
+                        assert_eq!(er.length, sel.route.length(), "{model} {v}");
+                        assert_eq!(er.secure, sel.secure, "{model} {v}");
+                        assert!(class_matches(er.class, sel.class), "{model} {v}");
+                    }
+                    (er, sel) => panic!("{model} {v}: {er:?} vs {sel:?}"),
+                }
             }
         }
     }

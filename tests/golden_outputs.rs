@@ -1,0 +1,88 @@
+//! Golden-output regression tests: `figure03` and `figure08` at
+//! `--asns 200 --seed 7` must print exactly the snapshotted tables, so an
+//! engine or runner refactor cannot silently shift reproduced numbers.
+//! Running at 2 threads also exercises the runner's determinism guarantee —
+//! the snapshots were captured at the same setting and reduction order does
+//! not depend on scheduling.
+//!
+//! If a change *intentionally* alters the numbers, regenerate with:
+//!
+//! ```text
+//! cargo run -q -p sbgp_bench --bin figure03 -- --asns 200 --seed 7 --threads 2 \
+//!     > tests/golden/figure03_asns200_seed7.txt
+//! cargo run -q -p sbgp_bench --bin figure08 -- --asns 200 --seed 7 --threads 2 \
+//!     > tests/golden/figure08_asns200_seed7.txt
+//! ```
+//!
+//! and say so in the commit message.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_figure(bin: &str) -> String {
+    let out = Command::new(env!("CARGO"))
+        .current_dir(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .args([
+            "run",
+            "-q",
+            "--offline",
+            "-p",
+            "sbgp_bench",
+            "--bin",
+            bin,
+            "--",
+            "--asns",
+            "200",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("failed to spawn cargo run");
+    assert!(
+        out.status.success(),
+        "{bin} exited nonzero:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("non-UTF8 output")
+}
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn assert_matches_golden(bin: &str, golden_name: &str) {
+    let got = run_figure(bin);
+    let want = golden(golden_name);
+    if got != want {
+        // Pinpoint the first divergence for a readable failure.
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(
+                g,
+                w,
+                "{bin} line {} diverged from tests/golden/{golden_name}",
+                i + 1
+            );
+        }
+        assert_eq!(
+            got.lines().count(),
+            want.lines().count(),
+            "{bin} line count diverged from tests/golden/{golden_name}"
+        );
+        panic!("{bin} output diverged from tests/golden/{golden_name}");
+    }
+}
+
+#[test]
+fn figure03_output_is_golden() {
+    assert_matches_golden("figure03", "figure03_asns200_seed7.txt");
+}
+
+#[test]
+fn figure08_output_is_golden() {
+    assert_matches_golden("figure08", "figure08_asns200_seed7.txt");
+}

@@ -1,0 +1,191 @@
+//! The sweep-equivalence property suite: on random valley-free graphs,
+//! [`SweepEngine`] outcomes after **any** monotone deployment sequence must
+//! be identical — route class, length, security, flags, representative
+//! next hop, and happy bounds — to a fresh [`Engine::compute`] at every
+//! step, for every security model, the `LP2`/`LPinf` variants, and both
+//! attack kinds. The message-level simulator oracle (`tests/equivalence.rs`)
+//! pins `Engine::compute` itself to the protocol, so together these close
+//! the chain: sweep ≡ engine ≡ simulated S*BGP.
+
+use proptest::prelude::*;
+
+use bgp_juice::prelude::*;
+
+/// Build a random valley-free topology from pairwise edge codes.
+/// Providers always have smaller ids, so the hierarchy is acyclic.
+fn graph_from_codes(n: usize, codes: &[u8]) -> AsGraph {
+    let mut b = GraphBuilder::new(n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match codes[k] % 8 {
+                // Sparse: most pairs are unconnected.
+                0..=3 => {}
+                4 => b.add_peering(AsId(i as u32), AsId(j as u32)).unwrap(),
+                // i is the provider of j.
+                _ => b.add_provider(AsId(j as u32), AsId(i as u32)).unwrap(),
+            }
+            k += 1;
+        }
+    }
+    b.build()
+}
+
+/// A monotone 4-step deployment sequence from per-AS join codes: bits 0–1
+/// give the AS's join step (3 = never), bit 2 picks simplex mode, and bit 3
+/// upgrades a simplex member to full one step after joining.
+fn deployment_sequence(n: usize, join_codes: &[u8]) -> Vec<Deployment> {
+    (0..4usize)
+        .map(|step| {
+            let mut dep = Deployment::empty(n);
+            for (i, &code) in join_codes.iter().enumerate() {
+                let join = usize::from(code & 3);
+                if join == 3 || join > step {
+                    continue;
+                }
+                let v = AsId(i as u32);
+                let simplex = code & 4 != 0;
+                let upgrades = code & 8 != 0;
+                if simplex && !(upgrades && step > join) {
+                    dep.insert_simplex(v);
+                } else {
+                    dep.insert_full(v);
+                }
+            }
+            dep
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    n: usize,
+    codes: Vec<u8>,
+    join_codes: Vec<u8>,
+    attacker: usize,
+    destination: usize,
+    /// Use the origin-hijack strategy instead of the fake link.
+    hijack: bool,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (4usize..10).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        (
+            Just(n),
+            proptest::collection::vec(any::<u8>(), pairs),
+            proptest::collection::vec(any::<u8>(), n),
+            0..n,
+            0..n,
+            any::<bool>(),
+        )
+            .prop_map(
+                |(n, codes, join_codes, attacker, destination, hijack)| Instance {
+                    n,
+                    codes,
+                    join_codes,
+                    attacker,
+                    destination,
+                    hijack,
+                },
+            )
+    })
+}
+
+fn check_instance(inst: &Instance, policy: Policy) {
+    let graph = graph_from_codes(inst.n, &inst.codes);
+    let steps = deployment_sequence(inst.n, &inst.join_codes);
+    // The sequence must actually be monotone, or the whole premise breaks.
+    for w in steps.windows(2) {
+        assert!(w[1].is_monotone_extension_of(&w[0]), "generator bug");
+    }
+
+    let d = AsId(inst.destination as u32);
+    let m = AsId(inst.attacker as u32);
+    let scenario = if m == d {
+        AttackScenario::normal(d)
+    } else if inst.hijack {
+        AttackScenario::hijack(m, d)
+    } else {
+        AttackScenario::attack(m, d)
+    };
+
+    let mut sweep = SweepEngine::new(&graph);
+    let mut fresh = Engine::new(&graph);
+    sweep.begin(scenario, policy);
+    for (k, dep) in steps.iter().enumerate() {
+        let got = sweep.advance(dep);
+        let want = fresh.compute(scenario, dep, policy);
+        for v in graph.ases() {
+            assert_eq!(
+                got.route(v),
+                want.route(v),
+                "route mismatch at {v}, step {k}: {inst:?} {policy}"
+            );
+            assert_eq!(
+                got.next_hop(v),
+                want.next_hop(v),
+                "next-hop mismatch at {v}, step {k}: {inst:?} {policy}"
+            );
+        }
+        assert_eq!(
+            sweep.count_happy(),
+            want.count_happy(),
+            "happy-bound mismatch at step {k}: {inst:?} {policy}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sweep_matches_fresh_engine_standard_lp(inst in arb_instance()) {
+        for model in SecurityModel::ALL {
+            check_instance(&inst, Policy::new(model));
+        }
+    }
+
+    #[test]
+    fn sweep_matches_fresh_engine_lp_variants(inst in arb_instance()) {
+        for model in SecurityModel::ALL {
+            check_instance(&inst, Policy::with_variant(model, LpVariant::LpK(2)));
+            check_instance(&inst, Policy::with_variant(model, LpVariant::LpInf));
+        }
+    }
+}
+
+/// The same equivalence on a structured (generated) topology with a real
+/// rollout, where the incremental path is actually exercised (proptest's
+/// tiny graphs often fall back to full recomputes via the region cap).
+#[test]
+fn sweep_matches_fresh_engine_on_generated_internet() {
+    let net = Internet::synthetic(400, 17);
+    let steps: Vec<Deployment> = [
+        Deployment::empty(net.len()),
+        scenario::tier12_step(&net, 2, 2).deployment.clone(),
+        scenario::tier12_step(&net, 5, 8).deployment.clone(),
+        scenario::tier12_step(&net, 13, 30).deployment.clone(),
+    ]
+    .to_vec();
+    let m = net.tiers.tier2()[1];
+    let d = net.content_providers[0];
+    let attack = AttackScenario::attack(m, d);
+    let mut incremental_seen = false;
+    for model in SecurityModel::ALL {
+        let policy = Policy::new(model);
+        let mut sweep = SweepEngine::new(&net.graph);
+        let mut fresh = Engine::new(&net.graph);
+        sweep.begin(attack, policy);
+        for (k, dep) in steps.iter().enumerate() {
+            let got = sweep.advance(dep);
+            let want = fresh.compute(attack, dep, policy);
+            for v in net.graph.ases() {
+                assert_eq!(got.route(v), want.route(v), "{model} step {k} at {v}");
+            }
+            assert_eq!(sweep.count_happy(), want.count_happy(), "{model} step {k}");
+        }
+        incremental_seen |= sweep.stats().incremental_steps > 0;
+    }
+    assert!(incremental_seen, "rollout never took the incremental path");
+}
