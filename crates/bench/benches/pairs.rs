@@ -1,0 +1,88 @@
+//! Attacker-delta performance: all attackers of one destination evaluated
+//! per-pair from scratch versus patched from one shared normal-conditions
+//! snapshot, in the two regimes the engine actually sees:
+//!
+//! * **contested** — a partially protected destination: fake-link balls
+//!   cover a large share of the graph (measured ~25–40% of all ASes once
+//!   downstream flag contamination counts), so the delta engine's scan
+//!   mostly decides to fall back and the cost envelope is ≈ one compute
+//!   plus a small scan premium;
+//! * **protected** — everyone runs full S\*BGP under security 1st: every
+//!   AS holds a secure route, the insecure bogus announcement loses
+//!   everywhere, and each attacker is a near-empty patch.
+//!
+//! (`bench_pairs` emits the full two-axis rollout composition as
+//! `BENCH_pairs.json`.)
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgp_bench::sweep_rollout_steps;
+use sbgp_core::{
+    AttackDeltaEngine, AttackScenario, AttackStrategy, Deployment, Engine, Policy, SecurityModel,
+};
+use sbgp_sim::{sample, Internet};
+use sbgp_topology::AsId;
+
+fn pairs_benches(c: &mut Criterion) {
+    let net = Internet::synthetic(4_000, 11);
+    let contested = sweep_rollout_steps(&net, 20).swap_remove(19);
+    let protected_all = Deployment::full_from_iter(net.len(), net.graph.ases());
+    let d = net.tiers.tier2()[0];
+    let attackers: Vec<AsId> = sample::sample_non_stubs(&net, 20, 3)
+        .into_iter()
+        .filter(|&m| m != d)
+        .collect();
+
+    let cells: [(&str, &Deployment, Vec<Policy>); 2] = [
+        (
+            "contested",
+            &contested,
+            SecurityModel::ALL.map(Policy::new).to_vec(),
+        ),
+        (
+            "protected",
+            &protected_all,
+            vec![Policy::new(SecurityModel::Security1st)],
+        ),
+    ];
+
+    let mut group = c.benchmark_group("pairs-20-attackers");
+    group.sample_size(5);
+    for (regime, dep, policies) in cells {
+        for policy in policies {
+            let label = format!("{regime}/{}", policy.model.label());
+            group.bench_with_input(
+                BenchmarkId::new("from-scratch", &label),
+                &policy,
+                |b, &policy| {
+                    let mut engine = Engine::new(&net.graph);
+                    b.iter(|| {
+                        let mut happy = 0usize;
+                        for &m in &attackers {
+                            let o = engine.compute(AttackScenario::attack(m, d), dep, policy);
+                            happy += o.count_happy().0;
+                        }
+                        black_box(happy)
+                    });
+                },
+            );
+            group.bench_with_input(BenchmarkId::new("delta", &label), &policy, |b, &policy| {
+                let mut delta = AttackDeltaEngine::new(&net.graph);
+                b.iter(|| {
+                    let mut happy = 0usize;
+                    delta.begin(d, dep, policy);
+                    for &m in &attackers {
+                        delta.attack(m, AttackStrategy::FakeLink);
+                        happy += delta.count_happy().0;
+                    }
+                    black_box(happy)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pairs_benches);
+criterion_main!(benches);

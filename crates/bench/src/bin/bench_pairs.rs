@@ -1,0 +1,211 @@
+//! Attacker-delta benchmark: time the acceptance workload (6 destinations
+//! × 40 attackers × a 20-step monotone rollout) three ways — the per-pair
+//! from-scratch loop (one [`Engine::compute`] per `(m, d, S_k)`), PR 2's
+//! per-pair deployment sweep (one [`SweepEngine`] pass per `(m, d)`), and
+//! the destination-major two-axis composition (one normal-conditions sweep
+//! per destination, one [`AttackDeltaEngine`] patch per attacker per
+//! step) — cross-check that all three produce identical happy counts, and
+//! emit `BENCH_pairs.json` so the speedup lands in the perf trajectory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sbgp_bench::{sweep_rollout_steps, Cli};
+use sbgp_core::{
+    AttackDeltaEngine, AttackScenario, AttackStrategy, Deployment, Engine, Policy, SecurityModel,
+    SweepEngine,
+};
+use sbgp_sim::sample;
+use sbgp_topology::AsId;
+
+const STEPS: usize = 20;
+/// The acceptance shape: 6 destinations × 40 attackers (scaled down only
+/// when the graph cannot supply them).
+const DESTINATIONS: usize = 6;
+const ATTACKERS: usize = 40;
+/// Timed repetitions per side; the minimum is reported (standard
+/// noise-resistant wall-clock practice — every side gets the same deal).
+const REPS: usize = 3;
+
+struct ModelResult {
+    model: SecurityModel,
+    scratch_ms: f64,
+    pair_sweep_ms: f64,
+    delta_ms: f64,
+    refixed_fraction: f64,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Pairs bench — attacker-delta vs per-pair loops", &net);
+
+    let deps = sweep_rollout_steps(&net, STEPS);
+    let attackers = sample::sample_non_stubs(&net, ATTACKERS, cli.seed);
+    let dests: Vec<AsId> = sample::sample_all(&net, DESTINATIONS, cli.seed ^ 0xD)
+        .into_iter()
+        .filter(|d| !attackers.contains(d))
+        .collect();
+    assert!(!attackers.is_empty() && !dests.is_empty(), "empty samples");
+    println!(
+        "rollout: {} steps to {} secure ASes; {} destinations x {} attackers",
+        deps.len(),
+        deps.last().map(Deployment::secure_count).unwrap_or(0),
+        dests.len(),
+        attackers.len()
+    );
+    println!();
+
+    let mut results = Vec::new();
+    for model in SecurityModel::ALL {
+        let policy = Policy::with_variant(model, cli.variant);
+
+        // Side 1: the per-pair from-scratch loop.
+        let mut scratch = std::time::Duration::MAX;
+        let mut scratch_counts = 0usize;
+        let mut engine = Engine::new(&net.graph);
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            scratch_counts = 0;
+            for &d in &dests {
+                for &m in &attackers {
+                    for dep in &deps {
+                        let o = engine.compute(AttackScenario::attack(m, d), dep, policy);
+                        scratch_counts += o.count_happy().0;
+                    }
+                }
+            }
+            scratch = scratch.min(t0.elapsed());
+        }
+
+        // Side 2: PR 2's per-pair deployment sweep (attacker axis unshared).
+        let mut pair_sweep = std::time::Duration::MAX;
+        let mut pair_sweep_counts = 0usize;
+        let mut sweep = SweepEngine::new(&net.graph);
+        for _ in 0..REPS {
+            let t1 = Instant::now();
+            pair_sweep_counts = 0;
+            for &d in &dests {
+                for &m in &attackers {
+                    sweep.begin(AttackScenario::attack(m, d), policy);
+                    for dep in &deps {
+                        sweep.advance(dep);
+                        pair_sweep_counts += sweep.count_happy().0;
+                    }
+                }
+            }
+            pair_sweep = pair_sweep.min(t1.elapsed());
+        }
+
+        // Side 3: both axes composed, destination-major (the runners'
+        // loop): the delta engine serves each pair's first step from the
+        // destination's shared normal outcome, the sweep engine adopts it
+        // and carries the remaining steps.
+        let mut delta_time = std::time::Duration::MAX;
+        let mut delta_counts = 0usize;
+        let mut pair_sweep2 = SweepEngine::new(&net.graph);
+        let mut delta = AttackDeltaEngine::new(&net.graph);
+        for _ in 0..REPS {
+            let t2 = Instant::now();
+            delta_counts = 0;
+            for &d in &dests {
+                delta.begin(d, &deps[0], policy);
+                for &m in &attackers {
+                    let outcome = delta.attack(m, AttackStrategy::FakeLink);
+                    let happy = outcome.count_happy();
+                    delta_counts += happy.0;
+                    pair_sweep2.begin_from(
+                        AttackScenario::attack(m, d),
+                        policy,
+                        &deps[0],
+                        outcome,
+                        happy,
+                    );
+                    for dep in &deps[1..] {
+                        pair_sweep2.advance(dep);
+                        delta_counts += pair_sweep2.count_happy().0;
+                    }
+                }
+            }
+            delta_time = delta_time.min(t2.elapsed());
+        }
+
+        assert_eq!(
+            scratch_counts, pair_sweep_counts,
+            "{model}: pair-sweep diverged from from-scratch outcomes"
+        );
+        assert_eq!(
+            scratch_counts, delta_counts,
+            "{model}: delta diverged from from-scratch outcomes"
+        );
+        let stats = delta.stats();
+        let evaluated = stats.attacks().max(1) * net.graph.len();
+        let r = ModelResult {
+            model,
+            scratch_ms: scratch.as_secs_f64() * 1e3,
+            pair_sweep_ms: pair_sweep.as_secs_f64() * 1e3,
+            delta_ms: delta_time.as_secs_f64() * 1e3,
+            refixed_fraction: stats.refixed_ases as f64 / evaluated as f64,
+        };
+        println!(
+            "{:<8} scratch {:>9.1} ms   pair-sweep {:>9.1} ms   delta {:>9.1} ms   speedup {:>6.2}x (vs sweep {:>5.2}x)   re-fixed {:>5.2}% of AS-attacks   {} fallbacks / {} attacks",
+            r.model.label(),
+            r.scratch_ms,
+            r.pair_sweep_ms,
+            r.delta_ms,
+            r.scratch_ms / r.delta_ms.max(1e-9),
+            r.pair_sweep_ms / r.delta_ms.max(1e-9),
+            r.refixed_fraction * 100.0,
+            stats.full_recomputes,
+            stats.attacks()
+        );
+        println!(
+            "         {} grow rounds over {} delta attacks",
+            stats.grow_rounds, stats.delta_attacks
+        );
+        results.push(r);
+    }
+
+    let scratch_total: f64 = results.iter().map(|r| r.scratch_ms).sum();
+    let pair_sweep_total: f64 = results.iter().map(|r| r.pair_sweep_ms).sum();
+    let delta_total: f64 = results.iter().map(|r| r.delta_ms).sum();
+    let overall = scratch_total / delta_total.max(1e-9);
+    let overall_vs_sweep = pair_sweep_total / delta_total.max(1e-9);
+    println!();
+    println!(
+        "overall speedup: {overall:.2}x vs from-scratch, {overall_vs_sweep:.2}x vs per-pair sweep"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"pairs\",");
+    let _ = writeln!(json, "  \"asns\": {},", net.graph.len());
+    let _ = writeln!(json, "  \"seed\": {},", cli.seed);
+    let _ = writeln!(json, "  \"steps\": {},", deps.len());
+    let _ = writeln!(json, "  \"destinations\": {},", dests.len());
+    let _ = writeln!(json, "  \"attackers\": {},", attackers.len());
+    let _ = writeln!(json, "  \"models\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"model\": \"{}\", \"scratch_ms\": {:.3}, \"pair_sweep_ms\": {:.3}, \"delta_ms\": {:.3}, \"speedup\": {:.3}, \"speedup_vs_pair_sweep\": {:.3}, \"refixed_fraction\": {:.5}}}{}",
+            r.model.label(),
+            r.scratch_ms,
+            r.pair_sweep_ms,
+            r.delta_ms,
+            r.scratch_ms / r.delta_ms.max(1e-9),
+            r.pair_sweep_ms / r.delta_ms.max(1e-9),
+            r.refixed_fraction,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"overall_speedup\": {overall:.3},");
+    let _ = writeln!(
+        json,
+        "  \"overall_speedup_vs_pair_sweep\": {overall_vs_sweep:.3}"
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_pairs.json", &json).expect("write BENCH_pairs.json");
+    println!("wrote BENCH_pairs.json");
+}

@@ -38,33 +38,48 @@ use sbgp_topology::{AsGraph, AsId};
 use crate::attack::AttackScenario;
 use crate::deployment::Deployment;
 use crate::outcome::{
-    Outcome, RootFlags, KIND_CUSTOMER, KIND_ORIGIN, KIND_PEER, KIND_PROVIDER, KIND_UNFIXED,
+    Outcome, RootFlags, FLAG_ROOTS, FLAG_SECURE, FLAG_VIA_MARK, KIND_CUSTOMER, KIND_ORIGIN,
+    KIND_PEER, KIND_PROVIDER, KIND_UNFIXED,
 };
 use crate::policy::{Policy, SecurityModel};
 
+/// Sentinel for an empty per-length chain in [`BucketQueue`].
+const NO_ENTRY: u32 = u32::MAX;
+
 /// Monotone bucket queue of fix candidates keyed by route length.
+///
+/// Candidates live in one flat arena of `(node, next)` links; `heads[len]`
+/// chains the candidates of each length as an intrusive LIFO stack. A
+/// `clear` therefore truncates two `Vec`s and never frees per-bucket
+/// storage — deep graphs used to pay a `Vec<Vec<u32>>` reallocation per
+/// bucket per `compute`, and pop order (LIFO within a length) is unchanged.
 #[derive(Debug, Default)]
 struct BucketQueue {
-    buckets: Vec<Vec<u32>>,
+    /// Arena index of the most recently pushed candidate per length.
+    heads: Vec<u32>,
+    /// `(node, next-arena-index)` links; stale (popped) entries are
+    /// reclaimed wholesale by `clear`.
+    arena: Vec<(u32, u32)>,
     cursor: usize,
     size: usize,
 }
 
 impl BucketQueue {
     fn clear(&mut self) {
-        for b in &mut self.buckets {
-            b.clear();
-        }
+        self.heads.clear();
+        self.arena.clear();
         self.cursor = 0;
         self.size = 0;
     }
 
     fn push(&mut self, len: u32, node: u32) {
         let len = len as usize;
-        if len >= self.buckets.len() {
-            self.buckets.resize_with(len + 1, Vec::new);
+        if len >= self.heads.len() {
+            self.heads.resize(len + 1, NO_ENTRY);
         }
-        self.buckets[len].push(node);
+        let idx = self.arena.len() as u32;
+        self.arena.push((node, self.heads[len]));
+        self.heads[len] = idx;
         self.size += 1;
         if len < self.cursor {
             self.cursor = len;
@@ -76,7 +91,7 @@ impl BucketQueue {
         if self.size == 0 {
             return None;
         }
-        while self.buckets[self.cursor].is_empty() {
+        while self.heads[self.cursor] == NO_ENTRY {
             self.cursor += 1;
         }
         Some(self.cursor as u32)
@@ -88,7 +103,8 @@ impl BucketQueue {
         if len > max_len {
             return None;
         }
-        let node = self.buckets[len as usize].pop().expect("non-empty bucket");
+        let (node, next) = self.arena[self.heads[len as usize] as usize];
+        self.heads[len as usize] = next;
         self.size -= 1;
         Some((node, len))
     }
@@ -133,6 +149,14 @@ pub struct Engine<'g> {
     use_secure_queues: bool,
     /// The scenario's marked AS, if any (for route-traversal tracking).
     mark: Option<AsId>,
+    /// When set, every AS fixed by this run is appended to `fix_log`. The
+    /// incremental engines enable this for region solves so that ASes fixed
+    /// *outside* the seeded region (possible only for ASes that were
+    /// unreachable in the base outcome, e.g. an island reachable solely via
+    /// the attacker's bogus announcement) are absorbed into the touched
+    /// set — keeping the snapshot/undo bookkeeping exact.
+    log_fixes: bool,
+    fix_log: Vec<u32>,
 }
 
 impl<'g> Engine<'g> {
@@ -149,6 +173,8 @@ impl<'g> Engine<'g> {
             prov_any: BucketQueue::default(),
             use_secure_queues: false,
             mark: None,
+            log_fixes: false,
+            fix_log: Vec::new(),
         }
     }
 
@@ -227,6 +253,21 @@ impl<'g> Engine<'g> {
         self.use_secure_queues =
             policy.model != SecurityModel::Security3rd && !deployment.is_baseline();
         self.mark = scenario.mark;
+        self.log_fixes = false;
+        self.fix_log.clear();
+    }
+
+    /// Record every subsequently fixed AS in the fix log (cleared by
+    /// [`Engine::begin`]). Region solvers use the log to detect fixes that
+    /// landed outside their seeded region.
+    pub(crate) fn enable_fix_log(&mut self) {
+        self.log_fixes = true;
+    }
+
+    /// The ASes fixed since the last [`Engine::begin`], in fix order (only
+    /// populated after [`Engine::enable_fix_log`]).
+    pub(crate) fn fix_log(&self) -> &[u32] {
+        &self.fix_log
     }
 
     /// Drain every queue in the model's stage order (Appendix B). All fix
@@ -312,11 +353,11 @@ impl<'g> Engine<'g> {
         deployment: &Deployment,
     ) {
         let i = v.index();
-        self.outcome.kind[i] = KIND_ORIGIN;
-        self.outcome.len[i] = len;
-        self.outcome.secure[i] = secure;
-        self.outcome.flags[i] = flags.0;
-        self.outcome.via_mark[i] = self.mark == Some(v);
+        self.outcome
+            .set_fixed(i, KIND_ORIGIN, len, secure, flags.0, self.mark == Some(v));
+        if self.log_fixes {
+            self.fix_log.push(v.0);
+        }
         self.push_from_fixed(v, deployment);
     }
 
@@ -324,7 +365,7 @@ impl<'g> Engine<'g> {
     fn push_from_fixed(&mut self, v: AsId, deployment: &Deployment) {
         let i = v.index();
         let len = self.outcome.len[i];
-        let secure = self.outcome.secure[i];
+        let secure = self.outcome.secure_at(i);
         let kind = self.outcome.kind[i];
         let next = len + 1;
 
@@ -382,7 +423,7 @@ impl<'g> Engine<'g> {
             }
             let next = self.outcome.len[ui] + 1;
             self.cust_any.push(next, v.0);
-            if self.use_secure_queues && self.outcome.secure[ui] && validating {
+            if self.use_secure_queues && self.outcome.secure_at(ui) && validating {
                 self.cust_sec.push(next, v.0);
             }
         }
@@ -394,7 +435,7 @@ impl<'g> Engine<'g> {
             }
             let next = self.outcome.len[ui] + 1;
             self.peer_any.push(next, v.0);
-            if self.use_secure_queues && self.outcome.secure[ui] && validating {
+            if self.use_secure_queues && self.outcome.secure_at(ui) && validating {
                 self.peer_sec.push(next, v.0);
             }
         }
@@ -405,7 +446,7 @@ impl<'g> Engine<'g> {
             }
             let next = self.outcome.len[ui] + 1;
             self.prov_any.push(next, v.0);
-            if self.use_secure_queues && self.outcome.secure[ui] && validating {
+            if self.use_secure_queues && self.outcome.secure_at(ui) && validating {
                 self.prov_sec.push(next, v.0);
             }
         }
@@ -496,20 +537,23 @@ impl<'g> Engine<'g> {
             if class != Class::Provider && ukind != KIND_ORIGIN && ukind != KIND_CUSTOMER {
                 continue;
             }
-            let ext_secure = self.outcome.secure[ui] && validating;
+            // One byte carries the neighbor's root flags, security bit and
+            // mark bit — a single cache stream in this inner rescan loop.
+            let packed = self.outcome.packed_flags(ui);
+            let ext_secure = packed & FLAG_SECURE != 0 && validating;
             if let Mode::SecureOnly = mode {
                 if !ext_secure {
                     continue;
                 }
             }
             n_any += 1;
-            flags_any |= self.outcome.flags[ui];
-            via_any |= self.outcome.via_mark[ui];
+            flags_any |= packed & FLAG_ROOTS;
+            via_any |= packed & FLAG_VIA_MARK != 0;
             hop_any = hop_any.min(u.0);
             if ext_secure {
                 n_secure += 1;
-                flags_secure |= self.outcome.flags[ui];
-                via_secure |= self.outcome.via_mark[ui];
+                flags_secure |= packed & FLAG_ROOTS;
+                via_secure |= packed & FLAG_VIA_MARK != 0;
                 hop_secure = hop_secure.min(u.0);
             }
         }
@@ -531,20 +575,21 @@ impl<'g> Engine<'g> {
             }
         };
 
-        self.outcome.kind[i] = match class {
+        let kind = match class {
             Class::Customer => KIND_CUSTOMER,
             Class::Peer => KIND_PEER,
             Class::Provider => KIND_PROVIDER,
         };
-        self.outcome.len[i] = len;
-        self.outcome.secure[i] = secure;
-        self.outcome.flags[i] = flags;
+        self.outcome
+            .set_fixed(i, kind, len, secure, flags, via || self.mark == Some(v));
         self.outcome.next_hop[i] = hop;
-        self.outcome.via_mark[i] = via || self.mark == Some(v);
         debug_assert!(
             !secure || flags == RootFlags::TO_D.0,
             "secure routes cannot reach the attacker"
         );
+        if self.log_fixes {
+            self.fix_log.push(v.0);
+        }
         self.push_from_fixed(v, deployment);
     }
 }

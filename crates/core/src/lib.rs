@@ -28,26 +28,42 @@
 //!   `(m, d, policy)`, recompute outcomes along a monotonically growing
 //!   secure set by re-fixing only a dirty region (rollout curves cost a
 //!   fraction of from-scratch recomputation).
+//! * [`delta`] — the attacker-delta engine: for a fixed `(d, S, policy)`,
+//!   compute the normal-conditions outcome once and serve every attacker
+//!   `m ∈ M` by re-fixing only the contested region around its bogus
+//!   announcement, with a touched-list snapshot restore between attackers.
 //!
-//! The crate is single-threaded by design; [`Engine`] and [`SweepEngine`]
-//! instances hold reusable scratch and the `sbgp-sim` crate runs one per
-//! worker thread to parallelize over (attacker, destination) pairs.
+//! [`sweep`] and [`delta`] are the two axes of one amortization hierarchy
+//! (deployment × attacker); `sbgp-sim` composes them destination-major —
+//! the delta engine anchors each `(m, d)` pair's first step off the
+//! destination's shared normal outcome, and a sweep adopted from that
+//! patch ([`SweepEngine::begin_from`]) carries the remaining deployment
+//! steps — so a whole rollout costs one base fix per destination plus one
+//! anchor patch and `|S|−1` small sweep patches per pair.
+//!
+//! The crate is single-threaded by design; [`Engine`], [`SweepEngine`] and
+//! [`AttackDeltaEngine`] instances hold reusable scratch and the
+//! `sbgp-sim` crate runs one per worker thread to parallelize over
+//! destinations and (attacker, destination) pairs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod attack;
+pub mod delta;
 pub mod deployment;
 pub mod engine;
 pub mod metric;
 pub mod outcome;
 pub mod partition;
 pub mod policy;
+mod region;
 pub mod sweep;
 
 pub use analysis::{PairAnalysis, PairAnalyzer};
 pub use attack::{AttackScenario, AttackStrategy};
+pub use delta::{AttackDeltaEngine, DeltaStats};
 pub use deployment::Deployment;
 pub use engine::Engine;
 pub use metric::{Bounds, HappyCount};

@@ -8,12 +8,31 @@
 //! attacker, or both. That three-way classification yields the lower and
 //! upper bounds on the number of happy ASes used throughout the paper
 //! (Appendix C).
+//!
+//! Storage layout: the per-AS root flags, the security bit and the
+//! mark-traversal bit all live in one `flags` byte (see [`FLAG_ROOTS`],
+//! [`FLAG_SECURE`], [`FLAG_VIA_MARK`]), so the engine's inner rescan loop
+//! reads a single byte stream instead of three parallel arrays.
 
 use sbgp_topology::AsId;
 
 /// Which roots the equally-best routes of an AS lead to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RootFlags(pub(crate) u8);
+
+/// Mask of the two root-reachability bits inside a packed flags byte.
+pub(crate) const FLAG_ROOTS: u8 = 0b0011;
+/// Packed-flags bit: the AS's equally-best routes are secure end-to-end.
+pub(crate) const FLAG_SECURE: u8 = 0b0100;
+/// Packed-flags bit: some equally-best route traverses the scenario mark.
+pub(crate) const FLAG_VIA_MARK: u8 = 0b1000;
+
+/// Pack root flags, the security bit and the mark bit into one byte.
+#[inline]
+pub(crate) fn pack_flags(root_flags: u8, secure: bool, via_mark: bool) -> u8 {
+    debug_assert_eq!(root_flags & !FLAG_ROOTS, 0, "root flags overflow");
+    root_flags | (u8::from(secure) << 2) | (u8::from(via_mark) << 3)
+}
 
 impl RootFlags {
     /// No route at all.
@@ -105,10 +124,9 @@ pub struct RouteInfo {
 pub struct Outcome {
     pub(crate) kind: Vec<u8>,
     pub(crate) len: Vec<u32>,
-    pub(crate) secure: Vec<bool>,
+    /// Packed per-AS byte: root flags ([`FLAG_ROOTS`]), the security bit
+    /// ([`FLAG_SECURE`]) and the mark-traversal bit ([`FLAG_VIA_MARK`]).
     pub(crate) flags: Vec<u8>,
-    /// Whether some equally-best route traverses the scenario's marked AS.
-    pub(crate) via_mark: Vec<bool>,
     /// A representative next hop (lowest-id member of the `BPR` set);
     /// `u32::MAX` when unrouted or a root.
     pub(crate) next_hop: Vec<u32>,
@@ -127,9 +145,7 @@ impl Outcome {
         Outcome {
             kind: Vec::new(),
             len: Vec::new(),
-            secure: Vec::new(),
             flags: Vec::new(),
-            via_mark: Vec::new(),
             next_hop: Vec::new(),
             destination: AsId(0),
             attacker: None,
@@ -141,12 +157,8 @@ impl Outcome {
         self.kind.resize(n, KIND_UNFIXED);
         self.len.clear();
         self.len.resize(n, u32::MAX);
-        self.secure.clear();
-        self.secure.resize(n, false);
         self.flags.clear();
         self.flags.resize(n, 0);
-        self.via_mark.clear();
-        self.via_mark.resize(n, false);
         self.next_hop.clear();
         self.next_hop.resize(n, u32::MAX);
         self.destination = destination;
@@ -157,12 +169,22 @@ impl Outcome {
     pub(crate) fn copy_from(&mut self, other: &Outcome) {
         self.kind.clone_from(&other.kind);
         self.len.clone_from(&other.len);
-        self.secure.clone_from(&other.secure);
         self.flags.clone_from(&other.flags);
-        self.via_mark.clone_from(&other.via_mark);
         self.next_hop.clone_from(&other.next_hop);
         self.destination = other.destination;
         self.attacker = other.attacker;
+    }
+
+    /// Copy only `v`'s entry from `other` — the touched-list undo primitive
+    /// used by [`crate::SweepEngine`] and [`crate::AttackDeltaEngine`] to
+    /// patch or restore a snapshot in `O(touched)` instead of `O(V)`.
+    #[inline]
+    pub(crate) fn copy_entry_from(&mut self, other: &Outcome, v: AsId) {
+        let i = v.index();
+        self.kind[i] = other.kind[i];
+        self.len[i] = other.len[i];
+        self.flags[i] = other.flags[i];
+        self.next_hop[i] = other.next_hop[i];
     }
 
     /// Return `v` to the unfixed state, as if the run had never reached it.
@@ -170,23 +192,49 @@ impl Outcome {
         let i = v.index();
         self.kind[i] = KIND_UNFIXED;
         self.len[i] = u32::MAX;
-        self.secure[i] = false;
         self.flags[i] = 0;
-        self.via_mark[i] = false;
         self.next_hop[i] = u32::MAX;
+    }
+
+    /// Write a fixed entry for index `i` (everything except the next hop,
+    /// which roots never have and `try_fix` sets itself).
+    #[inline]
+    pub(crate) fn set_fixed(
+        &mut self,
+        i: usize,
+        kind: u8,
+        len: u32,
+        secure: bool,
+        root_flags: u8,
+        via_mark: bool,
+    ) {
+        self.kind[i] = kind;
+        self.len[i] = len;
+        self.flags[i] = pack_flags(root_flags, secure, via_mark);
+    }
+
+    /// The packed flags byte for index `i` (root bits + secure + mark).
+    #[inline]
+    pub(crate) fn packed_flags(&self, i: usize) -> u8 {
+        self.flags[i]
+    }
+
+    /// Security bit of index `i`'s routes.
+    #[inline]
+    pub(crate) fn secure_at(&self, i: usize) -> bool {
+        self.flags[i] & FLAG_SECURE != 0
     }
 
     /// True when `v`'s entry agrees with `other`'s on every field a
     /// *neighbor* of `v` can observe (class, length, security, root flags,
-    /// mark traversal). The representative next hop is excluded: it can
-    /// shrink with the `BPR` set without changing what `v` offers others.
+    /// mark traversal — the latter three share the packed flags byte). The
+    /// representative next hop is excluded: it can shrink with the `BPR`
+    /// set without changing what `v` offers others.
     pub(crate) fn same_for_neighbors(&self, other: &Outcome, v: AsId) -> bool {
         let i = v.index();
         self.kind[i] == other.kind[i]
             && self.len[i] == other.len[i]
-            && self.secure[i] == other.secure[i]
             && self.flags[i] == other.flags[i]
-            && self.via_mark[i] == other.via_mark[i]
     }
 
     /// Number of ASes covered.
@@ -225,21 +273,21 @@ impl Outcome {
         Some(RouteInfo {
             class,
             length: self.len[i],
-            secure: self.secure[i],
-            flags: RootFlags(self.flags[i]),
+            secure: self.flags[i] & FLAG_SECURE != 0,
+            flags: RootFlags(self.flags[i] & FLAG_ROOTS),
         })
     }
 
     /// Root flags for `v` ([`RootFlags::NONE`] when unreachable).
     #[inline]
     pub fn flags(&self, v: AsId) -> RootFlags {
-        RootFlags(self.flags[v.index()])
+        RootFlags(self.flags[v.index()] & FLAG_ROOTS)
     }
 
     /// True when `v` uses a secure route (necessarily legitimate).
     #[inline]
     pub fn uses_secure_route(&self, v: AsId) -> bool {
-        self.secure[v.index()]
+        self.flags[v.index()] & FLAG_SECURE != 0
     }
 
     /// True when some equally-best route of `v` traverses the scenario's
@@ -247,7 +295,7 @@ impl Outcome {
     /// false when no mark was set.
     #[inline]
     pub fn may_traverse_mark(&self, v: AsId) -> bool {
-        self.via_mark[v.index()]
+        self.flags[v.index()] & FLAG_VIA_MARK != 0
     }
 
     /// A representative next hop for `v`: the lowest-id neighbor whose
@@ -295,12 +343,15 @@ impl Outcome {
         let mut lower = 0usize;
         let mut upper = 0usize;
         for &f in &self.flags {
-            lower += usize::from(f == RootFlags::TO_D.0);
+            lower += usize::from(f & FLAG_ROOTS == RootFlags::TO_D.0);
             upper += usize::from(f & 1);
         }
         let root = |v: AsId| {
             let f = self.flags[v.index()];
-            (usize::from(f == RootFlags::TO_D.0), usize::from(f & 1 != 0))
+            (
+                usize::from(f & FLAG_ROOTS == RootFlags::TO_D.0),
+                usize::from(f & 1 != 0),
+            )
         };
         let (dl, du) = root(self.destination);
         lower -= dl;
@@ -318,7 +369,7 @@ impl Outcome {
         (0..self.kind.len())
             .filter(|&i| {
                 let v = AsId(i as u32);
-                self.is_source(v) && self.secure[i]
+                self.is_source(v) && self.flags[i] & FLAG_SECURE != 0
             })
             .count()
     }
@@ -359,18 +410,46 @@ mod tests {
     }
 
     #[test]
+    fn happy_counting_ignores_packed_state_bits() {
+        let mut o = Outcome::new_empty();
+        o.reset(4, AsId(0), None);
+        // A secure, mark-traversing happy source still counts as TO_D.
+        o.flags[1] = pack_flags(RootFlags::TO_D.0, true, true);
+        o.flags[2] = pack_flags(RootFlags::TO_M.0, false, true);
+        let (lo, hi) = o.count_happy();
+        assert_eq!((lo, hi), (1, 1));
+        assert!(o.uses_secure_route(AsId(1)));
+        assert!(o.may_traverse_mark(AsId(2)));
+        assert_eq!(o.flags(AsId(1)), RootFlags::TO_D);
+    }
+
+    #[test]
     fn route_accessor_roundtrips() {
         let mut o = Outcome::new_empty();
         o.reset(3, AsId(0), None);
-        o.kind[1] = KIND_PEER;
-        o.len[1] = 4;
-        o.secure[1] = true;
-        o.flags[1] = RootFlags::TO_D.0;
+        o.set_fixed(1, KIND_PEER, 4, true, RootFlags::TO_D.0, false);
         let r = o.route(AsId(1)).unwrap();
         assert_eq!(r.class, RouteClass::Peer);
         assert_eq!(r.length, 4);
         assert!(r.secure);
         assert!(r.flags.surely_happy());
         assert!(o.route(AsId(2)).is_none());
+    }
+
+    #[test]
+    fn entry_copy_restores_a_single_as() {
+        let mut a = Outcome::new_empty();
+        a.reset(3, AsId(0), None);
+        a.set_fixed(1, KIND_CUSTOMER, 2, false, RootFlags::TO_D.0, false);
+        a.next_hop[1] = 0;
+        let mut b = Outcome::new_empty();
+        b.reset(3, AsId(0), None);
+        b.set_fixed(1, KIND_PEER, 9, true, RootFlags::TO_M.0, true);
+        b.next_hop[1] = 2;
+        b.copy_entry_from(&a, AsId(1));
+        assert!(b.same_for_neighbors(&a, AsId(1)));
+        assert_eq!(b.next_hop(AsId(1)), a.next_hop(AsId(1)));
+        // Untouched entries keep their own state.
+        assert!(b.route(AsId(2)).is_none());
     }
 }

@@ -1,21 +1,23 @@
 //! Incremental deployment sweeps: amortize routing-outcome computation
 //! across a *growing* secure set.
 //!
-//! The paper's rollout curves (Figures 7–13) evaluate the metric along
-//! sequences of deployments `S_0 ⊆ S_1 ⊆ …` and recompute every `(m, d)`
-//! routing outcome from scratch at each step — even though most ASes' best
-//! routes are identical between adjacent steps. [`SweepEngine`] exploits
-//! Theorem 2.1 instead: the stable state is **unique** and characterized
-//! *locally* (every AS's route is the best export-legal extension of its
-//! neighbors' routes under [`crate::policy::preference_key`]), so a state
-//! that is locally consistent everywhere *is* the answer. When `S` grows
-//! monotonically, the engine therefore only has to re-fix a **dirty
-//! region** around the newly-validating ASes and verify consistency at its
-//! border:
+//! This is the **deployment axis** of the library's two-axis amortization
+//! hierarchy (see [`crate::delta`] for the attacker axis, and how the two
+//! compose destination-major in `sbgp-sim`). The paper's rollout curves
+//! (Figures 7–13) evaluate the metric along sequences of deployments
+//! `S_0 ⊆ S_1 ⊆ …` and recompute every `(m, d)` routing outcome from
+//! scratch at each step — even though most ASes' best routes are identical
+//! between adjacent steps. [`SweepEngine`] exploits Theorem 2.1 instead:
+//! the stable state is **unique** and characterized *locally* (every AS's
+//! route is the best export-legal extension of its neighbors' routes under
+//! [`crate::policy::preference_key`]), so a state that is locally
+//! consistent everywhere *is* the answer. When `S` grows monotonically, the
+//! engine therefore only has to re-fix a **dirty region** around the
+//! newly-validating ASes and verify consistency at its border:
 //!
 //! 1. seed the region with the ASes whose `validates` bit flipped (plus
 //!    the destination when its signing status flipped);
-//! 2. copy the previous outcome, unfix the region, re-enqueue boundary
+//! 2. unfix the region on top of the previous outcome, re-enqueue boundary
 //!    offers from fixed neighbors, and re-run the ordinary bucket-queue
 //!    stage schedule restricted to the region;
 //! 3. compare the re-fixed region against the previous outcome; for every
@@ -25,6 +27,14 @@
 //! 4. when no change escapes the region, the patched state is locally
 //!    consistent at every AS — inside the region by construction, outside
 //!    it because no input changed — and uniqueness makes it exact.
+//!
+//! **Snapshot/undo invariant:** between steps, the engine's working outcome
+//! is byte-identical to the snapshot of the last served step, and every
+//! solve attempt confines its writes to the region (the engine's fix log
+//! catches the one exception — an AS unreachable in the snapshot getting
+//! fixed — and absorbs it into the region). Advancing a step therefore
+//! patches the snapshot at the touched entries only: no `O(V)` memcpy per
+//! step anywhere on the incremental path.
 //!
 //! The invariant is **monotone growth only** (`S' ⊇ S`, full members stay
 //! full, signers keep signing). Any other step — the first call, a shrink,
@@ -40,10 +50,9 @@ use sbgp_topology::{AsGraph, AsId, AsSet};
 use crate::attack::AttackScenario;
 use crate::deployment::Deployment;
 use crate::engine::Engine;
-use crate::outcome::{
-    Outcome, RootFlags, KIND_CUSTOMER, KIND_ORIGIN, KIND_PEER, KIND_PROVIDER, KIND_UNFIXED,
-};
-use crate::policy::{preference_key, Policy};
+use crate::outcome::{Outcome, RootFlags};
+use crate::policy::Policy;
+use crate::region;
 
 /// How the steps of a sweep were served (all counters cumulative since
 /// [`SweepEngine::begin`]).
@@ -85,7 +94,8 @@ pub struct SweepEngine<'g> {
     policy: Policy,
     /// Deployment of the last served step.
     prev: Option<Deployment>,
-    /// Final outcome of the last served step.
+    /// Final outcome of the last served step. Invariant: equal to the
+    /// engine's working outcome between [`SweepEngine::advance`] calls.
     snapshot: Outcome,
     /// The dirty region of the current incremental attempt.
     region: AsSet,
@@ -130,6 +140,46 @@ impl<'g> SweepEngine<'g> {
         self.snapshot
             .reset(0, scenario.destination, scenario.attacker);
         self.happy = (0, 0);
+    }
+
+    /// Start a sweep *mid-flight* from an externally computed outcome —
+    /// typically an [`crate::AttackDeltaEngine`] patch of the sequence's
+    /// first deployment, which is how the attacker and deployment
+    /// amortization axes compose: the delta engine serves `(m, d, S_0)`
+    /// from the destination's shared normal outcome, this hook adopts the
+    /// result, and [`SweepEngine::advance`] carries the remaining steps
+    /// incrementally.
+    ///
+    /// `outcome` must be the exact stable outcome for `(scenario, policy)`
+    /// under `deployment`, and `happy` its [`Outcome::count_happy`] value
+    /// (the caller always has it; passing it avoids an `O(V)` rescan).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outcome` disagrees with `scenario` or the graph.
+    pub fn begin_from(
+        &mut self,
+        scenario: AttackScenario,
+        policy: Policy,
+        deployment: &Deployment,
+        outcome: &Outcome,
+        happy: (usize, usize),
+    ) {
+        assert_eq!(outcome.len(), self.graph().len(), "outcome/graph mismatch");
+        assert_eq!(
+            (outcome.destination(), outcome.attacker()),
+            (scenario.destination, scenario.attacker),
+            "outcome/scenario mismatch"
+        );
+        debug_assert_eq!(outcome.count_happy(), happy, "stale happy bounds");
+        self.scenario = Some(scenario);
+        self.policy = policy;
+        self.snapshot.copy_from(outcome);
+        // Re-establish the invariant that the working outcome equals the
+        // snapshot between steps.
+        self.engine.outcome_mut().copy_from(outcome);
+        self.happy = happy;
+        self.prev = Some(deployment.clone());
     }
 
     /// Compute the stable outcome for the next deployment of the sweep.
@@ -179,14 +229,25 @@ impl<'g> SweepEngine<'g> {
                 return self.full_recompute(scenario, deployment);
             }
             self.solve_region(scenario, deployment);
-            let escaped = self.grow_region(scenario, deployment);
+            self.absorb_fix_log();
+            let escaped = region::grow_affected(
+                self.engine.graph(),
+                self.engine.outcome(),
+                &self.snapshot,
+                scenario,
+                deployment,
+                self.policy,
+                &mut self.region,
+                &mut self.region_list,
+            );
             if !escaped {
                 break;
             }
             self.stats.grow_rounds += 1;
         }
-        // Patch the happy bounds by the region's delta before the snapshot
-        // is overwritten.
+        // Patch the happy bounds by the region's delta, then fold the
+        // region back into the snapshot entry by entry — everything outside
+        // the region is untouched by construction.
         let outcome = self.engine.outcome();
         for &v in &self.region_list {
             if v == d || Some(v) == scenario.attacker {
@@ -202,7 +263,9 @@ impl<'g> SweepEngine<'g> {
 
         self.stats.incremental_steps += 1;
         self.stats.refixed_ases += self.region_list.len();
-        self.snapshot.copy_from(self.engine.outcome());
+        for &v in &self.region_list {
+            self.snapshot.copy_entry_from(self.engine.outcome(), v);
+        }
         self.prev = Some(deployment.clone());
         &self.snapshot
     }
@@ -234,9 +297,12 @@ impl<'g> SweepEngine<'g> {
 
     /// One attempt: re-fix exactly the current region on top of the
     /// previous outcome, treating everything outside it as fixed boundary.
+    /// The engine's working outcome equals the snapshot at entry (either
+    /// verbatim, or modified only at region members by an earlier attempt),
+    /// so unfixing the region is all the preparation needed.
     fn solve_region(&mut self, scenario: AttackScenario, deployment: &Deployment) {
         self.engine.begin(scenario, deployment, self.policy);
-        self.engine.outcome_mut().copy_from(&self.snapshot);
+        self.engine.enable_fix_log();
         for &v in &self.region_list {
             self.engine.outcome_mut().unfix(v);
         }
@@ -271,114 +337,13 @@ impl<'g> SweepEngine<'g> {
         self.engine.run_schedule(self.policy, deployment);
     }
 
-    /// Check whether any change escaped the region; if so, absorb the
-    /// genuinely affected frontier and report `true`. Reports `false` when
-    /// the attempt is self-contained — i.e. the patched outcome is locally
-    /// consistent everywhere and therefore, by uniqueness, exact.
-    ///
-    /// A neighbor `u` of a changed AS `v` is *affected* only when `v`'s old
-    /// or new offer would tie or beat `u`'s current route under the
-    /// reference [`preference_key`] order: a tie means `v` sat in (or now
-    /// joins) `u`'s `BPR` set, a win means `u` switches. Anything strictly
-    /// worse — the common case, e.g. a hub whose short customer route
-    /// dwarfs a re-secured stub's offer — cannot change `u`'s selection, so
-    /// high-degree ASes stay out of the region unless truly implicated.
-    fn grow_region(&mut self, scenario: AttackScenario, deployment: &Deployment) -> bool {
-        let policy = self.policy;
-        let graph = self.engine.graph();
-        let outcome = self.engine.outcome();
-        let d = scenario.destination;
-        let mut frontier: Vec<AsId> = Vec::new();
-        for &v in &self.region_list {
-            if outcome.same_for_neighbors(&self.snapshot, v) {
-                continue;
-            }
-            // Each neighbor list with the route class `u` would learn from
-            // `v`: v's providers learn a customer route, and so on.
-            let classes: [(&[AsId], u8); 3] = [
-                (graph.providers(v), 0),
-                (graph.peers(v), 1),
-                (graph.customers(v), 2),
-            ];
-            for (neighbors, rank) in classes {
-                for &u in neighbors {
-                    if self.region.contains(u) || u == d || Some(u) == scenario.attacker {
-                        continue;
-                    }
-                    let validating = deployment.validates(u);
-                    let current = current_key(&self.snapshot, u, policy, validating);
-                    let old = offer_key(&self.snapshot, v, rank, policy, validating);
-                    let new = offer_key(outcome, v, rank, policy, validating);
-                    let affected = match current {
-                        None => old.is_some() || new.is_some(),
-                        Some(k) => old.is_some_and(|o| o <= k) || new.is_some_and(|o| o <= k),
-                    };
-                    if affected {
-                        frontier.push(u);
-                    }
-                }
-            }
-        }
-        let mut escaped = false;
-        for u in frontier {
-            if self.region.insert(u) {
-                self.region_list.push(u);
-                escaped = true;
-            }
-        }
-        escaped
+    fn absorb_fix_log(&mut self) {
+        region::absorb_fix_log(
+            self.engine.fix_log(),
+            &mut self.region,
+            &mut self.region_list,
+        );
     }
-}
-
-/// `u`'s current position in the preference order, or `None` when it has no
-/// route. Roots never call this.
-fn current_key(
-    outcome: &Outcome,
-    u: AsId,
-    policy: Policy,
-    validating: bool,
-) -> Option<(u32, u32, u32)> {
-    let i = u.index();
-    let rank = match outcome.kind[i] {
-        KIND_UNFIXED => return None,
-        KIND_ORIGIN | KIND_CUSTOMER => 0,
-        KIND_PEER => 1,
-        KIND_PROVIDER => 2,
-        other => unreachable!("bad kind {other}"),
-    };
-    Some(preference_key(
-        policy,
-        validating,
-        rank,
-        outcome.len[i],
-        outcome.secure[i],
-    ))
-}
-
-/// The position of the route `u` would learn from `v` at class `rank`, or
-/// `None` when `v` has no route or may not export it at that class (Ex).
-fn offer_key(
-    outcome: &Outcome,
-    v: AsId,
-    rank: u8,
-    policy: Policy,
-    validating: bool,
-) -> Option<(u32, u32, u32)> {
-    let i = v.index();
-    let kind = outcome.kind[i];
-    if kind == KIND_UNFIXED {
-        return None;
-    }
-    if rank != 2 && kind != KIND_ORIGIN && kind != KIND_CUSTOMER {
-        return None;
-    }
-    Some(preference_key(
-        policy,
-        validating,
-        rank,
-        outcome.len[i] + 1,
-        outcome.secure[i] && validating,
-    ))
 }
 
 #[cfg(test)]

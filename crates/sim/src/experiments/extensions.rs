@@ -17,9 +17,7 @@
 //! * [`weighted_baseline`] — the §4.5 caveat: the metric reweighted by a
 //!   hypergiant-skewed traffic model.
 
-use sbgp_core::{
-    AttackScenario, AttackStrategy, Bounds, Deployment, Engine, Policy, SecurityModel,
-};
+use sbgp_core::{AttackScenario, AttackStrategy, Bounds, Deployment, Policy, SecurityModel};
 use sbgp_proto::{Schedule, Simulator, SourceCensus};
 use sbgp_topology::AsId;
 
@@ -40,8 +38,10 @@ pub struct SecurityLadderRow {
 ///
 /// The two fake-link security-3rd rows share their `(policy, strategy)` and
 /// differ only in the growing deployment, so they are served by a single
-/// `[∅, S]` sweep; the remaining rows change the attack strategy or the
-/// model and are computed fresh.
+/// `[∅, S]` sweep (both amortization axes composed); the remaining rows
+/// change the attack strategy or the model and ride the destination-major
+/// [`runner::metric_with_strategy`] driver, which still shares each
+/// destination's base computation across its attackers.
 pub fn rpki_value(net: &Internet, cfg: &ExperimentConfig) -> Vec<SecurityLadderRow> {
     let attackers = sample::sample_non_stubs(net, cfg.attackers, cfg.seed);
     let dests = sample::sample_all(net, cfg.destinations, cfg.seed ^ 0xD);
@@ -52,25 +52,7 @@ pub fn rpki_value(net: &Internet, cfg: &ExperimentConfig) -> Vec<SecurityLadderR
     let sec1 = Policy::new(SecurityModel::Security1st);
 
     let metric_with = |deployment: &Deployment, policy: Policy, strategy: AttackStrategy| {
-        let acc = runner::map_reduce(
-            cfg.parallelism,
-            &pairs,
-            || Engine::new(&net.graph),
-            sbgp_core::metric::MetricAccumulator::default,
-            |engine, acc, &(m, d)| {
-                let mut scenario = AttackScenario::attack(m, d);
-                scenario.strategy = strategy;
-                let o = engine.compute(scenario, deployment, policy);
-                let (lower, upper) = o.count_happy();
-                acc.add(sbgp_core::HappyCount {
-                    lower,
-                    upper,
-                    sources: net.len() - 2,
-                });
-            },
-            |a, b| a.merge(b),
-        );
-        acc.value()
+        runner::metric_with_strategy(net, &pairs, deployment, policy, strategy, cfg.parallelism)
     };
 
     let fake_link_sec3 = sweep::metric_sweep(
@@ -247,26 +229,31 @@ pub fn islands(net: &Internet, cfg: &ExperimentConfig, outside: SecurityModel) -
 }
 
 /// §4.5 caveat: the baseline metric under uniform vs traffic-skewed
-/// source weights.
+/// source weights. Destination-major like the unweighted runners: the
+/// weighted sum needs every AS's flags, so each attacker reads the delta
+/// engine's full patched outcome.
 pub fn weighted_baseline(net: &Internet, cfg: &ExperimentConfig) -> Vec<(String, Bounds)> {
     let attackers = sample::sample_non_stubs(net, cfg.attackers, cfg.seed);
     let dests = sample::sample_all(net, cfg.destinations, cfg.seed ^ 0xD);
-    let pairs = sample::pairs(&attackers, &dests);
+    let groups = sample::group_by_destination(&sample::pairs(&attackers, &dests));
     let empty = Deployment::empty(net.len());
     let policy = Policy::new(SecurityModel::Security3rd);
 
     let run = |weights: &TrafficWeights| -> Bounds {
-        let (sum, count) = runner::map_reduce(
+        let (sum, count) = runner::map_reduce_grouped(
             cfg.parallelism,
-            &pairs,
-            || Engine::new(&net.graph),
+            &groups,
+            || sbgp_core::AttackDeltaEngine::new(&net.graph),
             || (Bounds::default(), 0usize),
-            |engine, acc, &(m, d)| {
-                let o = engine.compute(AttackScenario::attack(m, d), &empty, policy);
-                let b = weights.weighted_happy(o);
-                acc.0.lower += b.lower;
-                acc.0.upper += b.upper;
-                acc.1 += 1;
+            |delta, acc, (d, ms)| {
+                delta.begin(*d, &empty, policy);
+                for &m in ms {
+                    let o = delta.attack(m, AttackStrategy::FakeLink);
+                    let b = weights.weighted_happy(o);
+                    acc.0.lower += b.lower;
+                    acc.0.upper += b.upper;
+                    acc.1 += 1;
+                }
             },
             |a, b| {
                 a.0.lower += b.0.lower;

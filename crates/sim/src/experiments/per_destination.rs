@@ -55,9 +55,11 @@ pub struct PerDestinationResult {
 }
 
 /// Evaluate the sorted per-destination series for `step`. Each
-/// `(m, d, model)` triple is one incremental `[∅, S]` sweep: the `∅` entry
-/// is the baseline (identical for every model — no secure routes exist) and
-/// the `S` entry reuses its routing state.
+/// `(d, model)` pair is one incremental `[∅, S]` sweep of the
+/// normal-conditions outcome — the `∅` entry is the baseline (identical
+/// for every model: no secure routes exist) — and every attacker is a
+/// contested-region patch of whichever entry is current, so the whole
+/// series costs one base fix plus `2|M'| + 1` patches per destination.
 pub fn per_destination(
     net: &Internet,
     cfg: &ExperimentConfig,

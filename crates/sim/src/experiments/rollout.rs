@@ -1,12 +1,15 @@
 //! Figures 7, 8, 11 and the §5.3.1 early-adopter comparison: metric
 //! improvements along partial-deployment rollouts.
 //!
-//! Rollouts grow `S` monotonically, so every `(m, d)` pair is evaluated as
-//! one [`crate::sweep`] pass over `[∅, S_1, S_2, …]`: the `S = ∅` step
-//! doubles as the per-destination baseline and each further step reuses the
-//! previous routing state incrementally. (Non-monotone step lists, like the
+//! Rollouts grow `S` monotonically, so each destination is evaluated as
+//! one [`crate::sweep`] pass over `[∅, S_1, S_2, …]` with both amortization
+//! axes composed: the normal-conditions outcome is patched incrementally
+//! between steps (deployment axis), every attacker is patched into each
+//! step as a contested region (attacker axis), and the `S = ∅` step doubles
+//! as the per-destination baseline. (Non-monotone step lists, like the
 //! §5.3.1 early-adopter scenarios, are still exact — the sweep engine falls
-//! back to full recomputation per step.)
+//! back to full recomputation per step and the attacker patches are exact
+//! regardless.)
 
 use sbgp_core::{Bounds, Deployment, HappyCount, Policy, SecurityModel};
 use sbgp_topology::AsId;

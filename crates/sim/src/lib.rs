@@ -10,14 +10,16 @@
 //!   enumeration is infeasible);
 //! * [`scenario`] — the §5 deployment scenarios (Tier 1+2 rollouts, CP
 //!   variants, Tier-2-only, all non-stubs, simplex-at-stubs);
-//! * [`runner`] — a `std::thread::scope` worker pool that evaluates pair
-//!   lists with one reusable [`sbgp_core::Engine`] per worker, reducing
-//!   per-chunk accumulators in a fixed order so results are bit-identical
-//!   at any thread count;
-//! * [`sweep`] — deployment-sweep runners: one [`sbgp_core::SweepEngine`]
-//!   per worker per `(m, d)` pair, deployments batched innermost, so
-//!   rollout sequences pay one full computation plus cheap incremental
-//!   patches instead of a full recomputation per step;
+//! * [`runner`] — a `std::thread::scope` worker pool that evaluates
+//!   destination-major pair groups with one reusable
+//!   [`sbgp_core::AttackDeltaEngine`] per worker (each destination's
+//!   normal-conditions outcome is computed once and every attacker is a
+//!   contested-region patch), reducing per-chunk accumulators in a fixed
+//!   order so results are bit-identical at any thread count;
+//! * [`sweep`] — deployment-sweep runners composing both amortization
+//!   axes: per destination, the delta engine anchors each pair's first
+//!   step and a [`sbgp_core::SweepEngine`] adopted from that patch
+//!   carries the remaining deployments incrementally;
 //! * [`experiments`] — one driver per figure/table, returning plain data
 //!   that the `sbgp-bench` binaries print;
 //! * [`report`] — aligned-text table rendering.

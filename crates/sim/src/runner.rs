@@ -2,24 +2,26 @@
 //!
 //! The paper ran its `O(|M||D|(|V|+|E|))` computations with MPI on Blue
 //! Gene and Blacklight (Appendix H); here a `std::thread::scope` plays the
-//! same role on one machine. Work items (attacker–destination pairs, or whole
-//! destinations) are claimed from an atomic counter in small chunks; every
-//! worker owns its own reusable [`Engine`] / [`PairAnalyzer`] /
-//! [`PartitionComputer`], so there is no shared mutable state and no
-//! allocation in the steady loop.
+//! same role on one machine. Work items (destination-major pair groups, or
+//! whole destinations) are claimed from an atomic counter in small chunks;
+//! every worker owns its own reusable [`AttackDeltaEngine`] /
+//! [`PairAnalyzer`] / [`PartitionComputer`], so there is no shared mutable
+//! state and no allocation in the steady loop. The metric runners iterate
+//! destination-major so the delta engine amortizes the destination-rooted
+//! base computation across a group's attackers.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sbgp_core::{
-    AttackScenario, Bounds, Deployment, Engine, HappyCount, PairAnalysis, PairAnalyzer,
+    AttackDeltaEngine, AttackStrategy, Bounds, Deployment, HappyCount, PairAnalysis, PairAnalyzer,
     PartitionComputer, PartitionCounts, Policy,
 };
 use sbgp_topology::AsId;
 
 use sbgp_core::metric::MetricAccumulator;
 
-use crate::Internet;
+use crate::{sample, Internet};
 
 /// Number of worker threads to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,7 +47,8 @@ impl Parallelism {
 /// one sub-accumulator (fixes the reduction order).
 const CHUNK: usize = 16;
 
-/// Generic parallel map-reduce over `items`.
+/// Generic parallel map-reduce over `items`, claimed [`CHUNK`] at a time
+/// (right for light items like individual pairs).
 ///
 /// `make_worker` builds per-thread scratch (typically an engine); `step`
 /// folds one item into a per-chunk accumulator; chunk accumulators are
@@ -65,13 +68,48 @@ where
     T: Sync,
     Acc: Send,
 {
-    let n_chunks = items.len().div_ceil(CHUNK);
+    map_reduce_chunked(par, items, CHUNK, make_worker, make_acc, step, merge)
+}
+
+/// As [`map_reduce`], claiming one item per fetch. Use for *heavy* items —
+/// destination-major pair groups, where each item is a whole base fix plus
+/// all of a destination's attackers: batching 16 of those per chunk would
+/// cap the worker count at `⌈groups/16⌉` and leave most cores idle.
+pub fn map_reduce_grouped<T, W, Acc>(
+    par: Parallelism,
+    items: &[T],
+    make_worker: impl Fn() -> W + Sync,
+    make_acc: impl Fn() -> Acc + Sync,
+    step: impl Fn(&mut W, &mut Acc, &T) + Sync,
+    merge: impl FnMut(&mut Acc, Acc),
+) -> Acc
+where
+    T: Sync,
+    Acc: Send,
+{
+    map_reduce_chunked(par, items, 1, make_worker, make_acc, step, merge)
+}
+
+fn map_reduce_chunked<T, W, Acc>(
+    par: Parallelism,
+    items: &[T],
+    chunk_size: usize,
+    make_worker: impl Fn() -> W + Sync,
+    make_acc: impl Fn() -> Acc + Sync,
+    step: impl Fn(&mut W, &mut Acc, &T) + Sync,
+    merge: impl FnMut(&mut Acc, Acc),
+) -> Acc
+where
+    T: Sync,
+    Acc: Send,
+{
+    let n_chunks = items.len().div_ceil(chunk_size);
     let threads = par.0.clamp(1, n_chunks.max(1));
     let mut merge = merge;
     let run_chunk = |worker: &mut W, chunk: usize| -> Acc {
         let mut acc = make_acc();
-        let start = chunk * CHUNK;
-        let end = (start + CHUNK).min(items.len());
+        let start = chunk * chunk_size;
+        let end = (start + chunk_size).min(items.len());
         for item in &items[start..end] {
             step(worker, &mut acc, item);
         }
@@ -147,6 +185,40 @@ where
     T: Sync,
     Acc: Send,
 {
+    map_reduce_commutative_chunked(par, items, CHUNK, make_worker, make_acc, step, merge)
+}
+
+/// As [`map_reduce_commutative`], claiming one item per fetch — for heavy
+/// items (whole destinations, each costing a base fix plus every
+/// attacker), where a 16-item batch would serialize small workloads.
+pub fn map_reduce_commutative_grouped<T, W, Acc>(
+    par: Parallelism,
+    items: &[T],
+    make_worker: impl Fn() -> W + Sync,
+    make_acc: impl Fn() -> Acc + Sync,
+    step: impl Fn(&mut W, &mut Acc, &T) + Sync,
+    merge: impl FnMut(&mut Acc, Acc),
+) -> Acc
+where
+    T: Sync,
+    Acc: Send,
+{
+    map_reduce_commutative_chunked(par, items, 1, make_worker, make_acc, step, merge)
+}
+
+fn map_reduce_commutative_chunked<T, W, Acc>(
+    par: Parallelism,
+    items: &[T],
+    chunk_size: usize,
+    make_worker: impl Fn() -> W + Sync,
+    make_acc: impl Fn() -> Acc + Sync,
+    step: impl Fn(&mut W, &mut Acc, &T) + Sync,
+    merge: impl FnMut(&mut Acc, Acc),
+) -> Acc
+where
+    T: Sync,
+    Acc: Send,
+{
     let threads = par.0.clamp(1, items.len().max(1));
     let mut merge = merge;
 
@@ -172,11 +244,11 @@ where
                 let mut worker = make_worker();
                 let mut acc = make_acc();
                 loop {
-                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    let start = cursor.fetch_add(chunk_size, Ordering::Relaxed);
                     if start >= items.len() {
                         break;
                     }
-                    let end = (start + CHUNK).min(items.len());
+                    let end = (start + chunk_size).min(items.len());
                     for item in &items[start..end] {
                         step(&mut worker, &mut acc, item);
                     }
@@ -192,6 +264,12 @@ where
 }
 
 /// The metric `H_{M,D}(S)` over explicit pairs.
+///
+/// Evaluated destination-major: the pair list is grouped by destination
+/// ([`sample::group_by_destination`]) and each group shares one
+/// normal-conditions base computation through an [`AttackDeltaEngine`], so
+/// a group of `k` attackers costs one full fix plus `k` contested-region
+/// patches instead of `k` full fixes.
 pub fn metric(
     net: &Internet,
     pairs: &[(AsId, AsId)],
@@ -211,28 +289,71 @@ pub fn metric_with_stderr(
     policy: Policy,
     par: Parallelism,
 ) -> (Bounds, Bounds) {
-    let acc = map_reduce(
-        par,
+    let acc = metric_accumulate(
+        net,
         pairs,
-        || Engine::new(&net.graph),
-        MetricAccumulator::default,
-        |engine, acc, &(m, d)| {
-            let o = engine.compute(AttackScenario::attack(m, d), deployment, policy);
-            let (lower, upper) = o.count_happy();
-            acc.add(HappyCount {
-                lower,
-                upper,
-                sources: net.graph.len() - 2,
-            });
-        },
-        |a, b| a.merge(b),
+        deployment,
+        policy,
+        AttackStrategy::FakeLink,
+        par,
     );
     (acc.value(), acc.stderr())
 }
 
+/// As [`metric`], with an explicit attack strategy (the RPKI-value ladder
+/// compares [`AttackStrategy::OriginHijack`] against the fake link).
+pub fn metric_with_strategy(
+    net: &Internet,
+    pairs: &[(AsId, AsId)],
+    deployment: &Deployment,
+    policy: Policy,
+    strategy: AttackStrategy,
+    par: Parallelism,
+) -> Bounds {
+    metric_accumulate(net, pairs, deployment, policy, strategy, par).value()
+}
+
+fn metric_accumulate(
+    net: &Internet,
+    pairs: &[(AsId, AsId)],
+    deployment: &Deployment,
+    policy: Policy,
+    strategy: AttackStrategy,
+    par: Parallelism,
+) -> MetricAccumulator {
+    let groups = sample::group_by_destination(pairs);
+    map_reduce_grouped(
+        par,
+        &groups,
+        || AttackDeltaEngine::new(&net.graph),
+        MetricAccumulator::default,
+        |delta, acc, (d, attackers)| {
+            delta.begin(*d, deployment, policy);
+            for &m in attackers {
+                if m == *d {
+                    // Self-attacks are outside the paper's metric; skip
+                    // them like the sweep runners do instead of tripping
+                    // the delta engine's attacker != destination assert.
+                    continue;
+                }
+                delta.attack(m, strategy);
+                let (lower, upper) = delta.count_happy();
+                acc.add(HappyCount {
+                    lower,
+                    upper,
+                    sources: net.graph.len() - 2,
+                });
+            }
+        },
+        |a, b| a.merge(b),
+    )
+}
+
 /// Per-destination happy counts (summed over the attackers), for the
 /// per-destination sequences of Figures 7(b), 9, 10 and 12. Returned in
-/// `destinations` order.
+/// `destinations` order. Each destination is one [`AttackDeltaEngine`]
+/// cell: the normal-conditions outcome is fixed once and every attacker is
+/// served as a contested-region patch.
 pub fn metric_by_destination(
     net: &Internet,
     attackers: &[AsId],
@@ -242,18 +363,19 @@ pub fn metric_by_destination(
     par: Parallelism,
 ) -> Vec<HappyCount> {
     let indexed: Vec<(usize, AsId)> = destinations.iter().copied().enumerate().collect();
-    map_reduce_commutative(
+    map_reduce_commutative_grouped(
         par,
         &indexed,
-        || Engine::new(&net.graph),
+        || AttackDeltaEngine::new(&net.graph),
         || vec![HappyCount::default(); destinations.len()],
-        |engine, acc, &(slot, d)| {
+        |delta, acc, &(slot, d)| {
+            delta.begin(d, deployment, policy);
             for &m in attackers {
                 if m == d {
                     continue;
                 }
-                let o = engine.compute(AttackScenario::attack(m, d), deployment, policy);
-                let (lower, upper) = o.count_happy();
+                delta.attack(m, AttackStrategy::FakeLink);
+                let (lower, upper) = delta.count_happy();
                 acc[slot] += HappyCount {
                     lower,
                     upper,

@@ -65,6 +65,25 @@ pub fn pairs(attackers: &[AsId], destinations: &[AsId]) -> Vec<(AsId, AsId)> {
     out
 }
 
+/// Group an explicit pair list destination-major: one `(d, attackers)`
+/// entry per distinct destination, destinations in first-appearance order
+/// and attackers in pair order within each group. This is the shape the
+/// two-axis runners want — every group shares one normal-conditions base
+/// computation across its attackers — and the fixed ordering keeps the
+/// parallel reductions bit-identical at any thread count.
+pub fn group_by_destination(pairs: &[(AsId, AsId)]) -> Vec<(AsId, Vec<AsId>)> {
+    let mut index: std::collections::HashMap<AsId, usize> = std::collections::HashMap::new();
+    let mut groups: Vec<(AsId, Vec<AsId>)> = Vec::new();
+    for &(m, d) in pairs {
+        let slot = *index.entry(d).or_insert_with(|| {
+            groups.push((d, Vec::new()));
+            groups.len() - 1
+        });
+        groups[slot].1.push(m);
+    }
+    groups
+}
+
 /// Convenience: tier of an AS (used when bucketing results).
 pub fn tier_of(tiers: &TierMap, v: AsId) -> Tier {
     tiers.tier(v)
@@ -101,6 +120,25 @@ mod tests {
         for v in m {
             assert!(!net.tiers.is_stub(v), "{v} is a stub");
         }
+    }
+
+    #[test]
+    fn grouping_preserves_first_appearance_order() {
+        let pairs = vec![
+            (AsId(1), AsId(9)),
+            (AsId(2), AsId(5)),
+            (AsId(3), AsId(9)),
+            (AsId(1), AsId(5)),
+        ];
+        let groups = group_by_destination(&pairs);
+        assert_eq!(
+            groups,
+            vec![
+                (AsId(9), vec![AsId(1), AsId(3)]),
+                (AsId(5), vec![AsId(2), AsId(1)]),
+            ]
+        );
+        assert!(group_by_destination(&[]).is_empty());
     }
 
     #[test]

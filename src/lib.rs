@@ -58,9 +58,9 @@ pub use sbgp_topology as topology;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use sbgp_core::{
-        AttackScenario, Bounds, Deployment, Engine, Fate, HappyCount, LpVariant, Outcome,
-        PairAnalysis, PairAnalyzer, PartitionComputer, Policy, RouteClass, SecurityModel,
-        SweepEngine, SweepStats,
+        AttackDeltaEngine, AttackScenario, AttackStrategy, Bounds, DeltaStats, Deployment, Engine,
+        Fate, HappyCount, LpVariant, Outcome, PairAnalysis, PairAnalyzer, PartitionComputer,
+        Policy, RouteClass, SecurityModel, SweepEngine, SweepStats,
     };
     pub use sbgp_sim::{runner, sample, scenario, sweep, Internet, Parallelism};
     pub use sbgp_topology::{AsGraph, AsId, AsSet, GraphBuilder};

@@ -1,0 +1,288 @@
+//! The attacker-delta equivalence property suite: on random valley-free
+//! graphs, [`AttackDeltaEngine`] outcomes for **every** attacker of a
+//! `(d, S, policy)` cell — served back-to-back from one snapshot with a
+//! touched-list undo between them — must be identical (route class,
+//! length, security, flags, representative next hop, and happy bounds) to
+//! a fresh [`Engine::compute`] per pair, for every security model, the
+//! `LP2`/`LPinf` variants, and both attack kinds; attackers inside the
+//! secure set and simplex destinations arise from the same generators.
+//! `tests/sweep_equivalence.rs` pins the deployment axis and the
+//! message-level oracle (`tests/equivalence.rs`) pins the engine itself,
+//! so together they close the chain: delta ≡ sweep ≡ engine ≡ simulated
+//! S*BGP. A torture test additionally interleaves many attackers with
+//! sweep advances feeding [`AttackDeltaEngine::begin_from_normal`] on one
+//! engine pair — the exact composition the destination-major runners use.
+
+use proptest::prelude::*;
+
+use bgp_juice::prelude::*;
+
+/// Build a random valley-free topology from pairwise edge codes.
+/// Providers always have smaller ids, so the hierarchy is acyclic.
+fn graph_from_codes(n: usize, codes: &[u8]) -> AsGraph {
+    let mut b = GraphBuilder::new(n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match codes[k] % 8 {
+                // Sparse: most pairs are unconnected (and disconnected
+                // islands — the fix-log absorption path — are common).
+                0..=3 => {}
+                4 => b.add_peering(AsId(i as u32), AsId(j as u32)).unwrap(),
+                // i is the provider of j.
+                _ => b.add_provider(AsId(j as u32), AsId(i as u32)).unwrap(),
+            }
+            k += 1;
+        }
+    }
+    b.build()
+}
+
+/// A monotone 4-step deployment sequence from per-AS join codes: bits 0–1
+/// give the AS's join step (3 = never), bit 2 picks simplex mode, and bit 3
+/// upgrades a simplex member to full one step after joining.
+fn deployment_sequence(n: usize, join_codes: &[u8]) -> Vec<Deployment> {
+    (0..4usize)
+        .map(|step| {
+            let mut dep = Deployment::empty(n);
+            for (i, &code) in join_codes.iter().enumerate() {
+                let join = usize::from(code & 3);
+                if join == 3 || join > step {
+                    continue;
+                }
+                let v = AsId(i as u32);
+                let simplex = code & 4 != 0;
+                let upgrades = code & 8 != 0;
+                if simplex && !(upgrades && step > join) {
+                    dep.insert_simplex(v);
+                } else {
+                    dep.insert_full(v);
+                }
+            }
+            dep
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    n: usize,
+    codes: Vec<u8>,
+    join_codes: Vec<u8>,
+    destination: usize,
+    /// Use the origin-hijack strategy instead of the fake link.
+    hijack: bool,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (4usize..10).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        (
+            Just(n),
+            proptest::collection::vec(any::<u8>(), pairs),
+            proptest::collection::vec(any::<u8>(), n),
+            0..n,
+            any::<bool>(),
+        )
+            .prop_map(|(n, codes, join_codes, destination, hijack)| Instance {
+                n,
+                codes,
+                join_codes,
+                destination,
+                hijack,
+            })
+    })
+}
+
+fn assert_outcomes_match(got: &Outcome, want: &Outcome, graph: &AsGraph, ctx: &str) {
+    for v in graph.ases() {
+        assert_eq!(got.route(v), want.route(v), "route mismatch at {v}, {ctx}");
+        assert_eq!(
+            got.next_hop(v),
+            want.next_hop(v),
+            "next-hop mismatch at {v}, {ctx}"
+        );
+    }
+}
+
+fn check_instance(inst: &Instance, policy: Policy) {
+    let graph = graph_from_codes(inst.n, &inst.codes);
+    let steps = deployment_sequence(inst.n, &inst.join_codes);
+    let d = AsId(inst.destination as u32);
+    let strategy = if inst.hijack {
+        AttackStrategy::OriginHijack
+    } else {
+        AttackStrategy::FakeLink
+    };
+
+    let mut delta = AttackDeltaEngine::new(&graph);
+    let mut fresh = Engine::new(&graph);
+    for (k, dep) in steps.iter().enumerate() {
+        // One cell per deployment; every non-destination AS attacks it,
+        // exercising the snapshot restore between consecutive attackers.
+        delta.begin(d, dep, policy);
+        assert_outcomes_match(
+            delta.normal_outcome(),
+            fresh.compute(AttackScenario::normal(d), dep, policy),
+            &graph,
+            &format!("normal, step {k}: {inst:?} {policy}"),
+        );
+        for m in graph.ases().filter(|&m| m != d) {
+            let got = delta.attack(m, strategy);
+            let mut scenario = AttackScenario::attack(m, d);
+            scenario.strategy = strategy;
+            let want = fresh.compute(scenario, dep, policy);
+            assert_outcomes_match(
+                got,
+                want,
+                &graph,
+                &format!("m={m}, step {k}: {inst:?} {policy}"),
+            );
+            assert_eq!(
+                delta.count_happy(),
+                want.count_happy(),
+                "happy-bound mismatch for m={m}, step {k}: {inst:?} {policy}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delta_matches_fresh_engine_standard_lp(inst in arb_instance()) {
+        for model in SecurityModel::ALL {
+            check_instance(&inst, Policy::new(model));
+        }
+    }
+
+    #[test]
+    fn delta_matches_fresh_engine_lp_variants(inst in arb_instance()) {
+        for model in SecurityModel::ALL {
+            check_instance(&inst, Policy::with_variant(model, LpVariant::LpK(2)));
+            check_instance(&inst, Policy::with_variant(model, LpVariant::LpInf));
+        }
+    }
+
+    /// Snapshot-restore torture: one (sweep, delta) engine pair driven
+    /// exactly like the destination-major runners — sweep advances the
+    /// normal outcome through a monotone rollout, each step's outcome is
+    /// adopted via `begin_from_normal`, and many attackers (with mixed
+    /// strategies, so fake-link and hijack roots interleave on the same
+    /// snapshot) are patched and undone in between.
+    #[test]
+    fn delta_composes_with_sweep_advances(inst in arb_instance()) {
+        let graph = graph_from_codes(inst.n, &inst.codes);
+        let steps = deployment_sequence(inst.n, &inst.join_codes);
+        let d = AsId(inst.destination as u32);
+        let policy = Policy::new(SecurityModel::Security2nd);
+
+        let mut sweep = SweepEngine::new(&graph);
+        let mut delta = AttackDeltaEngine::new(&graph);
+        let mut fresh = Engine::new(&graph);
+        sweep.begin(AttackScenario::normal(d), policy);
+        for (k, dep) in steps.iter().enumerate() {
+            let normal = sweep.advance(dep);
+            delta.begin_from_normal(normal, dep, policy);
+            for round in 0..2 {
+                for m in graph.ases().filter(|&m| m != d) {
+                    // Alternate strategies so consecutive attacks disagree
+                    // even about the attacker's root depth.
+                    let strategy = if (m.index() + round) % 2 == 0 {
+                        AttackStrategy::FakeLink
+                    } else {
+                        AttackStrategy::OriginHijack
+                    };
+                    let got = delta.attack(m, strategy);
+                    let mut scenario = AttackScenario::attack(m, d);
+                    scenario.strategy = strategy;
+                    let want = fresh.compute(scenario, dep, policy);
+                    assert_outcomes_match(
+                        got,
+                        want,
+                        &graph,
+                        &format!("m={m} round {round}, step {k}: {inst:?}"),
+                    );
+                    assert_eq!(
+                        delta.count_happy(),
+                        want.count_happy(),
+                        "happy bounds for m={m} round {round}, step {k}: {inst:?}"
+                    );
+                }
+            }
+            // The adopted snapshot must survive all those patches intact.
+            assert_outcomes_match(
+                delta.normal_outcome(),
+                sweep.outcome(),
+                &graph,
+                &format!("snapshot after attacks, step {k}: {inst:?}"),
+            );
+        }
+    }
+}
+
+/// The same equivalence on a structured (generated) topology with a real
+/// rollout, where the incremental paths are actually exercised (proptest's
+/// tiny graphs often fall back to full recomputes via the region cap).
+#[test]
+fn delta_matches_fresh_engine_on_generated_internet() {
+    let net = Internet::synthetic(400, 17);
+    let steps: Vec<Deployment> = vec![
+        Deployment::empty(net.len()),
+        scenario::tier12_step(&net, 2, 2).deployment.clone(),
+        scenario::tier12_step(&net, 5, 8).deployment.clone(),
+        scenario::tier12_step(&net, 13, 30).deployment.clone(),
+    ];
+    let d = net.content_providers[0];
+    let attackers: Vec<AsId> = sample::sample_non_stubs(&net, 6, 3)
+        .into_iter()
+        .filter(|&m| m != d)
+        .collect();
+    let mut delta_seen = false;
+    for model in SecurityModel::ALL {
+        let policy = Policy::new(model);
+        let mut sweep = SweepEngine::new(&net.graph);
+        let mut delta = AttackDeltaEngine::new(&net.graph);
+        let mut fresh = Engine::new(&net.graph);
+        sweep.begin(AttackScenario::normal(d), policy);
+        for (k, dep) in steps.iter().enumerate() {
+            let normal = sweep.advance(dep);
+            delta.begin_from_normal(normal, dep, policy);
+            for &m in &attackers {
+                let got = delta.attack(m, AttackStrategy::FakeLink);
+                let want = fresh.compute(AttackScenario::attack(m, d), dep, policy);
+                for v in net.graph.ases() {
+                    assert_eq!(got.route(v), want.route(v), "{model} step {k} at {v}");
+                }
+                assert_eq!(delta.count_happy(), want.count_happy(), "{model} step {k}");
+            }
+        }
+        delta_seen |= delta.stats().delta_attacks > 0;
+    }
+    // Random cells on this graph may legitimately fall back throughout (a
+    // fake-link attack against an unprotected destination contests ~40% of
+    // all ASes), so pin the incremental path on a cell that provably has a
+    // tiny contested ball: with *everyone* running full S*BGP under
+    // security 1st, every AS holds a secure route and the insecure bogus
+    // announcement loses everywhere — the ball is the attacker alone.
+    let everyone = Deployment::full_from_iter(net.len(), net.graph.ases());
+    let sec1 = Policy::new(SecurityModel::Security1st);
+    let mut delta = AttackDeltaEngine::new(&net.graph);
+    let mut fresh = Engine::new(&net.graph);
+    delta.begin(d, &everyone, sec1);
+    for &m in &attackers {
+        let got = delta.attack(m, AttackStrategy::FakeLink);
+        let want = fresh.compute(AttackScenario::attack(m, d), &everyone, sec1);
+        for v in net.graph.ases() {
+            assert_eq!(got.route(v), want.route(v), "full-deployment cell at {v}");
+        }
+        assert_eq!(delta.count_happy(), want.count_happy());
+        delta_seen = true;
+    }
+    assert!(
+        delta.stats().delta_attacks >= attackers.len(),
+        "the full-deployment cell must take the incremental path"
+    );
+    assert!(delta_seen);
+}
