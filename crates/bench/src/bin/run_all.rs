@@ -97,6 +97,10 @@ fn main() {
         render::render_rpki_value(&net, &cli.config),
     );
     section(
+        "Extension: strategy ladder",
+        render::render_strategy_ladder(&net, &cli.config),
+    );
+    section(
         "Extension: weighted metric",
         render::render_weighted(&net, &cli.config),
     );

@@ -1,0 +1,10 @@
+//! Library extension table: the strategic-attacker ladder (per-pair
+//! optimal forged-path choice) and the colluding-pair comparison.
+use sbgp_bench::{render, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner("Extension — strategy ladder", &net);
+    println!("{}", render::render_strategy_ladder(&net, &cli.config));
+}

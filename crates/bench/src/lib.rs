@@ -12,14 +12,17 @@
 //!
 //! Common flags: `--asns N`, `--seed S`, `--attackers A`,
 //! `--destinations D`, `--per-tier P`, `--threads T`, `--ixp`
-//! (Appendix J graph), `--policy lp|lp2|lpinf` (Appendix K variants).
+//! (Appendix J graph), `--policy lp|lp2|lpinf` (Appendix K variants), and
+//! `--strategy fakelink|hijack|pathK` (the Goldberg et al. attack
+//! taxonomy; honored by the rollout, per-destination and baseline
+//! figures).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod render;
 
-use sbgp_core::{Deployment, LpVariant};
+use sbgp_core::{AttackStrategy, Deployment, LpVariant};
 use sbgp_sim::experiments::ExperimentConfig;
 use sbgp_sim::{scenario, Internet, Parallelism};
 use sbgp_topology::AsId;
@@ -76,7 +79,8 @@ impl Cli {
                 eprintln!("{msg}");
                 eprintln!(
                     "usage: [--asns N] [--seed S] [--attackers A] [--destinations D] \
-                     [--per-tier P] [--threads T] [--ixp] [--policy lp|lp2|lpinf]"
+                     [--per-tier P] [--threads T] [--ixp] [--policy lp|lp2|lpinf] \
+                     [--strategy fakelink|hijack|pathK]"
                 );
                 std::process::exit(2);
             }
@@ -101,6 +105,24 @@ impl Cli {
                     cli.config.parallelism = Parallelism(parse_num(&take("--threads")?)?)
                 }
                 "--ixp" => cli.ixp = true,
+                "--strategy" => {
+                    let value = take("--strategy")?;
+                    let strategy = match value.as_str() {
+                        "fakelink" | "fake-link" => AttackStrategy::FakeLink,
+                        "hijack" => AttackStrategy::OriginHijack,
+                        other => match other.strip_prefix("path") {
+                            Some(k) => AttackStrategy::FakePath {
+                                hops: parse_num(k)?,
+                            },
+                            None => return Err(format!("unknown strategy {other:?}")),
+                        },
+                    };
+                    // `path1` IS the fake link (and `path0` the hijack):
+                    // canonicalize so the non-default banner and any
+                    // equality-keyed logic never treat identical behavior
+                    // as a different strategy.
+                    cli.config.strategy = strategy.canonical();
+                }
                 "--policy" => {
                     cli.variant = match take("--policy")?.as_str() {
                         "lp" => LpVariant::Standard,
@@ -145,6 +167,18 @@ impl Cli {
             self.config.per_tier,
             self.config.parallelism.0
         );
+        // Only announced when non-default, so the legacy fake-link
+        // banners (and their golden snapshots) stay byte-identical. The
+        // qualifier matters: drivers that fix their own strategy (the
+        // partition figures, the RPKI-value and strategy-ladder tables)
+        // ignore the flag, and their numbers must not be misattributed.
+        if self.config.strategy != AttackStrategy::FakeLink {
+            println!(
+                "attack strategy: {} (strategy-aware drivers only; partition/ladder \
+                 tables fix their own)",
+                self.config.strategy
+            );
+        }
         println!();
     }
 }
@@ -188,6 +222,36 @@ mod tests {
         assert!(cli.ixp);
         assert_eq!(cli.variant, LpVariant::LpK(2));
         assert_eq!(cli.config.parallelism, Parallelism(3));
+        assert_eq!(cli.config.strategy, AttackStrategy::FakeLink);
+    }
+
+    #[test]
+    fn strategy_flag_parses_the_ladder() {
+        assert_eq!(
+            parse(&["--strategy", "hijack"]).unwrap().config.strategy,
+            AttackStrategy::OriginHijack
+        );
+        assert_eq!(
+            parse(&["--strategy", "fakelink"]).unwrap().config.strategy,
+            AttackStrategy::FakeLink
+        );
+        assert_eq!(
+            parse(&["--strategy", "path3"]).unwrap().config.strategy,
+            AttackStrategy::FakePath { hops: 3 }
+        );
+        // The degenerate forged paths canonicalize to the legacy variants,
+        // so `--strategy path1` is exactly the default (no banner line).
+        assert_eq!(
+            parse(&["--strategy", "path0"]).unwrap().config.strategy,
+            AttackStrategy::OriginHijack
+        );
+        assert_eq!(
+            parse(&["--strategy", "path1"]).unwrap().config.strategy,
+            AttackStrategy::FakeLink
+        );
+        assert!(parse(&["--strategy", "bogus"]).is_err());
+        assert!(parse(&["--strategy", "pathx"]).is_err());
+        assert!(parse(&["--strategy"]).is_err());
     }
 
     #[test]

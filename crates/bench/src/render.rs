@@ -6,7 +6,8 @@
 
 use sbgp_core::{LpVariant, Policy, SecurityModel};
 use sbgp_sim::experiments::{
-    baseline, extensions, partitions, per_destination, rollout, root_cause, ExperimentConfig,
+    baseline, extensions, partitions, per_destination, rollout, root_cause, strategic,
+    ExperimentConfig,
 };
 use sbgp_sim::report::{delta_pair, pct, pct_bounds, stacked_bar, Table};
 use sbgp_sim::Internet;
@@ -440,6 +441,67 @@ pub fn render_islands(net: &Internet, cfg: &ExperimentConfig) -> String {
     }
     out.push_str(&t.render());
     out.push_str("\nthe island recovers part of the uniform-sec-1st benefit without asking\ninsecure ASes to change anything\n");
+    out
+}
+
+/// The strategic-attacker tables (library extension): per-pair optimal
+/// forged-path ladders, and the colluding-pair comparison.
+pub fn render_strategy_ladder(net: &Internet, cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Strategic attackers (Goldberg et al. taxonomy): per-(m, d) optimal forged-path\n\
+         choice over the k-hop ladder, and colluding announcer pairs\n\n",
+    );
+    for exp in strategic::ladder(net, cfg) {
+        out.push_str(&format!("deployment: {}\n\n", exp.deployment_label));
+        let mut t = Table::new([
+            "model",
+            "k=0 (hijack)",
+            "k=1 (fake link)",
+            "k=2",
+            "k=3",
+            "optimal",
+            "wins k0/k1/k2/k3",
+        ]);
+        for (model, r) in &exp.rows {
+            t.row([
+                model.label().to_string(),
+                pct_bounds(r.per_rung[0]),
+                pct_bounds(r.per_rung[1]),
+                pct_bounds(r.per_rung[2]),
+                pct_bounds(r.per_rung[3]),
+                pct_bounds(r.optimal),
+                format!("{}/{}/{}/{}", r.wins[0], r.wins[1], r.wins[2], r.wins[3]),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "(k=0 is blocked by RPKI in the paper's setting; among RPKI-proof rungs the\n\
+         shortest forged path maximizes damage, so \"optimal\" tracks k=1 — the paper's\n\
+         fixed strategy is the strategic attacker's choice once k=0 is off the table)\n\n",
+    );
+
+    let c = strategic::collusion(net, cfg);
+    out.push_str(&format!(
+        "colluding pairs: {} attacker pairs, deployment: {}\n\n",
+        c.sets, c.deployment_label
+    ));
+    let mut t = Table::new(["model", "solo avg", "best single", "colluding pair"]);
+    for (model, r) in &c.rows {
+        t.row([
+            model.label().to_string(),
+            pct_bounds(r.solo),
+            pct_bounds(r.best_single),
+            pct_bounds(r.colluding),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\n(collusion dividend = best single − colluding pair; sources exclude every\n\
+         announcer, per the set-aware counting rule)\n",
+    );
     out
 }
 

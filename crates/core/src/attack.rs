@@ -1,24 +1,51 @@
-//! The threat model (§3.1).
+//! The threat model (§3.1), generalized along Goldberg et al.'s
+//! attack-strategy taxonomy (\[22\] in PAPERS.md).
 //!
-//! A single attacker `m` targets a single destination `d`. Origin
-//! authentication is assumed deployed, so `m` cannot originate `d`'s prefix
-//! itself; instead it announces the bogus AS-level path **"m, d"** — a fake
-//! adjacency to the destination — via *legacy BGP* to **all** of its
-//! neighbors (an attacker ignores its own export policy; recipients apply
-//! theirs normally). The announcement therefore:
+//! In the paper's base scenario a single attacker `m` targets a single
+//! destination `d`. Origin authentication is assumed deployed, so `m`
+//! cannot originate `d`'s prefix itself; instead it announces the bogus
+//! AS-level path **"m, d"** — a fake adjacency to the destination — via
+//! *legacy BGP* to **all** of its neighbors (an attacker ignores its own
+//! export policy; recipients apply theirs normally). This library models
+//! the full strategy family that scenario is drawn from:
 //!
-//! * carries claimed length 2 at `m`'s neighbors (as if `m` were one hop
-//!   from `d`), i.e. `m` behaves as a root at depth 1;
-//! * is never secure — it arrives via legacy BGP and is not validated;
-//! * works identically against partially-deployed soBGP, S-BGP and BGPSEC
-//!   (§3.1): in every variant the recipient cannot detect the fake edge
-//!   without a secure path.
+//! * [`AttackStrategy::FakePath`]`{ hops: k }` — the attacker announces
+//!   `"m, x₁ … x_{k-1}, d"`, a forged path of **claimed length `k + 1`**
+//!   at its neighbors whose intermediate hops are fabricated. Longer
+//!   forged paths attract less traffic but evade path-plausibility
+//!   heuristics; shorter ones maximize damage. Announcements are never
+//!   secure regardless of `k` — they travel over legacy BGP — so the
+//!   engine only needs the claimed length: `m` behaves as a root of the
+//!   bogus routing tree at depth `k` (`d` roots the legitimate tree at 0).
+//! * [`AttackStrategy::FakeLink`] — the paper's §3.1 attack, identical to
+//!   `FakePath { hops: 1 }`.
+//! * [`AttackStrategy::OriginHijack`] — classic pre-RPKI prefix
+//!   hijacking, identical to `FakePath { hops: 0 }`; origin
+//!   authentication prevents it entirely, which is what makes the rung
+//!   worth measuring (the value of RPKI itself).
+//!
+//! **Colluding announcers.** A scenario may carry up to [`MAX_ATTACKERS`]
+//! simultaneous announcers ([`AttackScenario::colluding`]): every member
+//! of the set floods the same-shaped bogus announcement at once, rooting a
+//! *multi-root* bogus tree. All announcers share one [`AttackStrategy`].
+//!
+//! **Source-counting rule.** The paper's metric divides by the number of
+//! *source* ASes: every AS that is neither the destination nor an
+//! announcer. With `a` colluding announcers on an `n`-AS graph that is
+//! `n − 1 − a` ([`AttackScenario::source_count`]); [`AttackScenario::is_source`]
+//! is the membership test. Both are set-aware: each additional colluder
+//! removes itself from the source pool.
 //!
 //! "Normal conditions" (no attacker) are modeled by
 //! [`AttackScenario::normal`], used for downgrade analysis and for the
 //! secure-routes-before-attack accounting of Figures 13 and 16.
 
+use std::fmt;
+
 use sbgp_topology::AsId;
+
+/// Maximum number of simultaneous colluding announcers in one scenario.
+pub const MAX_ATTACKERS: usize = 3;
 
 /// What the attacker announces (via legacy BGP, to all its neighbors).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -26,7 +53,8 @@ pub enum AttackStrategy {
     /// The paper's attack (§3.1): announce the bogus one-hop path
     /// `"m, d"`, i.e. claim a direct link to the legitimate origin. This
     /// defeats origin authentication's *letter* (the origin is correct)
-    /// and is what S\*BGP exists to stop.
+    /// and is what S\*BGP exists to stop. Behaves identically to
+    /// `FakePath { hops: 1 }`.
     #[default]
     FakeLink,
     /// Classic pre-RPKI prefix hijacking: `m` originates the victim's
@@ -34,10 +62,44 @@ pub enum AttackStrategy {
     /// authentication **prevents** this entirely; the library models it so
     /// the value of RPKI itself can be quantified against the same metric
     /// (the premise the paper inherits from Goldberg et al. \[22\]).
+    /// Behaves identically to `FakePath { hops: 0 }`.
     OriginHijack,
+    /// The general forged path of the Goldberg et al. taxonomy: announce
+    /// `"m, x₁ … x_{hops-1}, d"` with claimed length `hops + 1`, the
+    /// intermediate ASes fabricated. `hops = 0` degenerates to the origin
+    /// hijack (no claimed tail at all) and `hops = 1` to the fake link.
+    FakePath {
+        /// Claimed distance from `m` to the origin: the number of (fake)
+        /// edges between `m` and `d` on the announced path.
+        hops: u8,
+    },
 }
 
 impl AttackStrategy {
+    /// The canonical strategy ladder evaluated by the strategic-attacker
+    /// experiments: forged paths of claimed distance 0 through 3. Rung 0
+    /// behaves as [`AttackStrategy::OriginHijack`] and rung 1 as
+    /// [`AttackStrategy::FakeLink`].
+    pub const LADDER: [AttackStrategy; 4] = [
+        AttackStrategy::FakePath { hops: 0 },
+        AttackStrategy::FakePath { hops: 1 },
+        AttackStrategy::FakePath { hops: 2 },
+        AttackStrategy::FakePath { hops: 3 },
+    ];
+
+    /// Collapse the behaviorally-identical spellings: `FakePath { 0 }` is
+    /// the origin hijack and `FakePath { 1 }` the fake link. The enum
+    /// derives `Eq`/`Hash` structurally, so anything that compares
+    /// strategies (e.g. "is this the default?") should canonicalize
+    /// first.
+    pub fn canonical(self) -> AttackStrategy {
+        match self {
+            AttackStrategy::FakePath { hops: 0 } => AttackStrategy::OriginHijack,
+            AttackStrategy::FakePath { hops: 1 } => AttackStrategy::FakeLink,
+            other => other,
+        }
+    }
+
     /// The claimed path length of the attacker's announcement as heard by
     /// its direct neighbors, minus one — i.e. the depth at which `m` roots
     /// the bogus routing tree (`d` roots the legitimate one at 0).
@@ -45,24 +107,42 @@ impl AttackStrategy {
         match self {
             AttackStrategy::FakeLink => 1,
             AttackStrategy::OriginHijack => 0,
+            AttackStrategy::FakePath { hops } => u32::from(hops),
         }
     }
 }
 
-/// One attack instance: a destination under attack, and optionally the
-/// attacker (absent for normal conditions).
+impl fmt::Display for AttackStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackStrategy::FakeLink => f.write_str("fake link (k=1)"),
+            AttackStrategy::OriginHijack => f.write_str("origin hijack (k=0)"),
+            AttackStrategy::FakePath { hops } => write!(f, "forged path (k={hops})"),
+        }
+    }
+}
+
+/// One attack instance: a destination under attack, and the announcer set
+/// (empty for normal conditions).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct AttackScenario {
     /// The legitimate destination AS `d`.
     pub destination: AsId,
-    /// The attacker `m`, or `None` for normal conditions.
+    /// The primary attacker `m`, or `None` for normal conditions. This
+    /// field governs whether the scenario attacks at all: setting it to
+    /// `None` disarms any accomplices too (see
+    /// [`AttackScenario::attackers`]).
     pub attacker: Option<AsId>,
+    /// Additional colluding announcers, front-packed; construct multi-
+    /// attacker scenarios with [`AttackScenario::colluding`]. Only
+    /// meaningful while `attacker` is `Some`.
+    pub(crate) accomplices: [Option<AsId>; MAX_ATTACKERS - 1],
     /// An AS whose presence on routes should be tracked (see
     /// [`crate::Outcome::may_traverse_mark`]). Theorem 3.1 only protects
     /// sources whose *normal* route avoids the attacker, so downgrade
     /// analysis marks `m` during the normal-conditions run.
     pub mark: Option<AsId>,
-    /// The announcement the attacker sends.
+    /// The announcement every attacker sends.
     pub strategy: AttackStrategy,
 }
 
@@ -77,6 +157,7 @@ impl AttackScenario {
         AttackScenario {
             destination,
             attacker: Some(attacker),
+            accomplices: [None; MAX_ATTACKERS - 1],
             mark: None,
             strategy: AttackStrategy::FakeLink,
         }
@@ -91,11 +172,69 @@ impl AttackScenario {
     pub fn hijack(attacker: AsId, destination: AsId) -> AttackScenario {
         assert_ne!(attacker, destination, "attacker cannot be the destination");
         AttackScenario {
-            destination,
-            attacker: Some(attacker),
-            mark: None,
             strategy: AttackStrategy::OriginHijack,
+            ..AttackScenario::attack(attacker, destination)
         }
+    }
+
+    /// A set of colluding announcers simultaneously attacking
+    /// `destination` (the first entry is the primary attacker reported by
+    /// [`crate::Outcome::attacker`]). The strategy defaults to the fake
+    /// link; chain [`AttackScenario::with_strategy`] to change it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `attackers` is empty, longer than [`MAX_ATTACKERS`],
+    /// contains the destination, or contains duplicates.
+    pub fn colluding(attackers: &[AsId], destination: AsId) -> AttackScenario {
+        assert!(!attackers.is_empty(), "at least one attacker required");
+        assert!(
+            attackers.len() <= MAX_ATTACKERS,
+            "at most {MAX_ATTACKERS} colluding attackers"
+        );
+        let mut accomplices = [None; MAX_ATTACKERS - 1];
+        for (i, &m) in attackers.iter().enumerate() {
+            assert_ne!(m, destination, "attacker cannot be the destination");
+            assert!(
+                !attackers[..i].contains(&m),
+                "duplicate colluding attacker {m}"
+            );
+            if i > 0 {
+                accomplices[i - 1] = Some(m);
+            }
+        }
+        AttackScenario {
+            destination,
+            attacker: Some(attackers[0]),
+            accomplices,
+            mark: None,
+            strategy: AttackStrategy::FakeLink,
+        }
+    }
+
+    /// This scenario with a different announcement strategy (builder
+    /// convenience; all colluders share one strategy).
+    pub fn with_strategy(mut self, strategy: AttackStrategy) -> AttackScenario {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Filter a raw announcer candidate list down to what
+    /// [`AttackScenario::colluding`] accepts: duplicates and the
+    /// destination are dropped and the remainder is truncated to
+    /// [`MAX_ATTACKERS`], preserving first-appearance order. This is the
+    /// one place the filtering rule lives — the collusion runners and the
+    /// property-test generators all feed arbitrary candidate lists through
+    /// it. Callers decide what a too-small remainder means (normal
+    /// conditions, or a skipped cell).
+    pub fn filter_announcers(candidates: &[AsId], destination: AsId) -> Vec<AsId> {
+        let mut out: Vec<AsId> = Vec::new();
+        for &m in candidates {
+            if m != destination && !out.contains(&m) && out.len() < MAX_ATTACKERS {
+                out.push(m);
+            }
+        }
+        out
     }
 
     /// Normal conditions: routing to `d` with no attacker present.
@@ -103,6 +242,7 @@ impl AttackScenario {
         AttackScenario {
             destination,
             attacker: None,
+            accomplices: [None; MAX_ATTACKERS - 1],
             mark: None,
             strategy: AttackStrategy::FakeLink,
         }
@@ -112,27 +252,60 @@ impl AttackScenario {
     /// `mark`.
     pub fn normal_marked(destination: AsId, mark: AsId) -> AttackScenario {
         AttackScenario {
-            destination,
-            attacker: None,
             mark: Some(mark),
-            strategy: AttackStrategy::FakeLink,
+            ..AttackScenario::normal(destination)
         }
     }
 
-    /// True when this scenario has an attacker.
+    /// True when this scenario has at least one attacker.
     pub fn is_attack(&self) -> bool {
         self.attacker.is_some()
     }
 
-    /// The number of source ASes the paper's metric divides by for this
-    /// scenario on an `n`-AS graph: every AS except `d` and `m`.
-    pub fn source_count(&self, n: usize) -> usize {
-        n - 1 - usize::from(self.attacker.is_some())
+    /// Every announcer of this scenario, primary first. Empty whenever
+    /// `attacker` is `None`: accomplices never announce without a primary
+    /// attacker, so clearing the field is always a clean return to normal
+    /// conditions.
+    pub fn attackers(&self) -> impl Iterator<Item = AsId> {
+        let [primary, a, b] = self.attacker_array();
+        primary.into_iter().chain(a).chain(b)
     }
 
-    /// True when `v` is a source (neither the destination nor the attacker).
+    /// Number of announcers (0 for normal conditions).
+    pub fn attacker_count(&self) -> usize {
+        self.attackers().count()
+    }
+
+    /// True when `v` announces in this scenario.
+    pub fn is_attacker(&self, v: AsId) -> bool {
+        self.attackers().any(|m| m == v)
+    }
+
+    /// The fixed-width announcer array [`crate::Outcome`] carries (primary
+    /// first, front-packed). Accomplices only announce alongside a primary
+    /// attacker: clearing the public `attacker` field returns the scenario
+    /// to normal conditions even if stale accomplices remain, so external
+    /// mutation of `attacker` (e.g. the protocol simulator's
+    /// `launch_attack`) can never produce a half-announcing state.
+    pub(crate) fn attacker_array(&self) -> [Option<AsId>; MAX_ATTACKERS] {
+        match self.attacker {
+            Some(m) => [Some(m), self.accomplices[0], self.accomplices[1]],
+            None => [None; MAX_ATTACKERS],
+        }
+    }
+
+    /// The number of source ASes the paper's metric divides by for this
+    /// scenario on an `n`-AS graph: every AS except `d` and every
+    /// announcer, i.e. `n − 1 − attacker_count` (each colluder removes
+    /// itself from the source pool).
+    pub fn source_count(&self, n: usize) -> usize {
+        n - 1 - self.attacker_count()
+    }
+
+    /// True when `v` is a source (neither the destination nor any
+    /// announcer).
     pub fn is_source(&self, v: AsId) -> bool {
-        v != self.destination && Some(v) != self.attacker
+        v != self.destination && !self.is_attacker(v)
     }
 }
 
@@ -153,6 +326,43 @@ mod tests {
         assert!(!n.is_attack());
         assert_eq!(n.source_count(10), 9);
         assert!(n.is_source(AsId(3)));
+        assert_eq!(n.attacker_count(), 0);
+        assert_eq!(n.attackers().count(), 0);
+    }
+
+    #[test]
+    fn colluding_sets_are_set_aware() {
+        let c = AttackScenario::colluding(&[AsId(5), AsId(2), AsId(8)], AsId(1));
+        assert!(c.is_attack());
+        assert_eq!(c.attacker, Some(AsId(5)), "primary attacker first");
+        assert_eq!(c.attacker_count(), 3);
+        assert_eq!(
+            c.attackers().collect::<Vec<_>>(),
+            vec![AsId(5), AsId(2), AsId(8)]
+        );
+        for m in [5u32, 2, 8] {
+            assert!(c.is_attacker(AsId(m)));
+            assert!(!c.is_source(AsId(m)));
+        }
+        assert!(!c.is_attacker(AsId(1)));
+        assert!(!c.is_source(AsId(1)), "destination is not a source");
+        assert!(c.is_source(AsId(0)));
+        // Every colluder leaves the source pool: n − 1 − 3.
+        assert_eq!(c.source_count(10), 6);
+        // A singleton colluding set is exactly the single-attacker case.
+        let single = AttackScenario::colluding(&[AsId(3)], AsId(7));
+        assert_eq!(single, AttackScenario::attack(AsId(3), AsId(7)));
+    }
+
+    #[test]
+    fn clearing_the_primary_attacker_disarms_accomplices() {
+        let mut c = AttackScenario::colluding(&[AsId(5), AsId(2)], AsId(1));
+        c.attacker = None;
+        assert!(!c.is_attack());
+        assert_eq!(c.attacker_count(), 0);
+        assert_eq!(c.attackers().count(), 0);
+        assert!(!c.is_attacker(AsId(2)));
+        assert_eq!(c.source_count(10), 9, "back to normal conditions");
     }
 
     #[test]
@@ -162,14 +372,108 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "duplicate colluding attacker")]
+    fn colluders_must_be_distinct() {
+        let _ = AttackScenario::colluding(&[AsId(3), AsId(3)], AsId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "attacker cannot be the destination")]
+    fn colluders_must_avoid_the_destination() {
+        let _ = AttackScenario::colluding(&[AsId(3), AsId(1)], AsId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 3 colluding attackers")]
+    fn colluder_sets_are_bounded() {
+        let _ = AttackScenario::colluding(&[AsId(2), AsId(3), AsId(4), AsId(5)], AsId(1));
+    }
+
+    #[test]
     fn strategies_root_at_different_depths() {
         assert_eq!(AttackStrategy::FakeLink.root_depth(), 1);
         assert_eq!(AttackStrategy::OriginHijack.root_depth(), 0);
+        for hops in 0..6u8 {
+            assert_eq!(
+                AttackStrategy::FakePath { hops }.root_depth(),
+                u32::from(hops)
+            );
+        }
         let a = AttackScenario::hijack(AsId(1), AsId(2));
         assert_eq!(a.strategy, AttackStrategy::OriginHijack);
         assert_eq!(
             AttackScenario::attack(AsId(1), AsId(2)).strategy,
             AttackStrategy::FakeLink
+        );
+        let forged = AttackScenario::attack(AsId(1), AsId(2))
+            .with_strategy(AttackStrategy::FakePath { hops: 3 });
+        assert_eq!(forged.strategy.root_depth(), 3);
+    }
+
+    #[test]
+    fn ladder_spans_the_legacy_strategies() {
+        assert_eq!(AttackStrategy::LADDER.len(), 4);
+        assert_eq!(
+            AttackStrategy::LADDER[0].root_depth(),
+            AttackStrategy::OriginHijack.root_depth()
+        );
+        assert_eq!(
+            AttackStrategy::LADDER[1].root_depth(),
+            AttackStrategy::FakeLink.root_depth()
+        );
+        for (k, rung) in AttackStrategy::LADDER.iter().enumerate() {
+            assert_eq!(rung.root_depth(), k as u32);
+        }
+    }
+
+    #[test]
+    fn canonicalization_collapses_identical_spellings() {
+        assert_eq!(
+            AttackStrategy::FakePath { hops: 0 }.canonical(),
+            AttackStrategy::OriginHijack
+        );
+        assert_eq!(
+            AttackStrategy::FakePath { hops: 1 }.canonical(),
+            AttackStrategy::FakeLink
+        );
+        for s in [
+            AttackStrategy::FakeLink,
+            AttackStrategy::OriginHijack,
+            AttackStrategy::FakePath { hops: 2 },
+        ] {
+            assert_eq!(s.canonical(), s);
+            assert_eq!(s.canonical().root_depth(), s.root_depth());
+        }
+    }
+
+    #[test]
+    fn announcer_filtering_is_shared_and_bounded() {
+        let d = AsId(1);
+        // Duplicates and the destination drop; order is preserved.
+        assert_eq!(
+            AttackScenario::filter_announcers(&[AsId(5), AsId(1), AsId(5), AsId(2)], d),
+            vec![AsId(5), AsId(2)]
+        );
+        // Truncated to MAX_ATTACKERS.
+        let many: Vec<AsId> = (2..10).map(AsId).collect();
+        assert_eq!(
+            AttackScenario::filter_announcers(&many, d).len(),
+            MAX_ATTACKERS
+        );
+        // Degenerate lists survive as empty (the caller decides).
+        assert!(AttackScenario::filter_announcers(&[d, d], d).is_empty());
+    }
+
+    #[test]
+    fn strategy_labels_are_stable() {
+        assert_eq!(AttackStrategy::FakeLink.to_string(), "fake link (k=1)");
+        assert_eq!(
+            AttackStrategy::OriginHijack.to_string(),
+            "origin hijack (k=0)"
+        );
+        assert_eq!(
+            AttackStrategy::FakePath { hops: 3 }.to_string(),
+            "forged path (k=3)"
         );
     }
 }

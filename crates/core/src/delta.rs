@@ -8,12 +8,22 @@
 //! attackers in `M`. [`AttackDeltaEngine`] computes the **normal-conditions
 //! outcome once** (no attacker), snapshots it, and then evaluates each
 //! attacker `m` by re-fixing only the *contested region*: the ASes whose
-//! fixed route the bogus `"m, d"` announcement can actually tie or beat
-//! under the model's preference order. The region is seeded at `m`'s root
-//! and grown with the same [`crate::policy::preference_key`]
-//! affected-neighbor filter and bucket-queue stage schedule the
-//! deployment-axis [`crate::SweepEngine`] uses (shared in `region`);
-//! exactness rests on the same Theorem 2.1 local-consistency argument.
+//! fixed route the forged announcement (a `k`-hop
+//! [`AttackStrategy::FakePath`], of which the paper's `"m, d"` fake link
+//! is `k = 1`) can actually tie or beat under the model's preference
+//! order. The region is seeded at `m`'s root and grown with the same
+//! [`crate::policy::preference_key`] affected-neighbor filter and
+//! bucket-queue stage schedule the deployment-axis [`crate::SweepEngine`]
+//! uses (shared in `region`); exactness rests on the same Theorem 2.1
+//! local-consistency argument.
+//!
+//! **Colluding announcers.** [`AttackDeltaEngine::attack_set`] serves a
+//! whole announcer set at once: the contested region is seeded as the
+//! *multi-root* union of every colluder's ball (the forward scan starts
+//! from all roots simultaneously, so an AS is marked the first time any
+//! root's offer can reach it competitively), all roots are re-fixed in the
+//! solve, and the same touched-list undo restores the snapshot exactly —
+//! a colluding patch costs one region solve, not one per member.
 //!
 //! **Snapshot/undo invariant:** each [`AttackDeltaEngine::attack`] records
 //! the set of ASes it touched (the final region, which the engine's fix
@@ -290,24 +300,37 @@ impl<'g> AttackDeltaEngine<'g> {
     /// [`AttackDeltaEngine::begin_from_normal`], or when `attacker` is the
     /// destination.
     pub fn attack(&mut self, attacker: AsId, strategy: AttackStrategy) -> &Outcome {
+        self.attack_set(&[attacker], strategy)
+    }
+
+    /// As [`AttackDeltaEngine::attack`], for a set of colluding announcers
+    /// flooding the same-shaped forged announcement simultaneously. The
+    /// contested region is seeded from **all** roots and solved once; the
+    /// touched-list undo is identical to the single-attacker case.
+    ///
+    /// # Panics
+    ///
+    /// Panics before `begin*`, or when `attackers` violates
+    /// [`AttackScenario::colluding`]'s preconditions (empty, more than
+    /// [`crate::MAX_ATTACKERS`], duplicates, or containing the
+    /// destination).
+    pub fn attack_set(&mut self, attackers: &[AsId], strategy: AttackStrategy) -> &Outcome {
         let deployment = self
             .deployment
             .take()
             .expect("AttackDeltaEngine::begin not called");
         let d = self.destination;
-        assert_ne!(attacker, d, "attacker cannot be the destination");
-        let scenario = AttackScenario {
-            destination: d,
-            attacker: Some(attacker),
-            mark: None,
-            strategy,
-        };
+        let scenario = AttackScenario::colluding(attackers, d).with_strategy(strategy);
 
         self.region.clear();
         self.region_list.clear();
-        self.region.insert(attacker);
-        self.region_list.push(attacker);
-        self.region_mass = self.graph().degree(attacker);
+        self.region_mass = 0;
+        let graph = self.graph();
+        for m in scenario.attackers() {
+            self.region.insert(m);
+            self.region_list.push(m);
+            self.region_mass += graph.degree(m);
+        }
 
         // Discover the contested ball in one cheap forward scan over the
         // *snapshot* (the working outcome is not consulted, so no restore
@@ -367,7 +390,7 @@ impl<'g> AttackDeltaEngine<'g> {
         }
 
         // Patch the happy bounds: remove every region member's normal
-        // contribution (the attacker stops being a source entirely) and add
+        // contribution (announcers stop being sources entirely) and add
         // back the non-root members' contested contributions.
         let mut happy = self.normal_happy;
         {
@@ -376,7 +399,7 @@ impl<'g> AttackDeltaEngine<'g> {
                 let old = self.snapshot.flags(v);
                 happy.0 -= usize::from(old.surely_happy());
                 happy.1 -= usize::from(old.may_reach_destination());
-                if v == attacker {
+                if scenario.is_attacker(v) {
                     continue;
                 }
                 let new = outcome.flags(v);
@@ -391,7 +414,7 @@ impl<'g> AttackDeltaEngine<'g> {
         // differs from the snapshot: it becomes the next undo list.
         std::mem::swap(&mut self.touched, &mut self.region_list);
         self.restore = Restore::Touched;
-        self.engine.outcome_mut().attacker = Some(attacker);
+        self.engine.outcome_mut().attackers = scenario.attacker_array();
         self.deployment = Some(deployment);
         self.engine.outcome()
     }
@@ -415,27 +438,31 @@ impl<'g> AttackDeltaEngine<'g> {
     /// scan of the snapshot in bogus-path-length order. An AS whose route
     /// strictly beats the offer neither adopts nor re-exports it, so the
     /// scan prunes there; customer-class receipt re-exports everywhere,
-    /// peer/provider-class receipt only to customers (Ex). This is purely
-    /// a performance seeding — the verify-and-grow loop would find the
-    /// same ASes one hop per round — so its filter does not need to be
+    /// peer/provider-class receipt only to customers (Ex). With colluding
+    /// announcers, every root contributes its neighbors to the initial
+    /// frontier (the announcers share one claimed depth, so the levels stay
+    /// aligned) and the scan discovers the union ball in one pass. This is
+    /// purely a performance seeding — the verify-and-grow loop would find
+    /// the same ASes one hop per round — so its filter does not need to be
     /// tight in either direction. The scan stops early once the region's
     /// adjacency mass exceeds the budget (the caller then falls back
     /// without solving).
     fn seed_contested_region(&mut self, scenario: AttackScenario, deployment: &Deployment) {
         let graph = self.engine.graph();
         let policy = self.policy;
-        let m = scenario.attacker.expect("delta scenarios have an attacker");
         let d = scenario.destination;
 
-        // The attacker's origin announcement exports to every neighbor.
-        for &u in graph.providers(m) {
-            self.scan_next.push((u.0, 0));
-        }
-        for &u in graph.peers(m) {
-            self.scan_next.push((u.0, 1));
-        }
-        for &u in graph.customers(m) {
-            self.scan_next.push((u.0, 2));
+        // Each announcer's origin announcement exports to every neighbor.
+        for m in scenario.attackers() {
+            for &u in graph.providers(m) {
+                self.scan_next.push((u.0, 0));
+            }
+            for &u in graph.peers(m) {
+                self.scan_next.push((u.0, 1));
+            }
+            for &u in graph.customers(m) {
+                self.scan_next.push((u.0, 2));
+            }
         }
         let mut len = scenario.strategy.root_depth() + 1;
         'scan: while !self.scan_next.is_empty() {
@@ -462,7 +489,7 @@ impl<'g> AttackDeltaEngine<'g> {
                 }
                 let (ui, rank) = self.scan_cur[k];
                 let u = AsId(ui);
-                if u == d || u == m {
+                if u == d || scenario.is_attacker(u) {
                     continue;
                 }
                 let validating = deployment.validates(u);
@@ -513,27 +540,28 @@ impl<'g> AttackDeltaEngine<'g> {
     /// One attempt: re-fix exactly the current contested region on top of
     /// the normal-conditions snapshot, treating everything outside it as
     /// fixed boundary. Mirrors [`crate::SweepEngine`]'s solve, with the
-    /// attacker root replacing the deployment seeds.
+    /// announcer roots replacing the deployment seeds.
     fn solve_region(&mut self, scenario: AttackScenario, deployment: &Deployment) {
-        let m = scenario.attacker.expect("delta scenarios have an attacker");
         self.engine.begin(scenario, deployment, self.policy);
         self.engine.enable_fix_log();
-        self.engine.outcome_mut().attacker = Some(m);
+        self.engine.outcome_mut().attackers = scenario.attacker_array();
         for &v in &self.region_list {
             self.engine.outcome_mut().unfix(v);
         }
-        // The attacker roots the bogus tree; the destination's root entry
-        // is never contested (it stays fixed at depth 0 outside the
-        // region), so no other root needs re-fixing.
-        self.engine.fix_root(
-            m,
-            scenario.strategy.root_depth(),
-            false,
-            RootFlags::TO_M,
-            deployment,
-        );
+        // Every announcer roots the (multi-root) bogus tree; the
+        // destination's root entry is never contested (it stays fixed at
+        // depth 0 outside the region), so no other root needs re-fixing.
+        for m in scenario.attackers() {
+            self.engine.fix_root(
+                m,
+                scenario.strategy.root_depth(),
+                false,
+                RootFlags::TO_M,
+                deployment,
+            );
+        }
         for &v in &self.region_list {
-            if v == m {
+            if scenario.is_attacker(v) {
                 continue;
             }
             self.engine.seed_from_boundary(v, &self.region, deployment);
@@ -676,6 +704,47 @@ mod tests {
         // And the island must be undone for the next attacker.
         let got = delta.attack(AsId(1), AttackStrategy::FakeLink);
         assert!(got.route(AsId(3)).is_none(), "island write leaked");
+    }
+
+    #[test]
+    fn colluding_sets_match_fresh_computes() {
+        let g = gadget();
+        let dep = Deployment::full_from_iter(8, [AsId(0), AsId(1)]);
+        let sets: [&[AsId]; 3] = [
+            &[AsId(4), AsId(7)],
+            &[AsId(3), AsId(6), AsId(1)],
+            &[AsId(2)],
+        ];
+        for model in SecurityModel::ALL {
+            let policy = Policy::new(model);
+            let mut delta = AttackDeltaEngine::new(&g);
+            let mut fresh = Engine::new(&g);
+            delta.begin(AsId(0), &dep, policy);
+            for set in sets {
+                for strategy in [
+                    AttackStrategy::FakeLink,
+                    AttackStrategy::FakePath { hops: 0 },
+                    AttackStrategy::FakePath { hops: 2 },
+                ] {
+                    let got = delta.attack_set(set, strategy);
+                    let scenario = AttackScenario::colluding(set, AsId(0)).with_strategy(strategy);
+                    let want = fresh.compute(scenario, &dep, policy);
+                    let ctx = format!("{policy} set={set:?} {strategy:?}");
+                    assert_outcomes_match(got, want, &g, &ctx);
+                    assert_eq!(
+                        got.attackers().collect::<Vec<_>>(),
+                        set.to_vec(),
+                        "{ctx}: announcer set"
+                    );
+                    assert_eq!(delta.count_happy(), want.count_happy(), "{ctx}: happy");
+                }
+            }
+            // The undo after a colluding patch must leave the snapshot
+            // intact for the next (single-attacker) patch.
+            let got = delta.attack(AsId(5), AttackStrategy::FakeLink);
+            let want = fresh.compute(AttackScenario::attack(AsId(5), AsId(0)), &dep, policy);
+            assert_outcomes_match(got, want, &g, &format!("{policy} after collusion"));
+        }
     }
 
     #[test]

@@ -193,11 +193,16 @@ impl<'g> Engine<'g> {
         policy: Policy,
     ) -> &Outcome {
         self.begin(scenario, deployment, policy);
-        self.outcome
-            .reset(self.graph.len(), scenario.destination, scenario.attacker);
+        self.outcome.reset(
+            self.graph.len(),
+            scenario.destination,
+            scenario.attacker_array(),
+        );
 
-        // Roots. The destination announces at depth 0; the attacker's bogus
-        // "m, d" announcement makes it a root at depth 1 (§3.1).
+        // Roots. The destination announces at depth 0; every announcer's
+        // forged path makes it a root of the (multi-root) bogus tree at
+        // the strategy's claimed depth (§3.1 generalized — the fake link
+        // is depth 1, a k-hop forged path depth k).
         let d = scenario.destination;
         self.fix_root(
             d,
@@ -206,7 +211,7 @@ impl<'g> Engine<'g> {
             RootFlags::TO_D,
             deployment,
         );
-        if let Some(m) = scenario.attacker {
+        for m in scenario.attackers() {
             self.fix_root(
                 m,
                 scenario.strategy.root_depth(),
@@ -237,7 +242,7 @@ impl<'g> Engine<'g> {
             "deployment universe must match the graph"
         );
         assert!(scenario.destination.index() < n, "destination out of range");
-        if let Some(m) = scenario.attacker {
+        for m in scenario.attackers() {
             assert!(m.index() < n, "attacker out of range");
         }
         for q in [
@@ -597,6 +602,7 @@ impl<'g> Engine<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attack::AttackStrategy;
     use crate::policy::LpVariant;
     use sbgp_topology::GraphBuilder;
 
@@ -1154,6 +1160,53 @@ mod tests {
             sec(SecurityModel::Security3rd),
         );
         assert_eq!(o.flags(AsId(1)), RootFlags::MIXED, "hijack ties the race");
+    }
+
+    #[test]
+    fn forged_path_roots_at_its_claimed_depth() {
+        // m(2) is a customer of s(1), s a customer of d(0): whatever the
+        // claimed length, the bogus customer route beats s's provider
+        // route under standard LP, and its length counts the fake tail.
+        let mut b = GraphBuilder::new(3);
+        b.add_provider(AsId(2), AsId(1)).unwrap();
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        let g = b.build();
+        let dep = Deployment::empty(3);
+        let mut e = Engine::new(&g);
+        for hops in 0..4u8 {
+            let scenario = AttackScenario::attack(AsId(2), AsId(0))
+                .with_strategy(AttackStrategy::FakePath { hops });
+            let o = e.compute(scenario, &dep, sec(SecurityModel::Security3rd));
+            let s = o.route(AsId(1)).unwrap();
+            assert_eq!(s.class, crate::RouteClass::Customer, "hops {hops}");
+            assert_eq!(s.length, u32::from(hops) + 1, "hops {hops}");
+            assert!(s.flags.surely_unhappy(), "hops {hops}");
+            assert_eq!(o.route(AsId(2)).unwrap().length, u32::from(hops));
+        }
+    }
+
+    #[test]
+    fn colluding_roots_fix_a_multi_root_bogus_tree() {
+        // d(0) <- s(1); m1(2) and m2(3) are both customers of s. Colluding
+        // fake links tie at s: every equally-best route is bogus.
+        let mut b = GraphBuilder::new(4);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_provider(AsId(2), AsId(1)).unwrap();
+        b.add_provider(AsId(3), AsId(1)).unwrap();
+        let g = b.build();
+        let dep = Deployment::empty(4);
+        let mut e = Engine::new(&g);
+        let scenario = AttackScenario::colluding(&[AsId(2), AsId(3)], AsId(0));
+        let o = e.compute(scenario, &dep, sec(SecurityModel::Security3rd));
+        let s = o.route(AsId(1)).unwrap();
+        assert_eq!(s.class, crate::RouteClass::Customer);
+        assert_eq!(s.length, 2);
+        assert!(s.flags.surely_unhappy(), "both best routes are bogus");
+        assert_eq!(o.attacker(), Some(AsId(2)));
+        assert_eq!(o.attackers().collect::<Vec<_>>(), vec![AsId(2), AsId(3)]);
+        // Only s is a source: n − 1 − 2 colluders.
+        assert_eq!(o.sources().count(), 1);
+        assert_eq!(o.count_happy(), (0, 0));
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //!   plus the Appendix K `LPk` local-preference variants.
 //! * [`deployment`] — which ASes are secure, including **simplex S\*BGP**
 //!   at stubs (§5.3.2: origin-signing without validation).
-//! * [`attack`] — the threat model of §3.1: the attacker announces the
-//!   bogus one-hop path `"m, d"` via legacy BGP to all neighbors.
+//! * [`attack`] — the threat model of §3.1 generalized along Goldberg et
+//!   al.'s strategy taxonomy: `k`-hop forged paths (the paper's `"m, d"`
+//!   fake link is `k = 1`, the pre-RPKI origin hijack `k = 0`) announced
+//!   via legacy BGP by one attacker or a small set of colluding
+//!   announcers.
 //! * [`engine`] — the multi-stage two-rooted BFS of Appendix B that
 //!   computes the unique stable routing outcome for a given (attacker,
 //!   destination, deployment, policy) in `O(V + E)`.
@@ -62,7 +65,7 @@ mod region;
 pub mod sweep;
 
 pub use analysis::{PairAnalysis, PairAnalyzer};
-pub use attack::{AttackScenario, AttackStrategy};
+pub use attack::{AttackScenario, AttackStrategy, MAX_ATTACKERS};
 pub use delta::{AttackDeltaEngine, DeltaStats};
 pub use deployment::Deployment;
 pub use engine::Engine;

@@ -16,6 +16,8 @@
 
 use sbgp_topology::AsId;
 
+use crate::attack::MAX_ATTACKERS;
+
 /// Which roots the equally-best routes of an AS lead to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RootFlags(pub(crate) u8);
@@ -131,7 +133,9 @@ pub struct Outcome {
     /// `u32::MAX` when unrouted or a root.
     pub(crate) next_hop: Vec<u32>,
     pub(crate) destination: AsId,
-    pub(crate) attacker: Option<AsId>,
+    /// Announcer set of the computed scenario, primary attacker first
+    /// (front-packed; all `None` for normal conditions).
+    pub(crate) attackers: [Option<AsId>; MAX_ATTACKERS],
 }
 
 pub(crate) const KIND_UNFIXED: u8 = 0;
@@ -148,11 +152,16 @@ impl Outcome {
             flags: Vec::new(),
             next_hop: Vec::new(),
             destination: AsId(0),
-            attacker: None,
+            attackers: [None; MAX_ATTACKERS],
         }
     }
 
-    pub(crate) fn reset(&mut self, n: usize, destination: AsId, attacker: Option<AsId>) {
+    pub(crate) fn reset(
+        &mut self,
+        n: usize,
+        destination: AsId,
+        attackers: [Option<AsId>; MAX_ATTACKERS],
+    ) {
         self.kind.clear();
         self.kind.resize(n, KIND_UNFIXED);
         self.len.clear();
@@ -162,7 +171,7 @@ impl Outcome {
         self.next_hop.clear();
         self.next_hop.resize(n, u32::MAX);
         self.destination = destination;
-        self.attacker = attacker;
+        self.attackers = attackers;
     }
 
     /// Overwrite `self` with a copy of `other`, reusing buffers.
@@ -172,7 +181,7 @@ impl Outcome {
         self.flags.clone_from(&other.flags);
         self.next_hop.clone_from(&other.next_hop);
         self.destination = other.destination;
-        self.attacker = other.attacker;
+        self.attackers = other.attackers;
     }
 
     /// Copy only `v`'s entry from `other` — the touched-list undo primitive
@@ -252,9 +261,15 @@ impl Outcome {
         self.destination
     }
 
-    /// The attacker of the computed scenario, if any.
+    /// The primary attacker of the computed scenario, if any.
     pub fn attacker(&self) -> Option<AsId> {
-        self.attacker
+        self.attackers[0]
+    }
+
+    /// Every announcer of the computed scenario, primary first (empty for
+    /// normal conditions).
+    pub fn attackers(&self) -> impl Iterator<Item = AsId> + '_ {
+        self.attackers.iter().copied().flatten()
     }
 
     /// The route information for `v`, or `None` when `v` has no route.
@@ -328,9 +343,10 @@ impl Outcome {
         path
     }
 
-    /// True when `v` is a source AS for the computed scenario.
+    /// True when `v` is a source AS for the computed scenario (neither the
+    /// destination nor any announcer).
     pub fn is_source(&self, v: AsId) -> bool {
-        v != self.destination && Some(v) != self.attacker
+        v != self.destination && !self.attackers.contains(&Some(v))
     }
 
     /// Count happy sources: returns `(surely_happy, possibly_happy)` — the
@@ -356,8 +372,8 @@ impl Outcome {
         let (dl, du) = root(self.destination);
         lower -= dl;
         upper -= du;
-        if let Some(m) = self.attacker {
-            let (ml, mu) = root(m);
+        for m in self.attackers.iter().flatten() {
+            let (ml, mu) = root(*m);
             lower -= ml;
             upper -= mu;
         }
@@ -400,7 +416,7 @@ mod tests {
     #[test]
     fn happy_counting_respects_bounds() {
         let mut o = Outcome::new_empty();
-        o.reset(5, AsId(0), Some(AsId(4)));
+        o.reset(5, AsId(0), [Some(AsId(4)), None, None]);
         // Sources are 1,2,3.
         o.flags[1] = RootFlags::TO_D.0;
         o.flags[2] = RootFlags::MIXED.0;
@@ -410,9 +426,27 @@ mod tests {
     }
 
     #[test]
+    fn multi_attacker_scenarios_shrink_the_source_pool() {
+        let mut o = Outcome::new_empty();
+        o.reset(6, AsId(0), [Some(AsId(4)), Some(AsId(5)), None]);
+        assert_eq!(o.attacker(), Some(AsId(4)), "primary attacker");
+        assert_eq!(o.attackers().collect::<Vec<_>>(), vec![AsId(4), AsId(5)]);
+        assert!(!o.is_source(AsId(5)), "colluders are not sources");
+        assert!(o.is_source(AsId(3)));
+        // Sources are 1, 2, 3.
+        o.flags[1] = RootFlags::TO_D.0;
+        o.flags[2] = RootFlags::MIXED.0;
+        o.flags[3] = RootFlags::TO_M.0;
+        o.flags[4] = RootFlags::TO_M.0;
+        o.flags[5] = RootFlags::TO_M.0;
+        assert_eq!(o.count_happy(), (1, 2));
+        assert_eq!(o.sources().count(), 3);
+    }
+
+    #[test]
     fn happy_counting_ignores_packed_state_bits() {
         let mut o = Outcome::new_empty();
-        o.reset(4, AsId(0), None);
+        o.reset(4, AsId(0), [None; MAX_ATTACKERS]);
         // A secure, mark-traversing happy source still counts as TO_D.
         o.flags[1] = pack_flags(RootFlags::TO_D.0, true, true);
         o.flags[2] = pack_flags(RootFlags::TO_M.0, false, true);
@@ -426,7 +460,7 @@ mod tests {
     #[test]
     fn route_accessor_roundtrips() {
         let mut o = Outcome::new_empty();
-        o.reset(3, AsId(0), None);
+        o.reset(3, AsId(0), [None; MAX_ATTACKERS]);
         o.set_fixed(1, KIND_PEER, 4, true, RootFlags::TO_D.0, false);
         let r = o.route(AsId(1)).unwrap();
         assert_eq!(r.class, RouteClass::Peer);
@@ -439,11 +473,11 @@ mod tests {
     #[test]
     fn entry_copy_restores_a_single_as() {
         let mut a = Outcome::new_empty();
-        a.reset(3, AsId(0), None);
+        a.reset(3, AsId(0), [None; MAX_ATTACKERS]);
         a.set_fixed(1, KIND_CUSTOMER, 2, false, RootFlags::TO_D.0, false);
         a.next_hop[1] = 0;
         let mut b = Outcome::new_empty();
-        b.reset(3, AsId(0), None);
+        b.reset(3, AsId(0), [None; MAX_ATTACKERS]);
         b.set_fixed(1, KIND_PEER, 9, true, RootFlags::TO_M.0, true);
         b.next_hop[1] = 2;
         b.copy_entry_from(&a, AsId(1));

@@ -27,8 +27,9 @@ use crate::policy::{preference_key, Policy};
 /// outside it because no input changed — which by Theorem 2.1 uniqueness
 /// makes it exact.
 ///
-/// The destination and the attacker never join the region: their entries
-/// are roots, re-fixed explicitly by the caller when needed.
+/// The destination and the announcers never join the region: their entries
+/// are roots, re-fixed explicitly by the caller when needed (with colluding
+/// attackers, *every* member of the announcer set is excluded).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn grow_affected(
     graph: &AsGraph,
@@ -55,7 +56,7 @@ pub(crate) fn grow_affected(
         ];
         for (neighbors, rank) in classes {
             for &u in neighbors {
-                if region.contains(u) || u == d || Some(u) == scenario.attacker {
+                if region.contains(u) || u == d || scenario.is_attacker(u) {
                     continue;
                 }
                 let validating = deployment.validates(u);

@@ -36,6 +36,11 @@
 //! patches the snapshot at the touched entries only: no `O(V)` memcpy per
 //! step anywhere on the incremental path.
 //!
+//! The scenario may carry any [`crate::AttackStrategy`] (forged paths of
+//! any claimed depth) and any announcer set — colluding roots are re-fixed
+//! exactly like a single attacker whenever they fall inside the dirty
+//! region, and announcers never count as sources in the happy bounds.
+//!
 //! The invariant is **monotone growth only** (`S' ⊇ S`, full members stay
 //! full, signers keep signing). Any other step — the first call, a shrink,
 //! a full→simplex downgrade, or a region that balloons past half the graph
@@ -138,7 +143,7 @@ impl<'g> SweepEngine<'g> {
         self.policy = policy;
         self.prev = None;
         self.snapshot
-            .reset(0, scenario.destination, scenario.attacker);
+            .reset(0, scenario.destination, scenario.attacker_array());
         self.happy = (0, 0);
     }
 
@@ -167,8 +172,8 @@ impl<'g> SweepEngine<'g> {
     ) {
         assert_eq!(outcome.len(), self.graph().len(), "outcome/graph mismatch");
         assert_eq!(
-            (outcome.destination(), outcome.attacker()),
-            (scenario.destination, scenario.attacker),
+            (outcome.destination(), outcome.attackers),
+            (scenario.destination, scenario.attacker_array()),
             "outcome/scenario mismatch"
         );
         debug_assert_eq!(outcome.count_happy(), happy, "stale happy bounds");
@@ -250,7 +255,7 @@ impl<'g> SweepEngine<'g> {
         // the region is untouched by construction.
         let outcome = self.engine.outcome();
         for &v in &self.region_list {
-            if v == d || Some(v) == scenario.attacker {
+            if v == d || scenario.is_attacker(v) {
                 continue;
             }
             let old = self.snapshot.flags(v);
@@ -317,7 +322,7 @@ impl<'g> SweepEngine<'g> {
                 deployment,
             );
         }
-        if let Some(m) = scenario.attacker {
+        for m in scenario.attackers() {
             if self.region.contains(m) {
                 self.engine.fix_root(
                     m,
@@ -329,7 +334,7 @@ impl<'g> SweepEngine<'g> {
             }
         }
         for &v in &self.region_list {
-            if v == d || Some(v) == scenario.attacker {
+            if v == d || scenario.is_attacker(v) {
                 continue;
             }
             self.engine.seed_from_boundary(v, &self.region, deployment);
@@ -349,6 +354,7 @@ impl<'g> SweepEngine<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attack::AttackStrategy;
     use crate::policy::{LpVariant, SecurityModel};
     use sbgp_topology::GraphBuilder;
 
@@ -481,6 +487,37 @@ mod tests {
         assert_outcomes_match(got, want, &g, "fallback");
         assert_eq!(sweep.stats().full_recomputes, 2);
         assert_eq!(sweep.stats().incremental_steps, 0);
+    }
+
+    #[test]
+    fn colluding_and_forged_scenarios_sweep_exactly() {
+        let g = gadget();
+        let steps: Vec<Deployment> = vec![
+            Deployment::empty(8),
+            Deployment::full_from_iter(8, [AsId(0), AsId(1)]),
+            Deployment::full_from_iter(8, [AsId(0), AsId(1), AsId(2), AsId(5)]),
+        ];
+        let scenarios = [
+            AttackScenario::colluding(&[AsId(4), AsId(7)], AsId(0)),
+            AttackScenario::colluding(&[AsId(4), AsId(6), AsId(3)], AsId(0))
+                .with_strategy(AttackStrategy::FakePath { hops: 2 }),
+            AttackScenario::attack(AsId(4), AsId(0))
+                .with_strategy(AttackStrategy::FakePath { hops: 0 }),
+        ];
+        for model in SecurityModel::ALL {
+            let policy = Policy::new(model);
+            for scenario in scenarios {
+                let mut sweep = SweepEngine::new(&g);
+                let mut fresh = Engine::new(&g);
+                sweep.begin(scenario, policy);
+                for (k, dep) in steps.iter().enumerate() {
+                    let got = sweep.advance(dep);
+                    let want = fresh.compute(scenario, dep, policy);
+                    assert_outcomes_match(got, want, &g, &format!("{policy} step {k}"));
+                    assert_eq!(sweep.count_happy(), want.count_happy(), "{policy} step {k}");
+                }
+            }
+        }
     }
 
     #[test]

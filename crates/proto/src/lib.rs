@@ -16,6 +16,12 @@
 //!    [`Simulator::restore_link`]) let experiments walk between stable
 //!    states, as in Figure 1.
 //!
+//! As the reference oracle for the engine's generalized threat model, the
+//! simulator speaks the full strategy family: `k`-hop forged paths (whose
+//! fabricated intermediate hops come from the top of the AS-id space, so
+//! genuine loop prevention never fires on them) and colluding announcer
+//! sets, each member flooding its own forged path at once.
+//!
 //! The simulator is deliberately simple (no timers, no MRAI, one prefix):
 //! each message is `(from, to, announcement-or-withdrawal)`; processing a
 //! message updates the receiver's RIB, reruns its decision process and
@@ -38,6 +44,29 @@ use sbgp_topology::{AsGraph, AsId, NeighborClass};
 /// [`preference_key`] output plus the lowest-neighbor-id tie-break; the
 /// full comparison key of the decision process. Lower is better.
 type RankedKey = ((u32, u32, u32), u32);
+
+/// The bogus route `strategy` makes `attacker` announce against `d`: the
+/// zero-hop `"m"` for an origin hijack, the one-hop `"m, d"` for the
+/// paper's fake link, and `"m, x₁ … x_{k-1}, d"` for a `k`-hop forged
+/// path. The intermediate hops are *fabricated* AS ids taken from the top
+/// of the id space, so no genuine AS ever appears among them and BGP loop
+/// prevention never discards the announcement at a real AS — matching the
+/// engine, which models only the claimed length.
+fn forged_route(attacker: AsId, d: AsId, strategy: sbgp_core::AttackStrategy) -> Route {
+    let hops = strategy.root_depth();
+    let mut path = Vec::with_capacity(hops as usize + 1);
+    path.push(attacker);
+    for j in 1..hops {
+        path.push(AsId(u32::MAX - (j - 1)));
+    }
+    if hops >= 1 {
+        path.push(d);
+    }
+    Route {
+        path,
+        signed: false,
+    }
+}
 
 /// A route as carried in announcements: the sender's full AS path
 /// (sender first, destination last) and whether it was carried over S\*BGP
@@ -215,17 +244,17 @@ impl<'g> Simulator<'g> {
     pub fn launch_attack(&mut self, attacker: AsId, strategy: sbgp_core::AttackStrategy) {
         assert!(self.scenario.attacker.is_none(), "attack already running");
         assert_ne!(attacker, self.scenario.destination);
-        self.scenario.attacker = Some(attacker);
-        self.scenario.strategy = strategy;
-        self.selected[attacker.index()] = None;
         let d = self.scenario.destination;
-        let bogus = Route {
-            path: match strategy {
-                sbgp_core::AttackStrategy::FakeLink => vec![attacker, d],
-                sbgp_core::AttackStrategy::OriginHijack => vec![attacker],
-            },
-            signed: false,
-        };
+        // Rebuild the scenario through the constructor rather than
+        // assigning the attacker field: a scenario that was disarmed
+        // (attacker cleared on a colluding set) may still carry stale
+        // accomplices, and re-arming the field alone would resurrect them
+        // as announcers that never actually announced.
+        let mut scenario = AttackScenario::attack(attacker, d).with_strategy(strategy);
+        scenario.mark = self.scenario.mark;
+        self.scenario = scenario;
+        self.selected[attacker.index()] = None;
+        let bogus = forged_route(attacker, d, strategy);
         for (slot, &u) in self.graph.neighbors(attacker).iter().enumerate() {
             if u == d {
                 // The destination ignores routes to itself; withdraw.
@@ -256,8 +285,8 @@ impl<'g> Simulator<'g> {
     }
 
     /// Install the root announcements in the roots' adj-out and queue the
-    /// corresponding link activations: `d` originates, the attacker sends
-    /// the bogus "m, d".
+    /// corresponding link activations: `d` originates, and every announcer
+    /// (one attacker, or a whole colluding set) floods its forged path.
     fn announce_roots(&mut self) {
         let d = self.scenario.destination;
         let d_route = Route {
@@ -265,21 +294,13 @@ impl<'g> Simulator<'g> {
             signed: self.deployment.signs_origin(d),
         };
         for (slot, &u) in self.graph.neighbors(d).iter().enumerate() {
-            if Some(u) != self.scenario.attacker {
+            if !self.scenario.is_attacker(u) {
                 self.adj_out[d.index()][slot] = Some(d_route.clone());
                 self.queue.push_back(Message { from: d, to: u });
             }
         }
-        if let Some(m) = self.scenario.attacker {
-            let bogus = Route {
-                // FakeLink claims adjacency to d; OriginHijack claims to
-                // *be* the origin.
-                path: match self.scenario.strategy {
-                    sbgp_core::AttackStrategy::FakeLink => vec![m, d],
-                    sbgp_core::AttackStrategy::OriginHijack => vec![m],
-                },
-                signed: false,
-            };
+        for m in self.scenario.attackers() {
+            let bogus = forged_route(m, d, self.scenario.strategy);
             for (slot, &u) in self.graph.neighbors(m).iter().enumerate() {
                 if u != d {
                     self.adj_out[m.index()][slot] = Some(bogus.clone());
@@ -330,9 +351,9 @@ impl<'g> Simulator<'g> {
             return; // Message lost with the link.
         }
         let to = msg.to;
-        // Roots never select routes: the destination is the origin and the
-        // attacker ignores real routing information.
-        if to == self.scenario.destination || Some(to) == self.scenario.attacker {
+        // Roots never select routes: the destination is the origin and
+        // announcers ignore real routing information.
+        if to == self.scenario.destination || self.scenario.is_attacker(to) {
             return;
         }
         // The payload is whatever the sender currently advertises on this
@@ -475,7 +496,7 @@ impl<'g> Simulator<'g> {
         }
         self.failed.push((a, b));
         for (x, y) in [(a, b), (b, a)] {
-            if x == self.scenario.destination || Some(x) == self.scenario.attacker {
+            if x == self.scenario.destination || self.scenario.is_attacker(x) {
                 // Roots keep announcing; their adj_out entry just dies.
                 continue;
             }
@@ -507,13 +528,10 @@ impl<'g> Simulator<'g> {
     }
 
     /// True when `v` currently routes to the legitimate destination (its
-    /// path avoids the attacker).
+    /// path avoids every announcer).
     pub fn is_happy(&self, v: AsId) -> Option<bool> {
         let sel = self.selected[v.index()].as_ref()?;
-        Some(match self.scenario.attacker {
-            Some(m) => !sel.route.contains(m),
-            None => true,
-        })
+        Some(!self.scenario.attackers().any(|m| sel.route.contains(m)))
     }
 
     /// Total messages processed so far.
@@ -525,7 +543,7 @@ impl<'g> Simulator<'g> {
     pub fn census(&self) -> SourceCensus {
         let mut c = SourceCensus::default();
         for v in self.graph.ases() {
-            if v == self.scenario.destination || Some(v) == self.scenario.attacker {
+            if !self.scenario.is_source(v) {
                 continue;
             }
             c.sources += 1;
@@ -554,7 +572,7 @@ impl<'g> Simulator<'g> {
     pub fn unstable_ases(&self) -> Vec<AsId> {
         let mut out = Vec::new();
         for v in self.graph.ases() {
-            if v == self.scenario.destination || Some(v) == self.scenario.attacker {
+            if !self.scenario.is_source(v) {
                 continue;
             }
             let best = self.best_route(v);
@@ -789,6 +807,147 @@ mod tests {
                 assert!(census.secure >= 1);
             }
         }
+    }
+
+    #[test]
+    fn forged_paths_claim_the_right_lengths() {
+        use sbgp_core::AttackStrategy;
+        let (m, d) = (AsId(3), AsId(0));
+        assert_eq!(
+            forged_route(m, d, AttackStrategy::OriginHijack).path,
+            vec![m]
+        );
+        assert_eq!(
+            forged_route(m, d, AttackStrategy::FakeLink).path,
+            vec![m, d]
+        );
+        for hops in 0..5u8 {
+            let r = forged_route(m, d, AttackStrategy::FakePath { hops });
+            assert_eq!(r.length(), u32::from(hops) + 1);
+            assert!(!r.signed);
+            assert!(r.contains(m));
+            assert_eq!(r.path.last() == Some(&d), hops >= 1, "tail claims d");
+            // Fabricated hops sit at the top of the id space: no real AS.
+            if hops >= 2 {
+                for &x in &r.path[1..r.path.len() - 1] {
+                    assert!(x.0 > u32::MAX - 8, "fabricated hop {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn longer_forged_paths_attract_less() {
+        // d(0) <- p(1) <- t(2), with a bystander w(3) also buying from t.
+        // m(4) peers with t. A short forged path ties or beats t's 2-hop
+        // customer route; a long one loses on length.
+        let mut b = GraphBuilder::new(5);
+        b.add_provider(AsId(0), AsId(1)).unwrap();
+        b.add_provider(AsId(1), AsId(2)).unwrap();
+        b.add_provider(AsId(3), AsId(2)).unwrap();
+        b.add_peering(AsId(4), AsId(2)).unwrap();
+        let g = b.build();
+        let dep = Deployment::empty(5);
+        let policy = Policy::new(SecurityModel::Security3rd);
+        let t_unhappy = |hops: u8| {
+            let mut sim = Simulator::new(
+                &g,
+                &dep,
+                policy,
+                AttackScenario::attack(AsId(4), AsId(0))
+                    .with_strategy(sbgp_core::AttackStrategy::FakePath { hops }),
+            );
+            sim.run(Schedule::Fifo, 100_000);
+            assert!(sim.unstable_ases().is_empty());
+            sim.is_happy(AsId(2)) == Some(false)
+        };
+        // Under standard LP the bogus peer offer never beats t's customer
+        // route, whatever its claimed length; under LP2 the claimed length
+        // decides, so the strategy choice becomes meaningful.
+        assert!(!t_unhappy(1), "standard LP: customer route survives");
+        let lp2 = Policy::with_variant(SecurityModel::Security3rd, sbgp_core::LpVariant::LpK(2));
+        let t_unhappy_lp2 = |hops: u8| {
+            let mut sim = Simulator::new(
+                &g,
+                &dep,
+                lp2,
+                AttackScenario::attack(AsId(4), AsId(0))
+                    .with_strategy(sbgp_core::AttackStrategy::FakePath { hops }),
+            );
+            sim.run(Schedule::Fifo, 100_000);
+            assert!(sim.unstable_ases().is_empty());
+            sim.is_happy(AsId(2)) == Some(false)
+        };
+        // LP2: P(1) (hijack at t's peer) beats C(2); a 3-hop forged path
+        // arrives as P(4) and loses to C(2). Strategy choice matters.
+        assert!(t_unhappy_lp2(0), "short forged path wins under LP2");
+        assert!(!t_unhappy_lp2(3), "long forged path loses under LP2");
+    }
+
+    #[test]
+    fn colluding_announcers_flood_together() {
+        // Two provider branches off d, each with a source whose legitimate
+        // route is provider-class: a branch's own attacker captures it
+        // with a customer-class forged path; colluding captures both.
+        // ids: 0=d; 1=x (provider of d), 2=s1 (customer of x), 3=m1
+        // (customer of s1); 4=y, 5=s2, 6=m2 mirror the branch.
+        let mut b = GraphBuilder::new(7);
+        b.add_provider(AsId(0), AsId(1)).unwrap();
+        b.add_provider(AsId(2), AsId(1)).unwrap();
+        b.add_provider(AsId(3), AsId(2)).unwrap();
+        b.add_provider(AsId(0), AsId(4)).unwrap();
+        b.add_provider(AsId(5), AsId(4)).unwrap();
+        b.add_provider(AsId(6), AsId(5)).unwrap();
+        let g = b.build();
+        let dep = Deployment::empty(7);
+        let policy = Policy::new(SecurityModel::Security3rd);
+
+        let mut solo = Simulator::new(&g, &dep, policy, AttackScenario::attack(AsId(3), AsId(0)));
+        solo.run(Schedule::Fifo, 100_000);
+        assert_eq!(solo.is_happy(AsId(2)), Some(false), "s1 captured by m1");
+        assert_eq!(solo.is_happy(AsId(5)), Some(true), "s2 safe from m1");
+
+        let scenario = AttackScenario::colluding(&[AsId(3), AsId(6)], AsId(0));
+        let mut sim = Simulator::new(&g, &dep, policy, scenario);
+        sim.run(Schedule::Fifo, 100_000);
+        assert!(sim.unstable_ases().is_empty());
+        assert_eq!(sim.is_happy(AsId(2)), Some(false), "s1 captured by m1");
+        assert_eq!(sim.is_happy(AsId(5)), Some(false), "s2 captured by m2");
+        assert_eq!(sim.is_happy(AsId(1)), Some(true), "x keeps the short route");
+        let c = sim.census();
+        assert_eq!(c.sources, 4, "both colluders leave the source pool");
+        assert_eq!(c.unhappy, 2);
+        assert_eq!(c.happy, 2);
+    }
+
+    #[test]
+    fn launch_attack_never_rearms_stale_accomplices() {
+        // A colluding scenario disarmed by clearing the primary attacker
+        // must stay disarmed when launch_attack installs a new attacker:
+        // the old accomplice never announced and must count as a source.
+        let mut b = GraphBuilder::new(5);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_provider(AsId(2), AsId(1)).unwrap();
+        b.add_provider(AsId(3), AsId(1)).unwrap();
+        b.add_provider(AsId(4), AsId(1)).unwrap();
+        let g = b.build();
+        let dep = Deployment::empty(5);
+        let mut scenario = AttackScenario::colluding(&[AsId(2), AsId(3)], AsId(0));
+        scenario.attacker = None; // the documented disarm path
+        let mut sim = Simulator::new(&g, &dep, Policy::new(SecurityModel::Security3rd), scenario);
+        sim.run(Schedule::Fifo, 100_000);
+        assert_eq!(sim.census().sources, 4, "disarmed: everyone is a source");
+        sim.launch_attack(AsId(4), sbgp_core::AttackStrategy::FakeLink);
+        sim.run(Schedule::Fifo, 100_000);
+        let c = sim.census();
+        assert_eq!(c.sources, 3, "only the new attacker leaves the pool");
+        // A stale-armed accomplice would be a mute root with no route; an
+        // ordinary source selects one (here the bogus customer route that
+        // beats s(1)'s provider route, like every other source).
+        assert!(sim.selected(AsId(3)).is_some(), "accomplice routes again");
+        assert_eq!(sim.is_happy(AsId(3)), Some(false));
+        assert_eq!(c.routeless, 0);
+        assert!(sim.unstable_ases().is_empty());
     }
 
     #[test]

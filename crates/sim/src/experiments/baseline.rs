@@ -37,6 +37,7 @@ pub fn baseline_metric(net: &Internet, cfg: &ExperimentConfig) -> BaselineResult
         &pairs,
         &Deployment::empty(net.len()),
         Policy::new(SecurityModel::Security3rd),
+        cfg.strategy,
         cfg.parallelism,
     );
     BaselineResult {

@@ -60,6 +60,7 @@ pub fn rpki_value(net: &Internet, cfg: &ExperimentConfig) -> Vec<SecurityLadderR
         &pairs,
         &[empty.clone(), step.deployment.clone()],
         sec3,
+        AttackStrategy::FakeLink,
         cfg.parallelism,
     );
 

@@ -12,6 +12,7 @@
 //! | [`per_destination`] | Figures 9, 10, 12 |
 //! | [`root_cause`] | Figures 13 and 16 |
 //! | [`extensions`] | §8's hysteresis and security-islands proposals, the RPKI-value ladder, and §4.5's traffic-weighted metric |
+//! | [`strategic`] | The strategic-attacker tables: per-pair optimal forged-path ladders and colluding announcer pairs |
 
 pub mod baseline;
 pub mod extensions;
@@ -19,6 +20,9 @@ pub mod partitions;
 pub mod per_destination;
 pub mod rollout;
 pub mod root_cause;
+pub mod strategic;
+
+use sbgp_core::AttackStrategy;
 
 use crate::runner::Parallelism;
 
@@ -35,6 +39,11 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Worker threads.
     pub parallelism: Parallelism,
+    /// Announcement strategy used by the attack-metric drivers (the
+    /// rollout, per-destination and baseline figures honor it; drivers
+    /// whose semantics fix a strategy — e.g. the RPKI-value ladder — do
+    /// not). Defaults to the paper's fake link.
+    pub strategy: AttackStrategy,
 }
 
 impl Default for ExperimentConfig {
@@ -45,6 +54,7 @@ impl Default for ExperimentConfig {
             per_tier: 30,
             seed: 42,
             parallelism: Parallelism::auto(),
+            strategy: AttackStrategy::FakeLink,
         }
     }
 }
@@ -58,6 +68,7 @@ impl ExperimentConfig {
             per_tier: 4,
             seed,
             parallelism: Parallelism(2),
+            strategy: AttackStrategy::FakeLink,
         }
     }
 }

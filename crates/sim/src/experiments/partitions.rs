@@ -258,6 +258,7 @@ mod tests {
             per_tier: 8,
             seed: 5,
             parallelism: crate::Parallelism(2),
+            ..ExperimentConfig::default()
         };
         let rows = by_destination_tier(&net, &cfg, Policy::new(SecurityModel::Security3rd));
         let t1 = rows.iter().find(|r| r.tier == Tier::Tier1).unwrap();
@@ -297,6 +298,7 @@ mod tests {
             per_tier: 8,
             seed: 5,
             parallelism: crate::Parallelism(2),
+            ..ExperimentConfig::default()
         };
         let rows = by_attacker_tier(&net, &cfg, Policy::new(SecurityModel::Security3rd));
         let t1 = rows.iter().find(|r| r.tier == Tier::Tier1).unwrap();

@@ -81,6 +81,7 @@ pub fn per_destination(
             &dests,
             &deps,
             Policy::new(model),
+            cfg.strategy,
             cfg.parallelism,
         );
         let (baseline, with) = (&counts[0], &counts[1]);

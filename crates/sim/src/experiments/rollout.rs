@@ -121,6 +121,7 @@ pub fn evaluate_rollout(
             destinations,
             &plain,
             policy,
+            cfg.strategy,
             cfg.parallelism,
         );
         let simplex_counts = sweep::metric_sweep_by_destination(
@@ -129,6 +130,7 @@ pub fn evaluate_rollout(
             destinations,
             &simplex,
             policy,
+            cfg.strategy,
             cfg.parallelism,
         );
         for (k, step) in steps.iter().enumerate() {
@@ -142,6 +144,7 @@ pub fn evaluate_rollout(
                 &secure_dests[k],
                 &pair,
                 policy,
+                cfg.strategy,
                 cfg.parallelism,
             );
             delta_secure[k][i] = delta_over_destinations(&secure_counts[1], &secure_counts[0]);

@@ -20,6 +20,9 @@
 //!   axes: per destination, the delta engine anchors each pair's first
 //!   step and a [`sbgp_core::SweepEngine`] adopted from that patch
 //!   carries the remaining deployments incrementally;
+//! * [`strategy`] — strategic attackers: per-pair optimal-strategy
+//!   ladders over `k`-hop forged paths, and colluding announcer sets
+//!   served by [`sbgp_core::AttackDeltaEngine::attack_set`];
 //! * [`experiments`] — one driver per figure/table, returning plain data
 //!   that the `sbgp-bench` binaries print;
 //! * [`report`] — aligned-text table rendering.
@@ -32,6 +35,7 @@ pub mod report;
 pub mod runner;
 pub mod sample;
 pub mod scenario;
+pub mod strategy;
 pub mod sweep;
 pub mod weights;
 

@@ -277,26 +277,29 @@ pub fn metric(
     policy: Policy,
     par: Parallelism,
 ) -> Bounds {
-    metric_with_stderr(net, pairs, deployment, policy, par).0
-}
-
-/// As [`metric`], additionally returning the standard error of the mean
-/// over the sampled pairs (how much subsampling `V × V` costs).
-pub fn metric_with_stderr(
-    net: &Internet,
-    pairs: &[(AsId, AsId)],
-    deployment: &Deployment,
-    policy: Policy,
-    par: Parallelism,
-) -> (Bounds, Bounds) {
-    let acc = metric_accumulate(
+    metric_with_stderr(
         net,
         pairs,
         deployment,
         policy,
         AttackStrategy::FakeLink,
         par,
-    );
+    )
+    .0
+}
+
+/// As [`metric`], additionally returning the standard error of the mean
+/// over the sampled pairs (how much subsampling `V × V` costs), under an
+/// explicit attack strategy.
+pub fn metric_with_stderr(
+    net: &Internet,
+    pairs: &[(AsId, AsId)],
+    deployment: &Deployment,
+    policy: Policy,
+    strategy: AttackStrategy,
+    par: Parallelism,
+) -> (Bounds, Bounds) {
+    let acc = metric_accumulate(net, pairs, deployment, policy, strategy, par);
     (acc.value(), acc.stderr())
 }
 
@@ -360,6 +363,7 @@ pub fn metric_by_destination(
     destinations: &[AsId],
     deployment: &Deployment,
     policy: Policy,
+    strategy: AttackStrategy,
     par: Parallelism,
 ) -> Vec<HappyCount> {
     let indexed: Vec<(usize, AsId)> = destinations.iter().copied().enumerate().collect();
@@ -374,7 +378,7 @@ pub fn metric_by_destination(
                 if m == d {
                     continue;
                 }
-                delta.attack(m, AttackStrategy::FakeLink);
+                delta.attack(m, strategy);
                 let (lower, upper) = delta.count_happy();
                 acc[slot] += HappyCount {
                     lower,
@@ -482,7 +486,15 @@ mod tests {
         let dests = sample::sample_all(&net, 6, 2);
         let dep = Deployment::empty(net.len());
         let policy = Policy::new(SecurityModel::Security2nd);
-        let per = metric_by_destination(&net, &attackers, &dests, &dep, policy, Parallelism(2));
+        let per = metric_by_destination(
+            &net,
+            &attackers,
+            &dests,
+            &dep,
+            policy,
+            AttackStrategy::FakeLink,
+            Parallelism(2),
+        );
         assert_eq!(per.len(), dests.len());
         // Cross-check one destination against a direct metric call.
         let pairs: Vec<(AsId, AsId)> = attackers

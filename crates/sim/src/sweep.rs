@@ -39,7 +39,9 @@ use crate::runner::{map_reduce_commutative_grouped, map_reduce_grouped, Parallel
 use crate::{sample, Internet};
 
 /// One destination group's inner loop: serve `(m, d)` under every
-/// deployment of the sweep, reporting `(step, happy)` to `record`.
+/// deployment of the sweep, reporting `(step, happy)` to `record`. The
+/// attackers all announce `strategy`.
+#[allow(clippy::too_many_arguments)]
 fn sweep_pairs_for_destination(
     sweep: &mut SweepEngine<'_>,
     delta: &mut AttackDeltaEngine<'_>,
@@ -47,6 +49,7 @@ fn sweep_pairs_for_destination(
     attackers: &[AsId],
     deployments: &[Deployment],
     policy: Policy,
+    strategy: AttackStrategy,
     mut record: impl FnMut(usize, (usize, usize)),
 ) {
     let Some(first) = deployments.first() else {
@@ -57,12 +60,13 @@ fn sweep_pairs_for_destination(
         if m == d {
             continue;
         }
-        delta.attack(m, AttackStrategy::FakeLink);
+        delta.attack(m, strategy);
         let happy = delta.count_happy();
         let outcome = delta.last_outcome();
         record(0, happy);
         if deployments.len() > 1 {
-            sweep.begin_from(AttackScenario::attack(m, d), policy, first, outcome, happy);
+            let scenario = AttackScenario::attack(m, d).with_strategy(strategy);
+            sweep.begin_from(scenario, policy, first, outcome, happy);
             for (k, dep) in deployments.iter().enumerate().skip(1) {
                 sweep.advance(dep);
                 record(k, sweep.count_happy());
@@ -72,12 +76,14 @@ fn sweep_pairs_for_destination(
 }
 
 /// The metric `H_{M,D}(S_k)` for every deployment `S_k` of a sweep, over
-/// explicit pairs. Returned in `deployments` order.
+/// explicit pairs, with every attacker announcing `strategy`. Returned in
+/// `deployments` order.
 pub fn metric_sweep(
     net: &Internet,
     pairs: &[(AsId, AsId)],
     deployments: &[Deployment],
     policy: Policy,
+    strategy: AttackStrategy,
     par: Parallelism,
 ) -> Vec<Bounds> {
     let groups = sample::group_by_destination(pairs);
@@ -100,6 +106,7 @@ pub fn metric_sweep(
                 attackers,
                 deployments,
                 policy,
+                strategy,
                 |k, (lower, upper)| {
                     acc[k].add(HappyCount {
                         lower,
@@ -128,6 +135,7 @@ pub fn metric_sweep_by_destination(
     destinations: &[AsId],
     deployments: &[Deployment],
     policy: Policy,
+    strategy: AttackStrategy,
     par: Parallelism,
 ) -> Vec<Vec<HappyCount>> {
     let indexed: Vec<(usize, AsId)> = destinations.iter().copied().enumerate().collect();
@@ -150,6 +158,7 @@ pub fn metric_sweep_by_destination(
                 attackers,
                 deployments,
                 policy,
+                strategy,
                 |k, (lower, upper)| {
                     acc[k][slot] += HappyCount {
                         lower,
@@ -196,7 +205,14 @@ mod tests {
         let deps = deployments(&net);
         for model in SecurityModel::ALL {
             let policy = Policy::new(model);
-            let swept = metric_sweep(&net, &pairs, &deps, policy, Parallelism(2));
+            let swept = metric_sweep(
+                &net,
+                &pairs,
+                &deps,
+                policy,
+                AttackStrategy::FakeLink,
+                Parallelism(2),
+            );
             assert_eq!(swept.len(), deps.len());
             for (k, dep) in deps.iter().enumerate() {
                 // Bit-identical, not approximately equal: both paths add
@@ -215,8 +231,15 @@ mod tests {
         let dests = sample::sample_all(&net, 5, 8);
         let deps = deployments(&net);
         let policy = Policy::new(SecurityModel::Security2nd);
-        let swept =
-            metric_sweep_by_destination(&net, &attackers, &dests, &deps, policy, Parallelism(2));
+        let swept = metric_sweep_by_destination(
+            &net,
+            &attackers,
+            &dests,
+            &deps,
+            policy,
+            AttackStrategy::FakeLink,
+            Parallelism(2),
+        );
         assert_eq!(swept.len(), deps.len());
         for (k, dep) in deps.iter().enumerate() {
             let fresh = runner::metric_by_destination(
@@ -225,10 +248,46 @@ mod tests {
                 &dests,
                 dep,
                 policy,
+                AttackStrategy::FakeLink,
                 Parallelism(2),
             );
             assert_eq!(swept[k], fresh, "step {k}");
         }
+    }
+
+    #[test]
+    fn sweep_honors_the_attack_strategy() {
+        // A k-hop forged path changes the swept metric versus the fake
+        // link (longer claimed paths attract less), and the swept result
+        // still matches the per-step runner under the same strategy.
+        let net = net();
+        let attackers = sample::sample_non_stubs(&net, 3, 5);
+        let dests = sample::sample_all(&net, 4, 6);
+        let pairs = sample::pairs(&attackers, &dests);
+        let deps = deployments(&net);
+        let policy = Policy::new(SecurityModel::Security3rd);
+        let forged = AttackStrategy::FakePath { hops: 3 };
+        let swept = metric_sweep(&net, &pairs, &deps, policy, forged, Parallelism(2));
+        for (k, dep) in deps.iter().enumerate() {
+            let fresh =
+                runner::metric_with_strategy(&net, &pairs, dep, policy, forged, Parallelism(2));
+            assert_eq!(swept[k], fresh, "step {k}");
+        }
+        let fake_link = metric_sweep(
+            &net,
+            &pairs,
+            &deps,
+            policy,
+            AttackStrategy::FakeLink,
+            Parallelism(2),
+        );
+        assert!(
+            swept[0].lower >= fake_link[0].lower - 1e-12,
+            "a 3-hop forged path cannot attract more than the fake link: \
+             {:?} vs {:?}",
+            swept[0],
+            fake_link[0]
+        );
     }
 
     #[test]
@@ -238,9 +297,10 @@ mod tests {
         let dests = sample::sample_all(&net, 3, 4);
         let pairs = sample::pairs(&attackers, &dests);
         let policy = Policy::new(SecurityModel::Security3rd);
-        assert!(metric_sweep(&net, &pairs, &[], policy, Parallelism(1)).is_empty());
+        let fake_link = AttackStrategy::FakeLink;
+        assert!(metric_sweep(&net, &pairs, &[], policy, fake_link, Parallelism(1)).is_empty());
         let single = vec![Deployment::empty(net.len())];
-        let swept = metric_sweep(&net, &pairs, &single, policy, Parallelism(1));
+        let swept = metric_sweep(&net, &pairs, &single, policy, fake_link, Parallelism(1));
         let fresh = runner::metric(&net, &pairs, &single[0], policy, Parallelism(1));
         assert_eq!(swept, vec![fresh]);
     }

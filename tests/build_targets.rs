@@ -73,3 +73,54 @@ fn figure03_runs_end_to_end_on_tiny_topology() {
         "figure03 output suspiciously short:\n{stdout}"
     );
 }
+
+/// The strategic-attacker table, end to end on a tiny topology, with the
+/// `--strategy` flag exercised (it must show up in the banner when
+/// non-default).
+#[test]
+fn table_strategy_ladder_runs_end_to_end_on_tiny_topology() {
+    let out = cargo()
+        .args([
+            "run",
+            "-q",
+            "-p",
+            "sbgp_bench",
+            "--bin",
+            "table_strategy_ladder",
+            "--",
+            "--asns",
+            "200",
+            "--attackers",
+            "4",
+            "--destinations",
+            "6",
+            "--threads",
+            "2",
+            "--strategy",
+            "path2",
+        ])
+        .output()
+        .expect("failed to spawn cargo run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "table_strategy_ladder exited nonzero:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("strategy ladder"),
+        "table_strategy_ladder printed no banner:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("attack strategy: forged path (k=2)"),
+        "--strategy flag not reflected in the banner:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("colluding pairs"),
+        "collusion table missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("optimal"),
+        "optimal column missing:\n{stdout}"
+    );
+}

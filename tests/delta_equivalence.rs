@@ -9,9 +9,13 @@
 //! `tests/sweep_equivalence.rs` pins the deployment axis and the
 //! message-level oracle (`tests/equivalence.rs`) pins the engine itself,
 //! so together they close the chain: delta ≡ sweep ≡ engine ≡ simulated
-//! S*BGP. A torture test additionally interleaves many attackers with
-//! sweep advances feeding [`AttackDeltaEngine::begin_from_normal`] on one
-//! engine pair — the exact composition the destination-major runners use.
+//! S*BGP. The generalized threat model is covered end to end: the full
+//! `FakePath` ladder (k ∈ 0..=3) per attacker, colluding pairs/triples
+//! served via [`AttackDeltaEngine::attack_set`], and a torture test that
+//! interleaves many attackers — mixed forged-path depths and colluding
+//! sets — with sweep advances feeding
+//! [`AttackDeltaEngine::begin_from_normal`] on one engine pair, the exact
+//! composition the destination-major runners use.
 
 use proptest::prelude::*;
 
@@ -147,6 +151,80 @@ fn check_instance(inst: &Instance, policy: Policy) {
     }
 }
 
+/// Run every attacker through the full `FakePath` ladder on one cell,
+/// checking each rung against a fresh compute — the exact access pattern
+/// of the strategic-attacker runners (`sbgp_sim::strategy`).
+fn check_ladder_instance(inst: &Instance, policy: Policy) {
+    let graph = graph_from_codes(inst.n, &inst.codes);
+    let steps = deployment_sequence(inst.n, &inst.join_codes);
+    let d = AsId(inst.destination as u32);
+    let mut delta = AttackDeltaEngine::new(&graph);
+    let mut fresh = Engine::new(&graph);
+    for (k, dep) in steps.iter().enumerate().take(2) {
+        delta.begin(d, dep, policy);
+        for m in graph.ases().filter(|&m| m != d) {
+            for hops in 0..4u8 {
+                let strategy = AttackStrategy::FakePath { hops };
+                let got = delta.attack(m, strategy);
+                let scenario = AttackScenario::attack(m, d).with_strategy(strategy);
+                let want = fresh.compute(scenario, dep, policy);
+                assert_outcomes_match(
+                    got,
+                    want,
+                    &graph,
+                    &format!("m={m} hops={hops}, step {k}: {inst:?} {policy}"),
+                );
+                assert_eq!(
+                    delta.count_happy(),
+                    want.count_happy(),
+                    "happy-bound mismatch for m={m} hops={hops}, step {k}: {inst:?} {policy}"
+                );
+            }
+        }
+    }
+}
+
+/// Serve colluding announcer sets (pairs and triples sliding over the AS
+/// space, skipping the destination) from one snapshot, checking each
+/// against a fresh compute of the colluding scenario.
+fn check_collusion_instance(inst: &Instance, policy: Policy, hops: u8) {
+    let graph = graph_from_codes(inst.n, &inst.codes);
+    let steps = deployment_sequence(inst.n, &inst.join_codes);
+    let d = AsId(inst.destination as u32);
+    let strategy = AttackStrategy::FakePath { hops };
+    let n = inst.n as u32;
+    let mut delta = AttackDeltaEngine::new(&graph);
+    let mut fresh = Engine::new(&graph);
+    for (k, dep) in steps.iter().enumerate().take(2) {
+        delta.begin(d, dep, policy);
+        for start in 0..n {
+            for size in [2usize, 3] {
+                let set: Vec<AsId> = (0..size as u32)
+                    .map(|i| AsId((start + i) % n))
+                    .filter(|&m| m != d)
+                    .collect();
+                if set.len() < 2 {
+                    continue;
+                }
+                let got = delta.attack_set(&set, strategy);
+                let scenario = AttackScenario::colluding(&set, d).with_strategy(strategy);
+                let want = fresh.compute(scenario, dep, policy);
+                assert_outcomes_match(
+                    got,
+                    want,
+                    &graph,
+                    &format!("set={set:?} hops={hops}, step {k}: {inst:?} {policy}"),
+                );
+                assert_eq!(
+                    delta.count_happy(),
+                    want.count_happy(),
+                    "happy-bound mismatch for set={set:?}, step {k}: {inst:?} {policy}"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -165,11 +243,37 @@ proptest! {
         }
     }
 
+    /// The full `FakePath` ladder (k ∈ 0..=3), every attacker served from
+    /// one snapshot — the strategic-attacker runners' access pattern.
+    #[test]
+    fn delta_matches_fresh_engine_forged_paths(inst in arb_instance()) {
+        for model in SecurityModel::ALL {
+            check_ladder_instance(&inst, Policy::new(model));
+        }
+        check_ladder_instance(&inst, Policy::with_variant(SecurityModel::Security2nd, LpVariant::LpK(2)));
+        check_ladder_instance(&inst, Policy::with_variant(SecurityModel::Security3rd, LpVariant::LpInf));
+    }
+
+    /// Colluding pairs and triples served back-to-back from one snapshot,
+    /// with colluders freely landing inside the secure set (join codes are
+    /// independent of the announcer choice).
+    #[test]
+    fn delta_collusion_matches_fresh_engine(
+        args in (arb_instance(), 0u8..4)
+    ) {
+        let (inst, hops) = args;
+        for model in SecurityModel::ALL {
+            check_collusion_instance(&inst, Policy::new(model), hops);
+        }
+        check_collusion_instance(&inst, Policy::with_variant(SecurityModel::Security1st, LpVariant::LpK(2)), hops);
+    }
+
     /// Snapshot-restore torture: one (sweep, delta) engine pair driven
     /// exactly like the destination-major runners — sweep advances the
     /// normal outcome through a monotone rollout, each step's outcome is
     /// adopted via `begin_from_normal`, and many attackers (with mixed
-    /// strategies, so fake-link and hijack roots interleave on the same
+    /// strategies — the whole forged-path ladder plus colluding sets, so
+    /// roots of different depths and multiplicities interleave on the same
     /// snapshot) are patched and undone in between.
     #[test]
     fn delta_composes_with_sweep_advances(inst in arb_instance()) {
@@ -177,6 +281,7 @@ proptest! {
         let steps = deployment_sequence(inst.n, &inst.join_codes);
         let d = AsId(inst.destination as u32);
         let policy = Policy::new(SecurityModel::Security2nd);
+        let n = inst.n as u32;
 
         let mut sweep = SweepEngine::new(&graph);
         let mut delta = AttackDeltaEngine::new(&graph);
@@ -187,16 +292,12 @@ proptest! {
             delta.begin_from_normal(normal, dep, policy);
             for round in 0..2 {
                 for m in graph.ases().filter(|&m| m != d) {
-                    // Alternate strategies so consecutive attacks disagree
-                    // even about the attacker's root depth.
-                    let strategy = if (m.index() + round) % 2 == 0 {
-                        AttackStrategy::FakeLink
-                    } else {
-                        AttackStrategy::OriginHijack
-                    };
+                    // Walk the ladder so consecutive attacks disagree even
+                    // about the attacker's root depth.
+                    let hops = ((m.index() + round) % 4) as u8;
+                    let strategy = AttackStrategy::FakePath { hops };
                     let got = delta.attack(m, strategy);
-                    let mut scenario = AttackScenario::attack(m, d);
-                    scenario.strategy = strategy;
+                    let scenario = AttackScenario::attack(m, d).with_strategy(strategy);
                     let want = fresh.compute(scenario, dep, policy);
                     assert_outcomes_match(
                         got,
@@ -209,6 +310,30 @@ proptest! {
                         want.count_happy(),
                         "happy bounds for m={m} round {round}, step {k}: {inst:?}"
                     );
+                    // Every other attacker additionally brings a colluding
+                    // partner, so single- and multi-root patches alternate
+                    // on the same snapshot.
+                    if (m.index() + round) % 2 == 0 {
+                        let partner = AsId((m.0 + 1) % n);
+                        if partner != d && partner != m {
+                            let set = [m, partner];
+                            let got = delta.attack_set(&set, strategy);
+                            let scenario =
+                                AttackScenario::colluding(&set, d).with_strategy(strategy);
+                            let want = fresh.compute(scenario, dep, policy);
+                            assert_outcomes_match(
+                                got,
+                                want,
+                                &graph,
+                                &format!("collusion m={m} round {round}, step {k}: {inst:?}"),
+                            );
+                            assert_eq!(
+                                delta.count_happy(),
+                                want.count_happy(),
+                                "collusion happy bounds for m={m}, step {k}: {inst:?}"
+                            );
+                        }
+                    }
                 }
             }
             // The adopted snapshot must survive all those patches intact.

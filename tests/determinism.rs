@@ -1,10 +1,12 @@
-//! Thread-count determinism: `runner::metric` and the sweep runners must
+//! Thread-count determinism: `runner::metric`, the sweep runners, and the
+//! strategic-attacker runners (strategy ladder, collusion) must
 //! produce **bit-identical** results at any [`Parallelism`] — including the
 //! floating-point metric bounds, not just integer counts. The runner
 //! guarantees this by reducing fixed-size work chunks in chunk order, no
 //! matter which worker computed which chunk.
 
 use bgp_juice::prelude::*;
+use bgp_juice::sim::strategy;
 use bgp_juice::sim::sweep;
 
 fn net() -> Internet {
@@ -54,10 +56,17 @@ fn metric_with_stderr_is_bit_identical_across_thread_counts() {
     let pairs = sample::pairs(&attackers, &dests);
     let dep = Deployment::empty(net.len());
     let policy = Policy::new(SecurityModel::Security3rd);
-    let (ref_val, ref_err) =
-        runner::metric_with_stderr(&net, &pairs, &dep, policy, Parallelism::sequential());
+    let (ref_val, ref_err) = runner::metric_with_stderr(
+        &net,
+        &pairs,
+        &dep,
+        policy,
+        AttackStrategy::FakeLink,
+        Parallelism::sequential(),
+    );
     for par in parallelisms() {
-        let (val, err) = runner::metric_with_stderr(&net, &pairs, &dep, policy, par);
+        let (val, err) =
+            runner::metric_with_stderr(&net, &pairs, &dep, policy, AttackStrategy::FakeLink, par);
         assert_eq!(val.lower.to_bits(), ref_val.lower.to_bits(), "{par:?}");
         assert_eq!(val.upper.to_bits(), ref_val.upper.to_bits(), "{par:?}");
         assert_eq!(err.lower.to_bits(), ref_err.lower.to_bits(), "{par:?}");
@@ -78,9 +87,17 @@ fn sweep_results_are_bit_identical_across_thread_counts() {
     ];
     for model in SecurityModel::ALL {
         let policy = Policy::new(model);
-        let reference = sweep::metric_sweep(&net, &pairs, &deps, policy, Parallelism::sequential());
+        let reference = sweep::metric_sweep(
+            &net,
+            &pairs,
+            &deps,
+            policy,
+            AttackStrategy::FakeLink,
+            Parallelism::sequential(),
+        );
         for par in parallelisms() {
-            let got = sweep::metric_sweep(&net, &pairs, &deps, policy, par);
+            let got =
+                sweep::metric_sweep(&net, &pairs, &deps, policy, AttackStrategy::FakeLink, par);
             assert_eq!(got.len(), reference.len());
             for (k, (g, r)) in got.iter().zip(&reference).enumerate() {
                 assert_eq!(
@@ -114,10 +131,112 @@ fn sweep_by_destination_is_identical_across_thread_counts() {
         &dests,
         &deps,
         policy,
+        AttackStrategy::FakeLink,
         Parallelism::sequential(),
     );
     for par in parallelisms() {
-        let got = sweep::metric_sweep_by_destination(&net, &attackers, &dests, &deps, policy, par);
+        let got = sweep::metric_sweep_by_destination(
+            &net,
+            &attackers,
+            &dests,
+            &deps,
+            policy,
+            AttackStrategy::FakeLink,
+            par,
+        );
         assert_eq!(got, reference, "{par:?}");
+    }
+}
+
+#[test]
+fn strategy_ladder_is_bit_identical_across_thread_counts() {
+    let net = net();
+    let attackers = sample::sample_non_stubs(&net, 5, 11);
+    let dests = sample::sample_all(&net, 7, 12);
+    let pairs = sample::pairs(&attackers, &dests);
+    let dep = Deployment::full_from_iter(net.len(), net.tiers.tier1().iter().copied());
+    for model in SecurityModel::ALL {
+        let policy = Policy::new(model);
+        let reference = strategy::metric_strategy_ladder(
+            &net,
+            &pairs,
+            &dep,
+            policy,
+            &AttackStrategy::LADDER,
+            Parallelism::sequential(),
+        );
+        for par in parallelisms() {
+            let got = strategy::metric_strategy_ladder(
+                &net,
+                &pairs,
+                &dep,
+                policy,
+                &AttackStrategy::LADDER,
+                par,
+            );
+            assert_eq!(got.wins, reference.wins, "{model} wins @ {par:?}");
+            assert_eq!(got.pairs, reference.pairs, "{model} pairs @ {par:?}");
+            assert_eq!(
+                got.optimal.lower.to_bits(),
+                reference.optimal.lower.to_bits(),
+                "{model} optimal lower @ {par:?}"
+            );
+            assert_eq!(
+                got.optimal.upper.to_bits(),
+                reference.optimal.upper.to_bits(),
+                "{model} optimal upper @ {par:?}"
+            );
+            for (k, (g, r)) in got.per_rung.iter().zip(&reference.per_rung).enumerate() {
+                assert_eq!(
+                    g.lower.to_bits(),
+                    r.lower.to_bits(),
+                    "{model} rung {k} lower @ {par:?}"
+                );
+                assert_eq!(
+                    g.upper.to_bits(),
+                    r.upper.to_bits(),
+                    "{model} rung {k} upper @ {par:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn collusion_metric_is_bit_identical_across_thread_counts() {
+    let net = net();
+    let attackers = sample::sample_non_stubs(&net, 6, 13);
+    let sets: Vec<Vec<AsId>> = attackers.chunks(2).map(|c| c.to_vec()).collect();
+    let dests = sample::sample_all(&net, 6, 14);
+    let dep = Deployment::empty(net.len());
+    let policy = Policy::new(SecurityModel::Security2nd);
+    let reference = strategy::metric_collusion(
+        &net,
+        &sets,
+        &dests,
+        &dep,
+        policy,
+        AttackStrategy::FakeLink,
+        Parallelism::sequential(),
+    );
+    for par in parallelisms() {
+        let got = strategy::metric_collusion(
+            &net,
+            &sets,
+            &dests,
+            &dep,
+            policy,
+            AttackStrategy::FakeLink,
+            par,
+        );
+        assert_eq!(got.cells, reference.cells, "{par:?}");
+        for (g, r) in [
+            (got.colluding, reference.colluding),
+            (got.best_single, reference.best_single),
+            (got.solo, reference.solo),
+        ] {
+            assert_eq!(g.lower.to_bits(), r.lower.to_bits(), "{par:?}");
+            assert_eq!(g.upper.to_bits(), r.upper.to_bits(), "{par:?}");
+        }
     }
 }

@@ -107,27 +107,48 @@ fn check_instance_with_deployment(
     } else {
         AttackScenario::attack(m, d)
     };
+    check_scenario(
+        &graph,
+        scenario,
+        deployment,
+        model,
+        variant,
+        &format!("{inst:?}"),
+    );
+}
+
+/// The oracle comparison itself, for an arbitrary scenario (any strategy,
+/// any announcer set): run the engine and the message-level simulator and
+/// require agreement at every source AS.
+fn check_scenario(
+    graph: &AsGraph,
+    scenario: AttackScenario,
+    deployment: &Deployment,
+    model: SecurityModel,
+    variant: LpVariant,
+    label: &str,
+) {
     let policy = Policy::with_variant(model, variant);
 
-    let mut engine = Engine::new(&graph);
+    let mut engine = Engine::new(graph);
     let outcome = engine.compute(scenario, deployment, policy);
 
-    let mut sim = Simulator::new(&graph, deployment, policy, scenario);
+    let mut sim = Simulator::new(graph, deployment, policy, scenario);
     let run = sim.run(Schedule::Fifo, 2_000_000);
     assert!(
         matches!(run, RunOutcome::Converged { .. }),
-        "simulator did not converge: {inst:?} {model} {variant}"
+        "simulator did not converge: {label} {model} {variant}"
     );
     assert!(
         sim.unstable_ases().is_empty(),
-        "simulator fixed point is not stable: {inst:?} {model} {variant}"
+        "simulator fixed point is not stable: {label} {model} {variant}"
     );
 
     for v in graph.ases() {
-        if v == d || (scenario.is_attack() && v == m) {
+        if !scenario.is_source(v) {
             continue;
         }
-        let ctx = || format!("{inst:?} {model} {variant} at {v}");
+        let ctx = || format!("{label} {model} {variant} at {v}");
         match (outcome.route(v), sim.selected(v)) {
             (None, None) => {}
             (Some(er), Some(sel)) => {
@@ -138,14 +159,11 @@ fn check_instance_with_deployment(
                 );
                 assert_eq!(er.length, sel.route.length(), "length mismatch ({})", ctx());
                 assert_eq!(er.secure, sel.secure, "security mismatch ({})", ctx());
-                let to_attacker = scenario
-                    .attacker
-                    .map(|m| sel.route.contains(m))
-                    .unwrap_or(false);
+                let to_attacker = scenario.attackers().any(|m| sel.route.contains(m));
                 if to_attacker {
                     assert!(
                         er.flags.may_reach_attacker(),
-                        "proto routes to m but engine says TO_D only ({})",
+                        "proto routes to an announcer but engine says TO_D only ({})",
                         ctx()
                     );
                 } else {
@@ -220,11 +238,106 @@ proptest! {
     }
 }
 
+/// Forged-path / colluding-announcer instances: up to three announcers
+/// (deduplicated, destination removed) all flooding a `FakePath` of
+/// claimed distance 0..=3.
+#[derive(Debug, Clone)]
+struct StrategicInstance {
+    n: usize,
+    codes: Vec<u8>,
+    secure_bits: Vec<bool>,
+    attackers: Vec<usize>,
+    destination: usize,
+    hops: u8,
+}
+
+fn arb_strategic_instance() -> impl Strategy<Value = StrategicInstance> {
+    (4usize..10).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        (
+            Just(n),
+            proptest::collection::vec(any::<u8>(), pairs),
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(0..n, 1..4),
+            0..n,
+            0u8..4,
+        )
+            .prop_map(|(n, codes, secure_bits, attackers, destination, hops)| {
+                StrategicInstance {
+                    n,
+                    codes,
+                    secure_bits,
+                    attackers,
+                    destination,
+                    hops,
+                }
+            })
+    })
+}
+
+impl StrategicInstance {
+    /// The colluding forged-path scenario (normal conditions when every
+    /// sampled announcer collides with the destination).
+    fn scenario(&self) -> AttackScenario {
+        let d = AsId(self.destination as u32);
+        let candidates: Vec<AsId> = self.attackers.iter().map(|&i| AsId(i as u32)).collect();
+        let ms = AttackScenario::filter_announcers(&candidates, d);
+        if ms.is_empty() {
+            AttackScenario::normal(d)
+        } else {
+            AttackScenario::colluding(&ms, d)
+                .with_strategy(AttackStrategy::FakePath { hops: self.hops })
+        }
+    }
+
+    fn deployment(&self) -> Deployment {
+        Deployment::full_from_iter(
+            self.n,
+            self.secure_bits
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s)
+                .map(|(i, _)| AsId(i as u32)),
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `FakePath{k}` for k ∈ 0..=3 and up to three colluding announcers:
+    /// engine ≡ protocol simulator under every model, standard LP.
+    #[test]
+    fn engine_matches_protocol_simulator_strategic(inst in arb_strategic_instance()) {
+        let graph = graph_from_codes(inst.n, &inst.codes);
+        let deployment = inst.deployment();
+        let scenario = inst.scenario();
+        let label = format!("{inst:?}");
+        for model in SecurityModel::ALL {
+            check_scenario(&graph, scenario, &deployment, model, LpVariant::Standard, &label);
+        }
+    }
+
+    /// The same strategic instances under the LP2 and LPinf variants, all
+    /// three models.
+    #[test]
+    fn engine_matches_protocol_simulator_strategic_lp_variants(inst in arb_strategic_instance()) {
+        let graph = graph_from_codes(inst.n, &inst.codes);
+        let deployment = inst.deployment();
+        let scenario = inst.scenario();
+        let label = format!("{inst:?}");
+        for model in SecurityModel::ALL {
+            check_scenario(&graph, scenario, &deployment, model, LpVariant::LpK(2), &label);
+            check_scenario(&graph, scenario, &deployment, model, LpVariant::LpInf, &label);
+        }
+    }
+}
+
 /// A deterministic regression net: the equivalence must also hold on a
-/// structured (generated) topology, not just proptest soup. Both attack
-/// strategies are cross-checked, and the hijack pass additionally runs the
-/// §5.3.2 simplex-at-stubs deployment variant (origin-signing stubs that do
-/// not validate).
+/// structured (generated) topology, not just proptest soup. Both legacy
+/// attack strategies are cross-checked (the hijack pass additionally runs
+/// the §5.3.2 simplex-at-stubs deployment variant), plus a 3-hop forged
+/// path and a colluding pair flooding 2-hop forged paths.
 #[test]
 fn engine_matches_protocol_simulator_on_generated_internet() {
     let net = Internet::synthetic(160, 9);
@@ -232,11 +345,22 @@ fn engine_matches_protocol_simulator_on_generated_internet() {
     let simplex_step = scenario::simplex_variant(&net, &step);
     let d = net.content_providers[0];
     let m = net.tiers.tier2()[1];
+    let m2 = net.tiers.tier2()[3];
+    assert_ne!(m, m2);
     for model in SecurityModel::ALL {
         let policy = Policy::new(model);
         for (scenario, deployment) in [
             (AttackScenario::attack(m, d), &step.deployment),
             (AttackScenario::hijack(m, d), &simplex_step.deployment),
+            (
+                AttackScenario::attack(m, d).with_strategy(AttackStrategy::FakePath { hops: 3 }),
+                &step.deployment,
+            ),
+            (
+                AttackScenario::colluding(&[m, m2], d)
+                    .with_strategy(AttackStrategy::FakePath { hops: 2 }),
+                &step.deployment,
+            ),
         ] {
             let mut engine = Engine::new(&net.graph);
             let outcome = engine.compute(scenario, deployment, policy);
@@ -245,7 +369,7 @@ fn engine_matches_protocol_simulator_on_generated_internet() {
             assert!(matches!(run, RunOutcome::Converged { .. }), "{model}");
             assert!(sim.unstable_ases().is_empty(), "{model}");
             for v in net.graph.ases() {
-                if v == d || v == m {
+                if !scenario.is_source(v) {
                     continue;
                 }
                 match (outcome.route(v), sim.selected(v)) {

@@ -1,6 +1,7 @@
-//! Golden-output regression tests: `figure03` and `figure08` at
-//! `--asns 200 --seed 7` must print exactly the snapshotted tables, so an
-//! engine or runner refactor cannot silently shift reproduced numbers.
+//! Golden-output regression tests: `figure03`, `figure08` and
+//! `table_strategy_ladder` at `--asns 200 --seed 7` must print exactly the
+//! snapshotted tables, so an engine or runner refactor cannot silently
+//! shift reproduced numbers.
 //! Running at 2 threads also exercises the runner's determinism guarantee —
 //! the snapshots were captured at the same setting and reduction order does
 //! not depend on scheduling.
@@ -12,6 +13,8 @@
 //!     > tests/golden/figure03_asns200_seed7.txt
 //! cargo run -q -p sbgp_bench --bin figure08 -- --asns 200 --seed 7 --threads 2 \
 //!     > tests/golden/figure08_asns200_seed7.txt
+//! cargo run -q -p sbgp_bench --bin table_strategy_ladder -- --asns 200 --seed 7 --threads 2 \
+//!     > tests/golden/table_strategy_ladder_asns200_seed7.txt
 //! ```
 //!
 //! and say so in the commit message.
@@ -85,4 +88,12 @@ fn figure03_output_is_golden() {
 #[test]
 fn figure08_output_is_golden() {
     assert_matches_golden("figure08", "figure08_asns200_seed7.txt");
+}
+
+#[test]
+fn table_strategy_ladder_output_is_golden() {
+    assert_matches_golden(
+        "table_strategy_ladder",
+        "table_strategy_ladder_asns200_seed7.txt",
+    );
 }

@@ -15,6 +15,7 @@ fn small_cfg(seed: u64) -> ExperimentConfig {
         per_tier: 8,
         seed,
         parallelism: Parallelism(2),
+        ..ExperimentConfig::default()
     }
 }
 

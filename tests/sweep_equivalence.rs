@@ -155,6 +155,78 @@ proptest! {
     }
 }
 
+/// Build the colluding forged-path scenario for the strategic sweep test:
+/// the instance attacker plus up to two extra announcers (deduplicated,
+/// destination dropped), all announcing `FakePath { hops }`.
+fn strategic_scenario(inst: &Instance, extra: &[usize], hops: u8) -> AttackScenario {
+    let d = AsId(inst.destination as u32);
+    let candidates: Vec<AsId> = std::iter::once(&inst.attacker)
+        .chain(extra)
+        .map(|&i| AsId(i as u32))
+        .collect();
+    let ms = AttackScenario::filter_announcers(&candidates, d);
+    if ms.is_empty() {
+        AttackScenario::normal(d)
+    } else {
+        AttackScenario::colluding(&ms, d).with_strategy(AttackStrategy::FakePath { hops })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every new strategy through the sweep: `FakePath{k}` for k ∈ 0..=3
+    /// announced by 1–3 colluders (who may sit inside the secure set —
+    /// the join codes are independent of the announcer sample), swept
+    /// over monotone deployments and compared to fresh computes per step,
+    /// across all models and the LP2/LPinf variants.
+    #[test]
+    fn sweep_matches_fresh_engine_strategic(
+        args in (arb_instance(), proptest::collection::vec(0usize..10, 0..3), 0u8..4)
+    ) {
+        let (inst, extra, hops) = args;
+        let extra: Vec<usize> = extra.into_iter().filter(|&i| i < inst.n).collect();
+        let graph = graph_from_codes(inst.n, &inst.codes);
+        let steps = deployment_sequence(inst.n, &inst.join_codes);
+        let scenario = strategic_scenario(&inst, &extra, hops);
+        for policy in [
+            Policy::new(SecurityModel::Security1st),
+            Policy::new(SecurityModel::Security2nd),
+            Policy::new(SecurityModel::Security3rd),
+            Policy::with_variant(SecurityModel::Security2nd, LpVariant::LpK(2)),
+            Policy::with_variant(SecurityModel::Security3rd, LpVariant::LpInf),
+        ] {
+            let mut sweep = SweepEngine::new(&graph);
+            let mut fresh = Engine::new(&graph);
+            sweep.begin(scenario, policy);
+            for (k, dep) in steps.iter().enumerate() {
+                let got = sweep.advance(dep);
+                let want = fresh.compute(scenario, dep, policy);
+                for v in graph.ases() {
+                    prop_assert_eq!(
+                        got.route(v),
+                        want.route(v),
+                        "route mismatch at {} step {}: {:?} {} hops {}",
+                        v, k, inst, policy, hops
+                    );
+                    prop_assert_eq!(
+                        got.next_hop(v),
+                        want.next_hop(v),
+                        "next-hop mismatch at {} step {}: {:?} {}",
+                        v, k, inst, policy
+                    );
+                }
+                prop_assert_eq!(
+                    sweep.count_happy(),
+                    want.count_happy(),
+                    "happy-bound mismatch at step {}: {:?} {}",
+                    k, inst, policy
+                );
+            }
+        }
+    }
+}
+
 /// The same equivalence on a structured (generated) topology with a real
 /// rollout, where the incremental path is actually exercised (proptest's
 /// tiny graphs often fall back to full recomputes via the region cap).
