@@ -1,0 +1,582 @@
+//! The large-graph estimation campaign runner.
+//!
+//! Runs a (figure × asns × seed × model) grid of stratified-estimation
+//! cells — synthetic graphs up to 40k ASes and beyond — with **per-cell
+//! JSON checkpointing and resume**: every finished cell is written
+//! atomically to the checkpoint directory, so a killed campaign restarted
+//! with the same flags recomputes only the missing cells. The assembled
+//! `BENCH_campaign.json` records wall-clock, pairs/sec and the CI-width
+//! trajectory of every cell, and feeds the CI bench-smoke job.
+//!
+//! ```text
+//! campaign --figures baseline,rollout --asns 4000,40000 --seeds 42 \
+//!          --models sec1,sec2,sec3 --pairs 2000 --ci 0.01
+//! campaign --smoke                 # the tiny CI grid
+//! campaign --validate BENCH_campaign.json   # schema drift check
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use sbgp_bench::sweep_rollout_steps;
+use sbgp_core::{AttackStrategy, Deployment, Policy, SecurityModel};
+use sbgp_sim::stats::{self, AdaptiveRun, EstimatorConfig};
+use sbgp_sim::{Internet, Parallelism};
+use sbgp_topology::AsId;
+
+/// Cell-file schema marker; bump on any layout change.
+const CELL_SCHEMA: &str = "campaign-cell-v1";
+/// Top-level schema marker.
+const CAMPAIGN_SCHEMA: &str = "campaign-v1";
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Figure {
+    /// `H_{V,V}(∅)` — the §4.2 baseline.
+    Baseline,
+    /// `H_{M',V}(S_k)` along a monotone Tier-2 rollout.
+    Rollout,
+    /// The per-pair optimal forged-path ladder at `S = ∅`.
+    Ladder,
+}
+
+impl Figure {
+    fn parse(s: &str) -> Result<Figure, String> {
+        match s {
+            "baseline" => Ok(Figure::Baseline),
+            "rollout" => Ok(Figure::Rollout),
+            "ladder" => Ok(Figure::Ladder),
+            other => Err(format!(
+                "unknown figure {other:?} (baseline|rollout|ladder)"
+            )),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Figure::Baseline => "baseline",
+            Figure::Rollout => "rollout",
+            Figure::Ladder => "ladder",
+        }
+    }
+}
+
+fn model_token(m: SecurityModel) -> &'static str {
+    match m {
+        SecurityModel::Security1st => "sec1",
+        SecurityModel::Security2nd => "sec2",
+        SecurityModel::Security3rd => "sec3",
+    }
+}
+
+fn parse_model(s: &str) -> Result<SecurityModel, String> {
+    match s {
+        "sec1" => Ok(SecurityModel::Security1st),
+        "sec2" => Ok(SecurityModel::Security2nd),
+        "sec3" => Ok(SecurityModel::Security3rd),
+        other => Err(format!("unknown model {other:?} (sec1|sec2|sec3)")),
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Args {
+    figures: Vec<Figure>,
+    asns: Vec<usize>,
+    seeds: Vec<u64>,
+    models: Vec<SecurityModel>,
+    ci: Option<f64>,
+    pairs: u64,
+    rollout_steps: usize,
+    threads: Parallelism,
+    checkpoint_dir: PathBuf,
+    out: PathBuf,
+    validate: Option<PathBuf>,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            figures: vec![Figure::Baseline, Figure::Rollout],
+            asns: vec![4_000],
+            seeds: vec![42],
+            models: SecurityModel::ALL.to_vec(),
+            ci: None,
+            pairs: 2_000,
+            rollout_steps: 5,
+            threads: Parallelism::auto(),
+            checkpoint_dir: PathBuf::from("campaign_ckpt"),
+            out: PathBuf::from("BENCH_campaign.json"),
+            validate: None,
+        }
+    }
+}
+
+fn parse_list<T, E: std::fmt::Display>(
+    s: &str,
+    f: impl Fn(&str) -> Result<T, E>,
+) -> Result<Vec<T>, String> {
+    s.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| f(t.trim()).map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut a = Args::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--figures" => a.figures = parse_list(&take("--figures")?, Figure::parse)?,
+            "--asns" => a.asns = parse_list(&take("--asns")?, |t| t.parse::<usize>())?,
+            "--seeds" => a.seeds = parse_list(&take("--seeds")?, |t| t.parse::<u64>())?,
+            "--models" => a.models = parse_list(&take("--models")?, parse_model)?,
+            "--ci" => {
+                let target: f64 = take("--ci")?
+                    .parse()
+                    .map_err(|_| "--ci wants a number".to_string())?;
+                // Same contract as the shared figure CLI: a fractional
+                // half-width, not percentage points.
+                if !(target > 0.0 && target < 1.0) {
+                    return Err(format!("--ci wants a half-width in (0, 1), got {target}"));
+                }
+                a.ci = Some(target);
+            }
+            "--pairs" => {
+                a.pairs = take("--pairs")?
+                    .parse()
+                    .map_err(|_| "--pairs wants a number".to_string())?
+            }
+            "--rollout-steps" => {
+                a.rollout_steps = take("--rollout-steps")?
+                    .parse()
+                    .map_err(|_| "--rollout-steps wants a number".to_string())?
+            }
+            "--threads" => {
+                a.threads = Parallelism(
+                    take("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads wants a number".to_string())?,
+                )
+            }
+            "--checkpoint-dir" => a.checkpoint_dir = PathBuf::from(take("--checkpoint-dir")?),
+            "--out" => a.out = PathBuf::from(take("--out")?),
+            "--validate" => a.validate = Some(PathBuf::from(take("--validate")?)),
+            "--smoke" => {
+                // The CI grid: small enough for a PR gate, still covering
+                // two figures, every model, checkpoint + resume and the
+                // full JSON schema. Writes to scratch paths so running it
+                // from the repo root never clobbers the committed
+                // release-grid BENCH_campaign.json (later --out /
+                // --checkpoint-dir flags still override).
+                a.figures = vec![Figure::Baseline, Figure::Rollout];
+                a.asns = vec![400];
+                a.seeds = vec![11];
+                a.models = SecurityModel::ALL.to_vec();
+                a.pairs = 300;
+                a.rollout_steps = 3;
+                a.out = PathBuf::from("BENCH_campaign_smoke.json");
+                a.checkpoint_dir = PathBuf::from("campaign_smoke_ckpt");
+            }
+            "--help" | "-h" => return Err("help requested".into()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if a.figures.is_empty() || a.asns.is_empty() || a.seeds.is_empty() || a.models.is_empty() {
+        return Err("empty grid axis".into());
+    }
+    Ok(a)
+}
+
+/// Minimal field extraction from our own cell JSON (numbers only; the
+/// files are machine-written, never hand-edited).
+fn json_u64(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].split('.').next()?.parse().ok()
+}
+
+struct CellOutcome {
+    json: String,
+    wall_ms: f64,
+    pairs: u64,
+    resumed: bool,
+}
+
+/// Statistics tracked per pair for a figure — `"steps"` in the cell JSON,
+/// and part of the resume-compatibility check.
+fn expected_steps(figure: Figure, args: &Args) -> usize {
+    match figure {
+        Figure::Baseline => 1,
+        Figure::Rollout => args.rollout_steps + 1, // ∅ first
+        Figure::Ladder => AttackStrategy::LADDER.len() + 1, // rungs + optimal
+    }
+}
+
+/// Render one cell's JSON object (two-space indent under `cells`).
+#[allow(clippy::too_many_arguments)]
+fn cell_json(
+    figure: Figure,
+    asns: usize,
+    seed: u64,
+    model: SecurityModel,
+    args: &Args,
+    run: &AdaptiveRun,
+    step_count: usize,
+    wall_ms: f64,
+) -> String {
+    let pairs = run.sampled.len() as u64;
+    let pairs_per_sec = pairs as f64 / (wall_ms / 1e3).max(1e-9);
+    let mut j = String::new();
+    let _ = writeln!(j, "    {{");
+    let _ = writeln!(j, "      \"schema\": \"{CELL_SCHEMA}\",");
+    let _ = writeln!(j, "      \"figure\": \"{}\",", figure.name());
+    let _ = writeln!(j, "      \"asns\": {asns},");
+    let _ = writeln!(j, "      \"seed\": {seed},");
+    let _ = writeln!(j, "      \"model\": \"{}\",", model_token(model));
+    let _ = writeln!(j, "      \"steps\": {step_count},");
+    let _ = writeln!(j, "      \"budget\": {},", args.pairs);
+    match args.ci {
+        Some(t) => {
+            let _ = writeln!(j, "      \"ci_target\": {t},");
+        }
+        None => {
+            let _ = writeln!(j, "      \"ci_target\": null,");
+        }
+    }
+    let _ = writeln!(j, "      \"population\": {},", run.population);
+    let _ = writeln!(j, "      \"strata\": {},", run.strata);
+    let _ = writeln!(j, "      \"pairs\": {pairs},");
+    let _ = writeln!(j, "      \"wall_ms\": {wall_ms:.3},");
+    let _ = writeln!(j, "      \"pairs_per_sec\": {pairs_per_sec:.3},");
+    let _ = writeln!(j, "      \"max_halfwidth\": {:.6},", run.max_halfwidth());
+    let _ = writeln!(j, "      \"ci_trajectory\": [");
+    for (i, r) in run.rounds.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "        {{\"pairs\": {}, \"max_halfwidth\": {:.6}}}{}",
+            r.pairs,
+            r.max_halfwidth,
+            if i + 1 < run.rounds.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "      ],");
+    let _ = writeln!(j, "      \"estimates\": [");
+    for (k, e) in run.estimates.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "        {{\"step\": {k}, \"lower\": {:.6}, \"upper\": {:.6}, \
+             \"hw_lower\": {:.6}, \"hw_upper\": {:.6}}}{}",
+            e.value.lower,
+            e.value.upper,
+            e.halfwidth.lower,
+            e.halfwidth.upper,
+            if k + 1 < run.estimates.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "      ]");
+    let _ = write!(j, "    }}");
+    j
+}
+
+/// Run one cell (or reuse its checkpoint).
+fn run_cell(
+    figure: Figure,
+    net: &Internet,
+    seed: u64,
+    model: SecurityModel,
+    args: &Args,
+) -> CellOutcome {
+    let cell_id = format!(
+        "{}_{}_{}_{}",
+        figure.name(),
+        net.graph.len(),
+        seed,
+        model_token(model)
+    );
+    let path = args.checkpoint_dir.join(format!("{cell_id}.json"));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        // A reusable checkpoint carries the schema marker and a closing
+        // brace (anything else is a torn write from a kill) AND was
+        // produced under the *same estimation parameters* — we write
+        // these lines ourselves, so exact string matches are a full
+        // check. A rerun with a different --pairs / --ci /
+        // --rollout-steps recomputes the cell instead of silently
+        // reusing stale estimates under a new grid header.
+        let ci_line = match args.ci {
+            Some(t) => format!("\"ci_target\": {t},"),
+            None => "\"ci_target\": null,".to_string(),
+        };
+        let complete =
+            text.contains(&format!("\"schema\": \"{CELL_SCHEMA}\"")) && text.ends_with('}');
+        let same_params = text.contains(&format!("\"budget\": {},", args.pairs))
+            && text.contains(&ci_line)
+            && text.contains(&format!("\"steps\": {},", expected_steps(figure, args)));
+        if complete && same_params {
+            let wall_ms = json_u64(&text, "wall_ms").unwrap_or(0) as f64;
+            let pairs = json_u64(&text, "pairs").unwrap_or(0);
+            println!("cell {cell_id}: resumed from checkpoint");
+            return CellOutcome {
+                json: text,
+                wall_ms,
+                pairs,
+                resumed: true,
+            };
+        }
+        if complete {
+            println!("cell {cell_id}: checkpoint has different estimation parameters, recomputing");
+        }
+    }
+
+    let est = {
+        let mut e = EstimatorConfig::with_budget(args.pairs, seed);
+        if let Some(t) = args.ci {
+            e = e.with_ci(t);
+        }
+        e
+    };
+    let policy = Policy::new(model);
+    let all: Vec<AsId> = net.graph.ases().collect();
+    let non_stubs = net.tiers.non_stubs();
+    let t0 = Instant::now();
+    let run = match figure {
+        Figure::Baseline => stats::estimate_metric(
+            net,
+            &all,
+            &all,
+            &Deployment::empty(net.len()),
+            policy,
+            AttackStrategy::FakeLink,
+            &est,
+            args.threads,
+        ),
+        Figure::Rollout => {
+            let mut deps = vec![Deployment::empty(net.len())];
+            deps.extend(sweep_rollout_steps(net, args.rollout_steps));
+            debug_assert_eq!(deps.len(), expected_steps(figure, args));
+            stats::estimate_metric_sweep(
+                net,
+                &non_stubs,
+                &all,
+                &deps,
+                policy,
+                AttackStrategy::FakeLink,
+                &est,
+                args.threads,
+            )
+        }
+        Figure::Ladder => {
+            let l = stats::estimate_strategy_ladder(
+                net,
+                &non_stubs,
+                &all,
+                &Deployment::empty(net.len()),
+                policy,
+                &AttackStrategy::LADDER,
+                &est,
+                args.threads,
+            );
+            debug_assert_eq!(l.rungs.len() + 1, expected_steps(figure, args));
+            l.run
+        }
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let json = cell_json(
+        figure,
+        net.graph.len(),
+        seed,
+        model,
+        args,
+        &run,
+        expected_steps(figure, args),
+        wall_ms,
+    );
+    // Atomic checkpoint: a kill mid-write leaves only the tmp file behind.
+    let tmp = args.checkpoint_dir.join(format!("{cell_id}.json.tmp"));
+    std::fs::write(&tmp, &json).expect("write checkpoint tmp");
+    std::fs::rename(&tmp, &path).expect("rename checkpoint");
+    println!(
+        "cell {cell_id}: {} pairs in {:.1} ms ({:.0} pairs/s), max CI ±{:.3}pp",
+        run.sampled.len(),
+        wall_ms,
+        run.sampled.len() as f64 / (wall_ms / 1e3).max(1e-9),
+        100.0 * run.max_halfwidth()
+    );
+    CellOutcome {
+        json,
+        wall_ms,
+        pairs: run.sampled.len() as u64,
+        resumed: false,
+    }
+}
+
+/// Schema check for an assembled campaign JSON (the CI drift gate).
+fn validate(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    for key in [
+        &format!("\"schema\": \"{CAMPAIGN_SCHEMA}\"") as &str,
+        &format!("\"schema\": \"{CELL_SCHEMA}\""),
+        "\"grid\"",
+        "\"cells\"",
+        "\"totals\"",
+        "\"figure\"",
+        "\"asns\"",
+        "\"seed\"",
+        "\"model\"",
+        "\"population\"",
+        "\"strata\"",
+        "\"pairs\"",
+        "\"wall_ms\"",
+        "\"pairs_per_sec\"",
+        "\"max_halfwidth\"",
+        "\"ci_trajectory\"",
+        "\"estimates\"",
+        "\"hw_lower\"",
+        "\"hw_upper\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("{}: missing {key}", path.display()));
+        }
+    }
+    Ok(())
+}
+
+fn list_json<T: std::fmt::Display>(xs: &[T], quoted: bool) -> String {
+    let mut s = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        if quoted {
+            let _ = write!(s, "\"{x}\"");
+        } else {
+            let _ = write!(s, "{x}");
+        }
+    }
+    s.push(']');
+    s
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: [--figures baseline,rollout,ladder] [--asns N,...] [--seeds S,...] \
+                 [--models sec1,sec2,sec3] [--ci H] [--pairs B] [--rollout-steps K] \
+                 [--threads T] [--checkpoint-dir DIR] [--out FILE] [--smoke] \
+                 [--validate FILE]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &args.validate {
+        match validate(path) {
+            Ok(()) => {
+                println!("{}: schema {CAMPAIGN_SCHEMA} ok", path.display());
+                return;
+            }
+            Err(msg) => {
+                eprintln!("schema drift: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    std::fs::create_dir_all(&args.checkpoint_dir).expect("create checkpoint dir");
+    println!(
+        "campaign: {} figure(s) × {} size(s) × {} seed(s) × {} model(s), \
+         budget {} pairs{}, checkpoints in {}",
+        args.figures.len(),
+        args.asns.len(),
+        args.seeds.len(),
+        args.models.len(),
+        args.pairs,
+        args.ci
+            .map(|t| format!(", CI target ±{:.2}pp", 100.0 * t))
+            .unwrap_or_default(),
+        args.checkpoint_dir.display()
+    );
+
+    let mut cells: Vec<String> = Vec::new();
+    let (mut total_ms, mut total_pairs) = (0f64, 0u64);
+    let (mut resumed, mut computed) = (0usize, 0usize);
+    for &asns in &args.asns {
+        for &seed in &args.seeds {
+            // One graph per (asns, seed), shared by every figure × model
+            // cell of the two inner loops.
+            let t0 = Instant::now();
+            let net = Internet::synthetic(asns, seed);
+            println!(
+                "graph synthetic-{asns} seed {seed}: generated in {:.1} ms",
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+            for &figure in &args.figures {
+                for &model in &args.models {
+                    let out = run_cell(figure, &net, seed, model, &args);
+                    total_ms += out.wall_ms;
+                    total_pairs += out.pairs;
+                    if out.resumed {
+                        resumed += 1;
+                    } else {
+                        computed += 1;
+                    }
+                    cells.push(out.json);
+                }
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"{CAMPAIGN_SCHEMA}\",");
+    let _ = writeln!(json, "  \"grid\": {{");
+    let figures: Vec<&str> = args.figures.iter().map(|f| f.name()).collect();
+    let models: Vec<&str> = args.models.iter().map(|&m| model_token(m)).collect();
+    let _ = writeln!(json, "    \"figures\": {},", list_json(&figures, true));
+    let _ = writeln!(json, "    \"asns\": {},", list_json(&args.asns, false));
+    let _ = writeln!(json, "    \"seeds\": {},", list_json(&args.seeds, false));
+    let _ = writeln!(json, "    \"models\": {},", list_json(&models, true));
+    match args.ci {
+        Some(t) => {
+            let _ = writeln!(json, "    \"ci\": {t},");
+        }
+        None => {
+            let _ = writeln!(json, "    \"ci\": null,");
+        }
+    }
+    let _ = writeln!(json, "    \"pairs\": {},", args.pairs);
+    let _ = writeln!(json, "    \"rollout_steps\": {}", args.rollout_steps);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(json, "{c}{}", if i + 1 < cells.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"totals\": {{");
+    let _ = writeln!(json, "    \"cells\": {},", cells.len());
+    let _ = writeln!(json, "    \"computed_this_run\": {computed},");
+    let _ = writeln!(json, "    \"resumed\": {resumed},");
+    let _ = writeln!(json, "    \"pairs\": {total_pairs},");
+    let _ = writeln!(json, "    \"wall_ms\": {total_ms:.3}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write campaign JSON");
+    println!(
+        "wrote {} ({} cells: {computed} computed, {resumed} resumed; {total_pairs} pairs, {:.1} s)",
+        args.out.display(),
+        cells.len(),
+        total_ms / 1e3
+    );
+    if let Err(msg) = validate(&args.out) {
+        eprintln!("self-check failed: {msg}");
+        std::process::exit(1);
+    }
+}

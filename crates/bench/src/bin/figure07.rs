@@ -1,6 +1,7 @@
 //! Figure 7(a)+(b): the Tier 1+2 rollout with simplex error bars.
 use sbgp_bench::{render, Cli};
 use sbgp_sim::experiments::rollout;
+use sbgp_sim::scenario;
 
 fn main() {
     let cli = Cli::parse();
@@ -12,4 +13,16 @@ fn main() {
     );
     println!("paper: sec 1st improves ~24% at 50% deployment; sec 2nd/3rd stay meagre;");
     println!("simplex S*BGP at stubs changes almost nothing (§5.3.2)");
+    if cli.config.estimation().is_some() {
+        println!();
+        println!(
+            "{}",
+            render::render_estimated_rollout(
+                &net,
+                &cli.config,
+                "Tier 1+2 rollout",
+                &scenario::tier12_rollout(&net),
+            )
+        );
+    }
 }

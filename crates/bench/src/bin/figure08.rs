@@ -1,6 +1,7 @@
 //! Figure 8: the Tier 1+2+CP rollout over content-provider destinations.
 use sbgp_bench::{render, Cli};
 use sbgp_sim::experiments::rollout;
+use sbgp_sim::scenario;
 
 fn main() {
     let cli = Cli::parse();
@@ -11,4 +12,16 @@ fn main() {
         render::render_rollout(&rollout::figure8(&net, &cli.config))
     );
     println!("paper: ≥26% / 9.4% / 4% improvements for sec 1st/2nd/3rd at the last step");
+    if cli.config.estimation().is_some() {
+        println!();
+        println!(
+            "{}",
+            render::render_estimated_rollout(
+                &net,
+                &cli.config,
+                "Tier 1+2+CP rollout",
+                &scenario::tier12_cp_rollout(&net),
+            )
+        );
+    }
 }

@@ -1,6 +1,7 @@
 //! Figure 11: the Tier-2-only rollout.
 use sbgp_bench::{render, Cli};
 use sbgp_sim::experiments::rollout;
+use sbgp_sim::scenario;
 
 fn main() {
     let cli = Cli::parse();
@@ -11,4 +12,16 @@ fn main() {
         render::render_rollout(&rollout::figure11(&net, &cli.config))
     );
     println!("paper: grows more slowly than Figure 7; smaller sec-1st gains");
+    if cli.config.estimation().is_some() {
+        println!();
+        println!(
+            "{}",
+            render::render_estimated_rollout(
+                &net,
+                &cli.config,
+                "Tier 2 rollout",
+                &scenario::tier2_rollout(&net),
+            )
+        );
+    }
 }

@@ -12,10 +12,13 @@
 //!
 //! Common flags: `--asns N`, `--seed S`, `--attackers A`,
 //! `--destinations D`, `--per-tier P`, `--threads T`, `--ixp`
-//! (Appendix J graph), `--policy lp|lp2|lpinf` (Appendix K variants), and
+//! (Appendix J graph), `--policy lp|lp2|lpinf` (Appendix K variants),
 //! `--strategy fakelink|hijack|pathK` (the Goldberg et al. attack
 //! taxonomy; honored by the rollout, per-destination and baseline
-//! figures).
+//! figures), and the estimation mode `--ci H` / `--pairs B` (stratified
+//! estimates with confidence intervals, honored by the baseline, the
+//! rollout figures and the strategy ladder; off by default so classic
+//! output stays byte-identical).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -80,7 +83,7 @@ impl Cli {
                 eprintln!(
                     "usage: [--asns N] [--seed S] [--attackers A] [--destinations D] \
                      [--per-tier P] [--threads T] [--ixp] [--policy lp|lp2|lpinf] \
-                     [--strategy fakelink|hijack|pathK]"
+                     [--strategy fakelink|hijack|pathK] [--ci H] [--pairs B]"
                 );
                 std::process::exit(2);
             }
@@ -123,6 +126,14 @@ impl Cli {
                     // as a different strategy.
                     cli.config.strategy = strategy.canonical();
                 }
+                "--ci" => {
+                    let target: f64 = parse_num(&take("--ci")?)?;
+                    if !(target > 0.0 && target < 1.0) {
+                        return Err(format!("--ci wants a half-width in (0, 1), got {target}"));
+                    }
+                    cli.config.ci_target = Some(target);
+                }
+                "--pairs" => cli.config.pair_budget = Some(parse_num(&take("--pairs")?)?),
                 "--policy" => {
                     cli.variant = match take("--policy")?.as_str() {
                         "lp" => LpVariant::Standard,
@@ -178,6 +189,18 @@ impl Cli {
                  tables fix their own)",
                 self.config.strategy
             );
+        }
+        // Like the strategy line: only announced when requested, so the
+        // flag-less banners (and their golden snapshots) never move.
+        if let Some(est) = self.config.estimation() {
+            match est.ci_target {
+                Some(t) => println!(
+                    "estimation: stratified, CI target ±{:.2}pp (95%), pair budget {}",
+                    100.0 * t,
+                    est.budget
+                ),
+                None => println!("estimation: stratified, pair budget {}", est.budget),
+            }
         }
         println!();
     }
@@ -260,5 +283,26 @@ mod tests {
         assert!(parse(&["--asns", "x"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--policy", "lp9"]).is_err());
+    }
+
+    #[test]
+    fn estimation_flags_parse_and_default_off() {
+        let cli = parse(&[]).unwrap();
+        assert!(cli.config.estimation().is_none());
+
+        let cli = parse(&["--ci", "0.005"]).unwrap();
+        assert_eq!(cli.config.ci_target, Some(0.005));
+        let est = cli.config.estimation().unwrap();
+        assert_eq!(est.ci_target, Some(0.005));
+
+        let cli = parse(&["--pairs", "2500"]).unwrap();
+        assert_eq!(cli.config.pair_budget, Some(2500));
+        assert_eq!(cli.config.estimation().unwrap().budget, 2500);
+        assert_eq!(cli.config.estimation().unwrap().ci_target, None);
+
+        assert!(parse(&["--ci", "0"]).is_err());
+        assert!(parse(&["--ci", "1.5"]).is_err());
+        assert!(parse(&["--ci"]).is_err());
+        assert!(parse(&["--pairs", "x"]).is_err());
     }
 }

@@ -6,11 +6,25 @@
 
 use sbgp_core::{LpVariant, Policy, SecurityModel};
 use sbgp_sim::experiments::{
-    baseline, extensions, partitions, per_destination, rollout, root_cause, strategic,
+    baseline, estimation, extensions, partitions, per_destination, rollout, root_cause, strategic,
     ExperimentConfig,
 };
-use sbgp_sim::report::{delta_pair, pct, pct_bounds, stacked_bar, Table};
+use sbgp_sim::report::{delta_pair, pct, pct_bounds, pct_estimate, stacked_bar, Table};
+use sbgp_sim::scenario::NamedDeployment;
+use sbgp_sim::stats::AdaptiveRun;
 use sbgp_sim::Internet;
+
+/// One-line summary of an adaptive run (sample size, rounds, final width).
+fn run_summary(run: &AdaptiveRun) -> String {
+    format!(
+        "{} of {} pairs ({} strata, {} round(s)), max CI half-width ±{:.3}pp",
+        run.sampled.len(),
+        run.population,
+        run.strata,
+        run.rounds.len(),
+        100.0 * run.max_halfwidth()
+    )
+}
 
 /// §4.2's baseline table.
 pub fn render_baseline(net: &Internet, cfg: &ExperimentConfig) -> String {
@@ -29,6 +43,14 @@ pub fn render_baseline(net: &Internet, cfg: &ExperimentConfig) -> String {
     ]);
     out.push_str(&t.render());
     out.push_str("\npaper: ≥ 60% (UCLA graph), ≥ 62% (IXP-augmented graph)\n");
+    if let Some(est) = cfg.estimation() {
+        let run = estimation::estimated_baseline(net, cfg, &est);
+        out.push_str("\nstratified estimate over the full m ≠ d universe (95% CI)\n\n");
+        let mut t = Table::new(["quantity", "value"]);
+        t.row(["H_{V,V}(∅)".to_string(), pct_estimate(&run.estimates[0])]);
+        t.row(["sample".to_string(), run_summary(&run)]);
+        out.push_str(&t.render());
+    }
     out
 }
 
@@ -502,6 +524,59 @@ pub fn render_strategy_ladder(net: &Internet, cfg: &ExperimentConfig) -> String 
         "\n(collusion dividend = best single − colluding pair; sources exclude every\n\
          announcer, per the set-aware counting rule)\n",
     );
+    if let Some(est) = cfg.estimation() {
+        let l = estimation::estimated_ladder(net, cfg, &est);
+        out.push_str(
+            "\nstratified ladder estimate, sec 2nd at S = ∅, full M' × V universe (95% CI)\n\n",
+        );
+        let mut t = Table::new(["rung", "H estimate"]);
+        for (strategy, e) in l.rungs.iter().zip(&l.per_rung) {
+            t.row([strategy.to_string(), pct_estimate(e)]);
+        }
+        t.row(["optimal (per pair)".to_string(), pct_estimate(&l.optimal)]);
+        out.push_str(&t.render());
+        out.push_str(&format!("\nsample: {}\n", run_summary(&l.run)));
+    }
+    out
+}
+
+/// The `--ci`/`--pairs` companion to [`render_rollout`]: `H(S_k)` itself
+/// (not the baseline delta) per step and model, each with its confidence
+/// interval from the stratified estimator over the full `M' × V` universe.
+pub fn render_estimated_rollout(
+    net: &Internet,
+    cfg: &ExperimentConfig,
+    name: &str,
+    steps: &[NamedDeployment],
+) -> String {
+    let Some(est) = cfg.estimation() else {
+        return String::new();
+    };
+    let r = estimation::estimated_rollout(net, cfg, &est, name, steps);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — stratified H(S) estimates over the full M' × V universe (95% CI)\n\n",
+        r.name
+    ));
+    let mut t = Table::new(["step", "H sec1", "H sec2", "H sec3"]);
+    for (k, label) in r.step_labels.iter().enumerate() {
+        let cells: Vec<String> = r
+            .models
+            .iter()
+            .map(|(_, run)| pct_estimate(&run.estimates[k]))
+            .collect();
+        t.row([
+            label.clone(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    out.push_str(&t.render());
+    for (model, run) in &r.models {
+        out.push_str(&format!("\n{}: {}", model.label(), run_summary(run)));
+    }
+    out.push('\n');
     out
 }
 

@@ -13,8 +13,10 @@
 //! | [`root_cause`] | Figures 13 and 16 |
 //! | [`extensions`] | §8's hysteresis and security-islands proposals, the RPKI-value ladder, and §4.5's traffic-weighted metric |
 //! | [`strategic`] | The strategic-attacker tables: per-pair optimal forged-path ladders and colluding announcer pairs |
+//! | [`estimation`] | The `--ci`/`--pairs` mode: stratified estimates with confidence intervals for the baseline, the rollouts and the strategy ladder |
 
 pub mod baseline;
+pub mod estimation;
 pub mod extensions;
 pub mod partitions;
 pub mod per_destination;
@@ -25,6 +27,7 @@ pub mod strategic;
 use sbgp_core::AttackStrategy;
 
 use crate::runner::Parallelism;
+use crate::stats::EstimatorConfig;
 
 /// Sampling sizes shared by the experiment drivers.
 #[derive(Clone, Copy, Debug)]
@@ -44,7 +47,17 @@ pub struct ExperimentConfig {
     /// whose semantics fix a strategy — e.g. the RPKI-value ladder — do
     /// not). Defaults to the paper's fake link.
     pub strategy: AttackStrategy,
+    /// Confidence-interval half-width target for the estimation drivers
+    /// (the `--ci` flag). `None` together with `pair_budget = None` leaves
+    /// the estimation mode off and every driver's output byte-identical
+    /// to the flag-less invocation.
+    pub ci_target: Option<f64>,
+    /// Pair budget for the estimation drivers (the `--pairs` flag).
+    pub pair_budget: Option<usize>,
 }
+
+/// Default pair budget when `--ci` is given without `--pairs`.
+pub const DEFAULT_PAIR_BUDGET: usize = 10_000;
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
@@ -55,6 +68,8 @@ impl Default for ExperimentConfig {
             seed: 42,
             parallelism: Parallelism::auto(),
             strategy: AttackStrategy::FakeLink,
+            ci_target: None,
+            pair_budget: None,
         }
     }
 }
@@ -69,6 +84,24 @@ impl ExperimentConfig {
             seed,
             parallelism: Parallelism(2),
             strategy: AttackStrategy::FakeLink,
+            ci_target: None,
+            pair_budget: None,
         }
+    }
+
+    /// The estimator configuration requested on the command line: `Some`
+    /// when either `--ci` or `--pairs` was given, `None` otherwise (the
+    /// byte-identical default mode). The sampler seed is derived from the
+    /// experiment seed so estimation and classic sampling never correlate.
+    pub fn estimation(&self) -> Option<EstimatorConfig> {
+        if self.ci_target.is_none() && self.pair_budget.is_none() {
+            return None;
+        }
+        let budget = self.pair_budget.unwrap_or(DEFAULT_PAIR_BUDGET) as u64;
+        let mut cfg = EstimatorConfig::with_budget(budget, self.seed ^ 0xC1A0);
+        if let Some(t) = self.ci_target {
+            cfg = cfg.with_ci(t);
+        }
+        Some(cfg)
     }
 }

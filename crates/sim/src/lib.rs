@@ -23,6 +23,10 @@
 //! * [`strategy`] — strategic attackers: per-pair optimal-strategy
 //!   ladders over `k`-hop forged paths, and colluding announcer sets
 //!   served by [`sbgp_core::AttackDeltaEngine::attack_set`];
+//! * [`stats`] — the statistical estimation subsystem: tier-stratified
+//!   pair sampling with nested without-replacement prefixes, streaming
+//!   per-stratum Welford accumulators, population-weighted recombination
+//!   with confidence intervals, and adaptive sample growth;
 //! * [`experiments`] — one driver per figure/table, returning plain data
 //!   that the `sbgp-bench` binaries print;
 //! * [`report`] — aligned-text table rendering.
@@ -35,6 +39,7 @@ pub mod report;
 pub mod runner;
 pub mod sample;
 pub mod scenario;
+pub mod stats;
 pub mod strategy;
 pub mod sweep;
 pub mod weights;

@@ -81,6 +81,17 @@ pub fn pct_bounds(b: sbgp_core::Bounds) -> String {
     format!("[{:5.1}%, {:5.1}%]", 100.0 * b.lower, 100.0 * b.upper)
 }
 
+/// Format a stratified [`crate::stats::Estimate`] as "bounds ± CI
+/// half-width" — the tie-break bounds as percentages plus the wider of the
+/// two bounds' confidence half-widths in percentage points.
+pub fn pct_estimate(e: &crate::stats::Estimate) -> String {
+    format!(
+        "{} ±{:.2}pp",
+        pct_bounds(e.value),
+        100.0 * e.max_halfwidth()
+    )
+}
+
 /// Format a bound-pair *difference* (e.g. `H(S) − H(∅)`), which is not an
 /// interval: the lower- and upper-bound curves move independently, so this
 /// prints them as "Δlo/Δhi".
@@ -136,6 +147,22 @@ mod tests {
     fn arity_is_checked() {
         let mut t = Table::new(["a", "b"]);
         t.row(["only one"]);
+    }
+
+    #[test]
+    fn estimate_formatting() {
+        let e = crate::stats::Estimate {
+            value: sbgp_core::Bounds {
+                lower: 0.623,
+                upper: 0.641,
+            },
+            halfwidth: sbgp_core::Bounds {
+                lower: 0.0042,
+                upper: 0.0031,
+            },
+            pairs: 100,
+        };
+        assert_eq!(pct_estimate(&e), "[ 62.3%,  64.1%] ±0.42pp");
     }
 
     #[test]

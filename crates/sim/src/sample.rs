@@ -65,6 +65,33 @@ pub fn pairs(attackers: &[AsId], destinations: &[AsId]) -> Vec<(AsId, AsId)> {
     out
 }
 
+/// The **exhaustive** pair grid: every `(m, d)` with `m ∈ attackers`,
+/// `d ∈ destinations`, `m ≠ d`, enumerated destination-major (all
+/// attackers of the first destination, then the next). This is the paper's
+/// Appendix H "all pairs" universe: the ground-truth oracle for the
+/// stratified estimator (`tests/estimator_conformance.rs`) and the "paper
+/// mode" for graphs small enough to enumerate. Destination-major order
+/// means [`group_by_destination`] recovers one contiguous group per
+/// destination, so the two-axis runners amortize maximally.
+pub fn pairs_exhaustive(attackers: &[AsId], destinations: &[AsId]) -> Vec<(AsId, AsId)> {
+    let mut out = Vec::with_capacity(attackers.len() * destinations.len());
+    for &d in destinations {
+        for &m in attackers {
+            if m != d {
+                out.push((m, d));
+            }
+        }
+    }
+    out
+}
+
+/// [`pairs_exhaustive`] over the whole AS population on both axes
+/// (`M = D = V`, the paper's headline setting).
+pub fn pairs_exhaustive_all(net: &Internet) -> Vec<(AsId, AsId)> {
+    let pool: Vec<AsId> = net.graph.ases().collect();
+    pairs_exhaustive(&pool, &pool)
+}
+
 /// Group an explicit pair list destination-major: one `(d, attackers)`
 /// entry per distinct destination, destinations in first-appearance order
 /// and attackers in pair order within each group. This is the shape the
@@ -139,6 +166,28 @@ mod tests {
             ]
         );
         assert!(group_by_destination(&[]).is_empty());
+    }
+
+    #[test]
+    fn exhaustive_enumeration_is_destination_major_and_complete() {
+        let a = vec![AsId(1), AsId(2)];
+        let d = vec![AsId(2), AsId(3)];
+        let p = pairs_exhaustive(&a, &d);
+        assert_eq!(
+            p,
+            vec![(AsId(1), AsId(2)), (AsId(1), AsId(3)), (AsId(2), AsId(3))]
+        );
+        // Same pair set as the attacker-major enumeration.
+        let mut am = pairs(&a, &d);
+        let mut dm = p.clone();
+        am.sort_unstable();
+        dm.sort_unstable();
+        assert_eq!(am, dm);
+        // Full-population grid: |V|·(|V|−1) pairs, one group per dest.
+        let net = Internet::synthetic(200, 3);
+        let all = pairs_exhaustive_all(&net);
+        assert_eq!(all.len(), 200 * 199);
+        assert_eq!(group_by_destination(&all).len(), 200);
     }
 
     #[test]

@@ -26,6 +26,18 @@ pub fn parse_relationships<R: Read>(reader: R) -> Result<AsGraph, TopologyError>
     let mut ids: HashMap<u32, AsId> = HashMap::new();
     let mut labels: Vec<u32> = Vec::new();
     let mut edges: Vec<(AsId, AsId, Relationship)> = Vec::new();
+    // Relationship of each normalized ASN pair as first declared, plus its
+    // line number: exact repeats are deduplicated, *contradictory* repeats
+    // (peer vs transit, or the transit direction reversed) are rejected
+    // here — with both line numbers — instead of surfacing later from the
+    // builder without any location, or worse, silently double-counting.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum DeclaredRel {
+        /// The named ASN is the provider of the pair's other member.
+        ProviderIs(u32),
+        Peer,
+    }
+    let mut seen: HashMap<(u32, u32), (DeclaredRel, usize)> = HashMap::new();
 
     let mut intern = |asn: u32, labels: &mut Vec<u32>| -> AsId {
         *ids.entry(asn).or_insert_with(|| {
@@ -59,18 +71,44 @@ pub fn parse_relationships<R: Read>(reader: R) -> Result<AsGraph, TopologyError>
         };
         let a = parse_asn(a)?;
         let b = parse_asn(b)?;
-        let a = intern(a, &mut labels);
-        let b = intern(b, &mut labels);
-        match rel.trim() {
+        let declared = match rel.trim() {
             // serial-1: "a|b|-1" means a is the *provider* of b.
-            "-1" => edges.push((b, a, Relationship::CustomerToProvider)),
-            "0" => edges.push((a, b, Relationship::PeerToPeer)),
+            "-1" => DeclaredRel::ProviderIs(a),
+            "0" => DeclaredRel::Peer,
             other => {
                 return Err(TopologyError::Parse {
                     line: lineno + 1,
                     message: format!("unknown relationship code {other:?}"),
                 })
             }
+        };
+        if a == b {
+            return Err(TopologyError::Parse {
+                line: lineno + 1,
+                message: format!("self-loop on AS{a}"),
+            });
+        }
+        let key = (a.min(b), a.max(b));
+        match seen.get(&key) {
+            Some(&(prev, _)) if prev == declared => continue, // exact repeat
+            Some(&(_, prev_line)) => {
+                return Err(TopologyError::Parse {
+                    line: lineno + 1,
+                    message: format!(
+                        "conflicting duplicate of the {a}|{b} edge \
+                         (first declared on line {prev_line})"
+                    ),
+                })
+            }
+            None => {
+                seen.insert(key, (declared, lineno + 1));
+            }
+        }
+        let a = intern(a, &mut labels);
+        let b = intern(b, &mut labels);
+        match declared {
+            DeclaredRel::ProviderIs(_) => edges.push((b, a, Relationship::CustomerToProvider)),
+            DeclaredRel::Peer => edges.push((a, b, Relationship::PeerToPeer)),
         }
     }
 
@@ -151,11 +189,43 @@ mod tests {
     }
 
     #[test]
-    fn rejects_conflicts() {
-        let doc = "1|2|-1\n2|1|-1\n";
+    fn rejects_conflicts_with_line_numbers() {
+        // A reversed transit declaration contradicts the first line; the
+        // parser must say so (with both line numbers) rather than letting
+        // the builder fail later without location information.
+        for doc in [
+            "1|2|-1\n2|1|-1\n", // provider direction reversed
+            "1|2|-1\n1|2|0\n",  // transit vs peering
+            "1|2|0\n2|1|-1\n",  // peering vs transit, reversed order
+        ] {
+            match parse_relationships(doc.as_bytes()) {
+                Err(TopologyError::Parse { line: 2, message }) => {
+                    assert!(message.contains("line 1"), "{message}");
+                    assert!(message.contains("conflicting duplicate"), "{message}");
+                }
+                other => panic!("{doc:?}: expected a line-2 parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_are_deduplicated() {
+        // Repeating the same declaration (in either direction for peers)
+        // must not double the adjacency.
+        let doc = "1|2|-1\n1|2|-1\n3|4|0\n4|3|0\n";
+        let g = parse_relationships(doc.as_bytes()).unwrap();
+        assert_eq!(g.num_customer_provider_edges(), 1);
+        assert_eq!(g.num_peer_edges(), 1);
+        let id_of = |asn: u32| g.ases().find(|&v| g.asn_label(v) == asn).unwrap();
+        assert_eq!(g.customers(id_of(1)).len(), 1);
+        assert_eq!(g.peers(id_of(3)).len(), 1);
+    }
+
+    #[test]
+    fn rejects_self_loops_with_location() {
         assert!(matches!(
-            parse_relationships(doc.as_bytes()),
-            Err(TopologyError::ConflictingRelationship(..))
+            parse_relationships("7|7|0\n".as_bytes()),
+            Err(TopologyError::Parse { line: 1, .. })
         ));
     }
 

@@ -62,6 +62,6 @@ pub mod prelude {
         Fate, HappyCount, LpVariant, Outcome, PairAnalysis, PairAnalyzer, PartitionComputer,
         Policy, RouteClass, SecurityModel, SweepEngine, SweepStats,
     };
-    pub use sbgp_sim::{runner, sample, scenario, sweep, Internet, Parallelism};
+    pub use sbgp_sim::{runner, sample, scenario, stats, sweep, Internet, Parallelism};
     pub use sbgp_topology::{AsGraph, AsId, AsSet, GraphBuilder};
 }

@@ -1,0 +1,143 @@
+//! End-to-end checkpointing/resume test for the `campaign` runner.
+//!
+//! Runs `campaign --smoke` in a scratch directory, then simulates a killed
+//! campaign by deleting the assembled JSON plus one cell checkpoint and
+//! re-running: the second run must resume every surviving cell, recompute
+//! only the missing one, and assemble byte-identical *estimates* (wall
+//! clock may of course differ).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn campaign_cmd(dir: &Path) -> Command {
+    // Build (cached by the shared target dir) and locate the binary via
+    // cargo, but *run* it from the scratch directory.
+    let mut build = Command::new(env!("CARGO"));
+    build
+        .current_dir(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .args([
+            "build",
+            "--offline",
+            "-q",
+            "-p",
+            "sbgp_bench",
+            "--bin",
+            "campaign",
+        ]);
+    let out = build.output().expect("spawn cargo build");
+    assert!(
+        out.status.success(),
+        "campaign failed to build:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bin = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("debug")
+        .join("campaign");
+    let mut cmd = Command::new(bin);
+    cmd.current_dir(dir);
+    cmd.args(["--smoke", "--threads", "2"]);
+    cmd
+}
+
+/// Strip the timing fields so runs are comparable.
+fn estimates_only(json: &str) -> String {
+    json.lines()
+        .filter(|l| {
+            !(l.contains("wall_ms")
+                || l.contains("pairs_per_sec")
+                || l.contains("_this_run")
+                || l.contains("\"resumed\""))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn campaign_smoke_checkpoints_and_resumes() {
+    let dir = std::env::temp_dir().join(format!("sbgp_campaign_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    // First run: all cells computed, JSON assembled and self-validated.
+    let out = campaign_cmd(&dir).output().expect("spawn campaign");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "first campaign run failed:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("6 computed, 0 resumed"),
+        "unexpected first-run summary:\n{stdout}"
+    );
+    let json_path = dir.join("BENCH_campaign_smoke.json");
+    let first = std::fs::read_to_string(&json_path).expect("campaign JSON");
+    assert!(first.contains("\"schema\": \"campaign-v1\""));
+    assert!(first.contains("\"ci_trajectory\""));
+    let ckpt = dir.join("campaign_smoke_ckpt");
+    let cells: Vec<PathBuf> = std::fs::read_dir(&ckpt)
+        .expect("checkpoint dir")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(cells.len(), 6, "expected 6 cell checkpoints: {cells:?}");
+
+    // Kill simulation: the assembled JSON and one cell vanish.
+    std::fs::remove_file(&json_path).unwrap();
+    let victim = ckpt.join("rollout_400_11_sec2.json");
+    assert!(victim.exists(), "victim cell missing from {ckpt:?}");
+    std::fs::remove_file(&victim).unwrap();
+
+    // Second run: 5 resumed, 1 recomputed, same estimates.
+    let out = campaign_cmd(&dir).output().expect("spawn campaign");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "resumed campaign run failed:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("1 computed, 5 resumed"),
+        "resume did not skip surviving cells:\n{stdout}"
+    );
+    assert!(stdout.contains("rollout_400_11_sec2: 300 pairs"));
+    let second = std::fs::read_to_string(&json_path).expect("campaign JSON after resume");
+    assert_eq!(
+        estimates_only(&first),
+        estimates_only(&second),
+        "estimates drifted across a resume"
+    );
+
+    // Changed estimation parameters must invalidate every checkpoint:
+    // reusing a 300-pair cell under a 301-pair grid header would be a
+    // silent lie, so nothing may be resumed.
+    let out = campaign_cmd(&dir)
+        .args(["--pairs", "301"])
+        .output()
+        .expect("spawn campaign with changed budget");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "changed-budget run failed:\n{stdout}");
+    assert!(
+        stdout.contains("6 computed, 0 resumed"),
+        "stale checkpoints were reused under changed --pairs:\n{stdout}"
+    );
+    assert!(stdout.contains("different estimation parameters"));
+    let second = std::fs::read_to_string(&json_path).expect("campaign JSON after budget change");
+    assert!(second.contains("\"budget\": 301,"));
+
+    // Schema gate: the self-validation path accepts the fresh file and
+    // rejects a mutilated one.
+    let status = campaign_cmd(&dir)
+        .args(["--validate", "BENCH_campaign_smoke.json"])
+        .status()
+        .expect("spawn validate");
+    assert!(status.success(), "validation rejected a good file");
+    std::fs::write(&json_path, second.replace("pairs_per_sec", "nope")).unwrap();
+    let status = campaign_cmd(&dir)
+        .args(["--validate", "BENCH_campaign_smoke.json"])
+        .status()
+        .expect("spawn validate");
+    assert!(!status.success(), "validation accepted schema drift");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,8 +6,10 @@
 //! matter which worker computed which chunk.
 
 use bgp_juice::prelude::*;
+use bgp_juice::sim::stats::{self, EstimatorConfig};
 use bgp_juice::sim::strategy;
 use bgp_juice::sim::sweep;
+use std::collections::HashSet;
 
 fn net() -> Internet {
     Internet::synthetic(600, 5)
@@ -200,6 +202,122 @@ fn strategy_ladder_is_bit_identical_across_thread_counts() {
             }
         }
     }
+}
+
+#[test]
+fn stratified_adaptive_runs_are_bit_identical_across_thread_counts() {
+    // The estimation subsystem inherits the chunk-order reduction: the
+    // whole adaptive run — estimates (floating point included), CI-width
+    // trajectory, and the realized sample — is bit-identical at any
+    // thread count.
+    let net = net();
+    let attackers = net.tiers.non_stubs();
+    let dests: Vec<AsId> = net.graph.ases().collect();
+    let deps = vec![
+        Deployment::empty(net.len()),
+        scenario::tier12_step(&net, 3, 5).deployment.clone(),
+        scenario::tier12_step(&net, 5, 20).deployment.clone(),
+    ];
+    let cfg = EstimatorConfig::with_budget(600, 21).with_ci(0.004);
+    for model in SecurityModel::ALL {
+        let policy = Policy::new(model);
+        let reference = stats::estimate_metric_sweep(
+            &net,
+            &attackers,
+            &dests,
+            &deps,
+            policy,
+            AttackStrategy::FakeLink,
+            &cfg,
+            Parallelism::sequential(),
+        );
+        for par in parallelisms() {
+            let got = stats::estimate_metric_sweep(
+                &net,
+                &attackers,
+                &dests,
+                &deps,
+                policy,
+                AttackStrategy::FakeLink,
+                &cfg,
+                par,
+            );
+            assert_eq!(got.sampled, reference.sampled, "{model} sample @ {par:?}");
+            assert_eq!(got.rounds, reference.rounds, "{model} rounds @ {par:?}");
+            assert_eq!(got.estimates.len(), reference.estimates.len());
+            for (k, (g, r)) in got.estimates.iter().zip(&reference.estimates).enumerate() {
+                for (a, b) in [
+                    (g.value.lower, r.value.lower),
+                    (g.value.upper, r.value.upper),
+                    (g.halfwidth.lower, r.halfwidth.lower),
+                    (g.halfwidth.upper, r.halfwidth.upper),
+                ] {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{model} step {k} @ {par:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_stopping_is_monotone_in_the_ci_target() {
+    // The round schedule does not depend on the CI target, so a tighter
+    // target can only run *more* rounds: its sample must be a superset of
+    // every looser target's sample, and the realized sizes must be
+    // monotone. The budget is a hard cap regardless of the target.
+    let net = net();
+    let attackers = net.tiers.non_stubs();
+    let dests: Vec<AsId> = net.graph.ases().collect();
+    let dep = Deployment::empty(net.len());
+    let policy = Policy::new(SecurityModel::Security3rd);
+    const BUDGET: u64 = 2_000;
+    let run_with = |target: Option<f64>| {
+        let mut cfg = EstimatorConfig::with_budget(BUDGET, 77);
+        if let Some(t) = target {
+            cfg = cfg.with_ci(t);
+        }
+        stats::estimate_metric(
+            &net,
+            &attackers,
+            &dests,
+            &dep,
+            policy,
+            AttackStrategy::FakeLink,
+            &cfg,
+            Parallelism(2),
+        )
+    };
+    // Loosest to tightest; `None` runs to the budget, the floor for all.
+    let targets = [Some(0.05), Some(0.02), Some(0.01), Some(0.004), None];
+    let runs: Vec<_> = targets.iter().map(|&t| run_with(t)).collect();
+    for w in runs.windows(2) {
+        let (loose, tight) = (&w[0], &w[1]);
+        assert!(loose.sampled.len() <= tight.sampled.len());
+        let loose_set: HashSet<(AsId, AsId)> = loose.sampled.iter().copied().collect();
+        let tight_set: HashSet<(AsId, AsId)> = tight.sampled.iter().copied().collect();
+        assert!(
+            loose_set.is_subset(&tight_set),
+            "tighter target must sample a superset"
+        );
+        // Nested samples agree round by round while both ran.
+        let shared = loose.rounds.len().min(tight.rounds.len());
+        assert_eq!(loose.rounds[..shared], tight.rounds[..shared]);
+    }
+    for (t, run) in targets.iter().zip(&runs) {
+        assert!(
+            run.sampled.len() as u64 <= BUDGET,
+            "budget overrun at target {t:?}"
+        );
+        if let Some(t) = t {
+            // Stopped early ⇒ the target was actually met.
+            if (run.sampled.len() as u64) < BUDGET {
+                assert!(run.max_halfwidth() <= *t, "stopped without meeting ±{t}");
+            }
+        }
+    }
+    // The loosest target really does stop early on this workload, so the
+    // monotonicity above is not vacuous.
+    assert!(runs[0].sampled.len() < runs.last().unwrap().sampled.len());
 }
 
 #[test]

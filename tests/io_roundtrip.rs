@@ -1,0 +1,137 @@
+//! Serial-1 I/O round-trip and error-path coverage for
+//! `sbgp_topology::io`.
+//!
+//! The round-trip property: generate → write → parse must reproduce the
+//! graph exactly — same AS count, same per-AS adjacency in every
+//! relationship class (compared through the preserved ASN labels, since
+//! dense ids may be permuted by first-appearance interning).
+
+use proptest::prelude::*;
+
+use bgp_juice::prelude::*;
+use bgp_juice::topology::gen::{generate, InternetConfig};
+use bgp_juice::topology::io::{parse_relationships, write_relationships};
+use bgp_juice::topology::TopologyError;
+
+/// Assert `g` and `h` are the same labeled graph.
+fn assert_same_graph(g: &AsGraph, h: &AsGraph) {
+    assert_eq!(g.len(), h.len());
+    assert_eq!(
+        g.num_customer_provider_edges(),
+        h.num_customer_provider_edges()
+    );
+    assert_eq!(g.num_peer_edges(), h.num_peer_edges());
+    let mut to_h = std::collections::HashMap::new();
+    for v in h.ases() {
+        assert!(
+            to_h.insert(h.asn_label(v), v).is_none(),
+            "duplicate label {}",
+            h.asn_label(v)
+        );
+    }
+    let labels = |g: &AsGraph, vs: &[AsId]| -> Vec<u32> {
+        let mut ls: Vec<u32> = vs.iter().map(|&v| g.asn_label(v)).collect();
+        ls.sort_unstable();
+        ls
+    };
+    for v in g.ases() {
+        let w = *to_h
+            .get(&g.asn_label(v))
+            .unwrap_or_else(|| panic!("label {} lost", g.asn_label(v)));
+        assert_eq!(labels(g, g.providers(v)), labels(h, h.providers(w)), "{v}");
+        assert_eq!(labels(g, g.customers(v)), labels(h, h.customers(w)), "{v}");
+        assert_eq!(labels(g, g.peers(v)), labels(h, h.peers(w)), "{v}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generate → write → parse → equal graph, ASN labels preserved.
+    #[test]
+    fn serial1_round_trip_preserves_the_graph(args in (150usize..400, 0u64..500)) {
+        let (asns, seed) = args;
+        let g = generate(&InternetConfig::sized(asns, seed)).graph;
+        let text = write_relationships(&g);
+        let h = parse_relationships(text.as_bytes()).expect("parse our own output");
+        assert_same_graph(&g, &h);
+        // And the round trip is a fixed point: writing the parsed graph
+        // yields the same edge multiset. Peer lines are direction-free in
+        // serial-1, so normalize their endpoint order before comparing.
+        let canon = |text: &str| -> Vec<String> {
+            let mut lines: Vec<String> = text
+                .lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(|l| {
+                    let parts: Vec<&str> = l.split('|').collect();
+                    if parts[2] == "0" && parts[0] > parts[1] {
+                        format!("{}|{}|0", parts[1], parts[0])
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect();
+            lines.sort_unstable();
+            lines
+        };
+        assert_eq!(canon(&text), canon(&write_relationships(&h)));
+    }
+
+    /// Corrupting any single data line into a contradictory duplicate
+    /// must be rejected with that line's number.
+    #[test]
+    fn contradictory_duplicates_are_rejected_everywhere(args in (150usize..250, 0u64..100)) {
+        let (asns, seed) = args;
+        let g = generate(&InternetConfig::sized(asns, seed)).graph;
+        let mut text = write_relationships(&g);
+        // Append a reversed copy of the first transit edge.
+        let flipped = text
+            .lines()
+            .find(|l| l.ends_with("|-1"))
+            .map(|l| {
+                let mut it = l.split('|');
+                let (p, c) = (it.next().unwrap(), it.next().unwrap());
+                format!("{c}|{p}|-1\n")
+            })
+            .expect("a generated graph always has transit edges");
+        let expected_line = text.lines().count() + 1;
+        text.push_str(&flipped);
+        match parse_relationships(text.as_bytes()) {
+            Err(TopologyError::Parse { line, message }) => {
+                prop_assert_eq!(line, expected_line);
+                prop_assert!(message.contains("conflicting duplicate"), "{}", message);
+            }
+            other => prop_assert!(false, "expected a parse error, got {:?}", other.map(|g| g.len())),
+        }
+    }
+}
+
+#[test]
+fn malformed_documents_are_rejected_with_locations() {
+    let cases: [(&str, usize); 7] = [
+        ("1|2\n", 1),                    // missing relationship column
+        ("1|2|7\n", 1),                  // unknown relationship code
+        ("x|2|0\n", 1),                  // non-numeric ASN
+        ("1|2|-1\n\n# ok\n2|1|-1\n", 4), // reversed transit duplicate
+        ("1|2|0\n1|2|-1\n", 2),          // peer vs transit
+        ("5|5|-1\n", 1),                 // self loop
+        ("1||0\n", 1),                   // empty ASN
+    ];
+    for (doc, want_line) in cases {
+        match parse_relationships(doc.as_bytes()) {
+            Err(TopologyError::Parse { line, .. }) => {
+                assert_eq!(line, want_line, "{doc:?}");
+            }
+            other => panic!("{doc:?}: expected Parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn exact_duplicates_parse_to_a_single_edge() {
+    let doc = "10|20|-1\n10|20|-1\n30|40|0\n40|30|0\n10|20|-1\n";
+    let g = parse_relationships(doc.as_bytes()).unwrap();
+    assert_eq!(g.len(), 4);
+    assert_eq!(g.num_customer_provider_edges(), 1);
+    assert_eq!(g.num_peer_edges(), 1);
+}

@@ -1,0 +1,93 @@
+//! Paper-scale smoke test: a 40k-AS synthetic Internet — the size class of
+//! the paper's UCLA/Cyclops snapshot (~39k ASes, Appendix H) — must
+//! generate with the calibrated Table 1 shape intact, and the delta engine
+//! must serve a full destination group on it within a wall-clock guard.
+//!
+//! `#[ignore]`d in tier-1 (it is a scale test, not a correctness test);
+//! the CI bench-smoke job runs it in release via
+//! `cargo test --release --test scale_smoke -- --ignored`.
+
+use std::time::Instant;
+
+use bgp_juice::prelude::*;
+use bgp_juice::sim::sample;
+use bgp_juice::topology::tier::Tier;
+
+const ASNS: usize = 40_000;
+
+#[test]
+#[ignore = "40k-AS scale smoke; run by CI bench-smoke with --ignored"]
+fn scale_smoke_40k_generation_and_delta_group() {
+    let t0 = Instant::now();
+    let net = Internet::synthetic(ASNS, 42);
+    let gen_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(net.len(), ASNS);
+
+    // --- Table 1 shape invariants at paper scale -----------------------
+    // 13 transit-free Tier 1s forming a full peering clique.
+    let t1 = net.tiers.tier1();
+    assert_eq!(t1.len(), 13);
+    for (i, &a) in t1.iter().enumerate() {
+        assert_eq!(net.graph.provider_degree(a), 0, "{a} buys transit");
+        for &b in &t1[i + 1..] {
+            assert!(
+                net.graph.peers(a).contains(&b),
+                "Tier-1 clique broken: {a} does not peer with {b}"
+            );
+        }
+    }
+    // Stub fraction near the UCLA snapshot's ~85%.
+    let stubs = net.graph.ases().filter(|&v| net.tiers.is_stub(v)).count();
+    let stub_share = stubs as f64 / net.len() as f64;
+    assert!(
+        (0.80..=0.92).contains(&stub_share),
+        "stub share {stub_share}"
+    );
+    // Customer→provider : peer–peer edge ratio within the calibrated band
+    // (UCLA 2012: 73442/62129 ≈ 1.18).
+    let ratio = net.graph.num_customer_provider_edges() as f64 / net.graph.num_peer_edges() as f64;
+    assert!((0.7..=2.0).contains(&ratio), "c2p/p2p ratio {ratio}");
+    // The tier classifier found its full populations.
+    assert_eq!(net.tiers.tier2().len(), 100);
+    assert_eq!(net.tiers.tier3().len(), 100);
+    assert_eq!(net.tiers.count(Tier::SmallCp), 300);
+    assert_eq!(net.content_providers.len(), 17);
+
+    // --- One delta-engine destination group, end to end ----------------
+    // A Tier-2 destination against a spread of non-stub attackers: one
+    // normal-conditions base fix plus one contested-region patch per
+    // attacker, exactly the unit of work every campaign cell repeats.
+    let attackers = sample::sample_non_stubs(&net, 40, 7);
+    let d = net.tiers.tier2()[0];
+    let dep = Deployment::full_from_iter(net.len(), net.tiers.tier1().iter().copied());
+    let policy = Policy::new(SecurityModel::Security2nd);
+    let t_group = Instant::now();
+    let mut delta = AttackDeltaEngine::new(&net.graph);
+    delta.begin(d, &dep, policy);
+    let mut served = 0usize;
+    for &m in &attackers {
+        if m == d {
+            continue;
+        }
+        delta.attack(m, AttackStrategy::FakeLink);
+        let (lower, upper) = delta.count_happy();
+        assert!(lower <= upper && upper <= net.len() - 2);
+        served += 1;
+    }
+    let group_ms = t_group.elapsed().as_secs_f64() * 1e3;
+    assert!(served >= 39, "only {served} attackers served");
+
+    // Wall-clock guard: generation plus one full destination group must
+    // stay comfortably interactive even at paper scale (the guard is
+    // generous to absorb dev-profile and CI-runner noise; release runs
+    // come in far under it).
+    let total_s = (gen_ms + group_ms) / 1e3;
+    assert!(
+        total_s < 300.0,
+        "40k-AS generation + delta group took {total_s:.1}s (gen {gen_ms:.0}ms, group {group_ms:.0}ms)"
+    );
+    println!(
+        "40k smoke: gen {gen_ms:.0} ms, {served}-attacker delta group {group_ms:.0} ms, \
+         stub share {stub_share:.3}, c2p/p2p {ratio:.2}"
+    );
+}
