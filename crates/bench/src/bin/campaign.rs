@@ -8,6 +8,17 @@
 //! `BENCH_campaign.json` records wall-clock, pairs/sec and the CI-width
 //! trajectory of every cell, and feeds the CI bench-smoke job.
 //!
+//! The model axis is **fused**: all models of one `(figure, asns, seed)`
+//! group run through a single multi-cell estimator pass
+//! (`estimate_metric_cells` & friends), so one snapshot traversal serves
+//! every model's lane — and at zero validators the models collapse onto
+//! one computation outright. Fused ≡ per-model bit for bit (pinned in
+//! `sbgp_sim::stats`), and a cell's estimates are independent of which
+//! lanes share its pass (the adaptive round schedule depends only on the
+//! universe and seed), so checkpoints stay per-model cells with the
+//! `campaign-cell-v1` schema and resume granularity is unchanged: a
+//! restarted group fuses only its *missing* model cells.
+//!
 //! ```text
 //! campaign --figures baseline,rollout --asns 4000,40000 --seeds 42 \
 //!          --models sec1,sec2,sec3 --pairs 2000 --ci 0.01
@@ -285,53 +296,77 @@ fn cell_json(
     j
 }
 
-/// Run one cell (or reuse its checkpoint).
-fn run_cell(
+/// The checkpoint file name of one model cell.
+fn cell_id(figure: Figure, asns: usize, seed: u64, model: SecurityModel) -> String {
+    format!("{}_{}_{}_{}", figure.name(), asns, seed, model_token(model))
+}
+
+/// Attempt to reuse one model cell from its checkpoint file.
+fn try_resume(
     figure: Figure,
     net: &Internet,
     seed: u64,
     model: SecurityModel,
     args: &Args,
-) -> CellOutcome {
-    let cell_id = format!(
-        "{}_{}_{}_{}",
-        figure.name(),
-        net.graph.len(),
-        seed,
-        model_token(model)
-    );
+) -> Option<CellOutcome> {
+    let cell_id = cell_id(figure, net.graph.len(), seed, model);
     let path = args.checkpoint_dir.join(format!("{cell_id}.json"));
-    if let Ok(text) = std::fs::read_to_string(&path) {
-        // A reusable checkpoint carries the schema marker and a closing
-        // brace (anything else is a torn write from a kill) AND was
-        // produced under the *same estimation parameters* — we write
-        // these lines ourselves, so exact string matches are a full
-        // check. A rerun with a different --pairs / --ci /
-        // --rollout-steps recomputes the cell instead of silently
-        // reusing stale estimates under a new grid header.
-        let ci_line = match args.ci {
-            Some(t) => format!("\"ci_target\": {t},"),
-            None => "\"ci_target\": null,".to_string(),
-        };
-        let complete =
-            text.contains(&format!("\"schema\": \"{CELL_SCHEMA}\"")) && text.ends_with('}');
-        let same_params = text.contains(&format!("\"budget\": {},", args.pairs))
-            && text.contains(&ci_line)
-            && text.contains(&format!("\"steps\": {},", expected_steps(figure, args)));
-        if complete && same_params {
-            let wall_ms = json_u64(&text, "wall_ms").unwrap_or(0) as f64;
-            let pairs = json_u64(&text, "pairs").unwrap_or(0);
-            println!("cell {cell_id}: resumed from checkpoint");
-            return CellOutcome {
-                json: text,
-                wall_ms,
-                pairs,
-                resumed: true,
-            };
-        }
-        if complete {
-            println!("cell {cell_id}: checkpoint has different estimation parameters, recomputing");
-        }
+    let text = std::fs::read_to_string(&path).ok()?;
+    // A reusable checkpoint carries the schema marker and a closing
+    // brace (anything else is a torn write from a kill) AND was
+    // produced under the *same estimation parameters* — we write
+    // these lines ourselves, so exact string matches are a full
+    // check. A rerun with a different --pairs / --ci /
+    // --rollout-steps recomputes the cell instead of silently
+    // reusing stale estimates under a new grid header.
+    let ci_line = match args.ci {
+        Some(t) => format!("\"ci_target\": {t},"),
+        None => "\"ci_target\": null,".to_string(),
+    };
+    let complete = text.contains(&format!("\"schema\": \"{CELL_SCHEMA}\"")) && text.ends_with('}');
+    let same_params = text.contains(&format!("\"budget\": {},", args.pairs))
+        && text.contains(&ci_line)
+        && text.contains(&format!("\"steps\": {},", expected_steps(figure, args)));
+    if complete && same_params {
+        let wall_ms = json_u64(&text, "wall_ms").unwrap_or(0) as f64;
+        let pairs = json_u64(&text, "pairs").unwrap_or(0);
+        println!("cell {cell_id}: resumed from checkpoint");
+        return Some(CellOutcome {
+            json: text,
+            wall_ms,
+            pairs,
+            resumed: true,
+        });
+    }
+    if complete {
+        println!("cell {cell_id}: checkpoint has different estimation parameters, recomputing");
+    }
+    None
+}
+
+/// Run every model cell of one `(figure, graph, seed)` group — one fused
+/// multi-cell estimator pass serving every model whose checkpoint is
+/// missing or stale, while present cells resume untouched (each cell's
+/// estimates don't depend on which lanes shared its pass, so partial
+/// groups recompute only their gaps). Results are in `args.models`
+/// order, one [`CellOutcome`] per model; wall-clock is attributed evenly
+/// across the group's computed cells, so per-cell `pairs_per_sec`
+/// reflects the fused amortization.
+fn run_figure_group(figure: Figure, net: &Internet, seed: u64, args: &Args) -> Vec<CellOutcome> {
+    let resumed: Vec<Option<CellOutcome>> = args
+        .models
+        .iter()
+        .map(|&m| try_resume(figure, net, seed, m, args))
+        .collect();
+    let missing: Vec<SecurityModel> = args
+        .models
+        .iter()
+        .zip(&resumed)
+        .filter(|(_, r)| r.is_none())
+        .map(|(&m, _)| m)
+        .collect();
+    if missing.is_empty() {
+        return resumed.into_iter().flatten().collect();
     }
 
     let est = {
@@ -341,17 +376,20 @@ fn run_cell(
         }
         e
     };
-    let policy = Policy::new(model);
+    // One policy cell per missing model; the fused estimators dedup them
+    // through `AttackStrategy::canonical()` and the zero-validator model
+    // collapse, and reproduce each model's solo estimator bit for bit.
+    let policies: Vec<Policy> = missing.iter().map(|&m| Policy::new(m)).collect();
     let all: Vec<AsId> = net.graph.ases().collect();
     let non_stubs = net.tiers.non_stubs();
     let t0 = Instant::now();
-    let run = match figure {
-        Figure::Baseline => stats::estimate_metric(
+    let runs: Vec<AdaptiveRun> = match figure {
+        Figure::Baseline => stats::estimate_metric_cells(
             net,
             &all,
             &all,
             &Deployment::empty(net.len()),
-            policy,
+            &policies,
             AttackStrategy::FakeLink,
             &est,
             args.threads,
@@ -360,60 +398,78 @@ fn run_cell(
             let mut deps = vec![Deployment::empty(net.len())];
             deps.extend(sweep_rollout_steps(net, args.rollout_steps));
             debug_assert_eq!(deps.len(), expected_steps(figure, args));
-            stats::estimate_metric_sweep(
+            stats::estimate_metric_sweep_cells(
                 net,
                 &non_stubs,
                 &all,
                 &deps,
-                policy,
+                &policies,
                 AttackStrategy::FakeLink,
                 &est,
                 args.threads,
             )
         }
-        Figure::Ladder => {
-            let l = stats::estimate_strategy_ladder(
-                net,
-                &non_stubs,
-                &all,
-                &Deployment::empty(net.len()),
-                policy,
-                &AttackStrategy::LADDER,
-                &est,
-                args.threads,
-            );
+        Figure::Ladder => stats::estimate_strategy_ladder_cells(
+            net,
+            &non_stubs,
+            &all,
+            &Deployment::empty(net.len()),
+            &policies,
+            &AttackStrategy::LADDER,
+            &est,
+            args.threads,
+        )
+        .into_iter()
+        .map(|l| {
             debug_assert_eq!(l.rungs.len() + 1, expected_steps(figure, args));
             l.run
-        }
+        })
+        .collect(),
     };
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let json = cell_json(
-        figure,
-        net.graph.len(),
-        seed,
-        model,
-        args,
-        &run,
-        expected_steps(figure, args),
-        wall_ms,
-    );
-    // Atomic checkpoint: a kill mid-write leaves only the tmp file behind.
-    let tmp = args.checkpoint_dir.join(format!("{cell_id}.json.tmp"));
-    std::fs::write(&tmp, &json).expect("write checkpoint tmp");
-    std::fs::rename(&tmp, &path).expect("rename checkpoint");
-    println!(
-        "cell {cell_id}: {} pairs in {:.1} ms ({:.0} pairs/s), max CI ±{:.3}pp",
-        run.sampled.len(),
-        wall_ms,
-        run.sampled.len() as f64 / (wall_ms / 1e3).max(1e-9),
-        100.0 * run.max_halfwidth()
-    );
-    CellOutcome {
-        json,
-        wall_ms,
-        pairs: run.sampled.len() as u64,
-        resumed: false,
-    }
+    let share_ms = wall_ms / missing.len().max(1) as f64;
+    let computed: Vec<CellOutcome> = missing
+        .iter()
+        .zip(&runs)
+        .map(|(&model, run)| {
+            let cell_id = cell_id(figure, net.graph.len(), seed, model);
+            let json = cell_json(
+                figure,
+                net.graph.len(),
+                seed,
+                model,
+                args,
+                run,
+                expected_steps(figure, args),
+                share_ms,
+            );
+            // Atomic checkpoint: a kill mid-write leaves only the tmp
+            // file behind.
+            let path = args.checkpoint_dir.join(format!("{cell_id}.json"));
+            let tmp = args.checkpoint_dir.join(format!("{cell_id}.json.tmp"));
+            std::fs::write(&tmp, &json).expect("write checkpoint tmp");
+            std::fs::rename(&tmp, &path).expect("rename checkpoint");
+            println!(
+                "cell {cell_id}: {} pairs in {:.1} ms fused share ({:.0} pairs/s), max CI ±{:.3}pp",
+                run.sampled.len(),
+                share_ms,
+                run.sampled.len() as f64 / (share_ms / 1e3).max(1e-9),
+                100.0 * run.max_halfwidth()
+            );
+            CellOutcome {
+                json,
+                wall_ms: share_ms,
+                pairs: run.sampled.len() as u64,
+                resumed: false,
+            }
+        })
+        .collect();
+    // Stitch the freshly computed cells back into `args.models` order.
+    let mut computed = computed.into_iter();
+    resumed
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|| computed.next().expect("one run per missing model")))
+        .collect()
 }
 
 /// Schema check for an assembled campaign JSON (the CI drift gate).
@@ -519,8 +575,9 @@ fn main() {
                 t0.elapsed().as_secs_f64() * 1e3
             );
             for &figure in &args.figures {
-                for &model in &args.models {
-                    let out = run_cell(figure, &net, seed, model, &args);
+                // All models of the figure in one fused pass (or all
+                // resumed); cell order stays figure-major, model-minor.
+                for out in run_figure_group(figure, &net, seed, &args) {
                     total_ms += out.wall_ms;
                     total_pairs += out.pairs;
                     if out.resumed {

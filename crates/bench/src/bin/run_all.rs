@@ -23,6 +23,14 @@ fn main() {
     };
 
     section("§4.2 baseline", render::render_baseline(&net, &cli.config));
+    // When the committed release-grid campaign JSON is present, quote its
+    // CI-annotated estimates verbatim instead of re-deriving them here
+    // (the full-universe numbers cost hours; the quotes are free).
+    if let Ok(text) = std::fs::read_to_string("BENCH_campaign.json") {
+        if let Some(body) = render::render_campaign_quotes(&text) {
+            section("Campaign estimates (quoted from BENCH_campaign.json)", body);
+        }
+    }
     section(
         "Figure 3",
         render::render_figure3(&net, &cli.config, cli.variant),

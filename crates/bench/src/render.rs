@@ -592,3 +592,127 @@ pub fn render_weighted(net: &Internet, cfg: &ExperimentConfig) -> String {
     out.push_str(&t.render());
     out
 }
+
+/// Quote the CI-annotated estimates out of a committed campaign JSON
+/// (`BENCH_campaign.json`) so `run_all` can print the release-grid
+/// numbers **without re-deriving them**. Returns `None` unless the text
+/// carries the `campaign-v1` schema and at least one cell.
+///
+/// The file is machine-written by the `campaign` binary (never
+/// hand-edited), so line-oriented field extraction is a faithful parse.
+pub fn render_campaign_quotes(json: &str) -> Option<String> {
+    if !json.contains("\"schema\": \"campaign-v1\"") {
+        return None;
+    }
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    struct Cell {
+        figure: String,
+        asns: String,
+        seed: String,
+        model: String,
+        pairs: String,
+        population: String,
+        first: String,
+        last: String,
+        steps: usize,
+    }
+    let estimate = |line: &str| -> Option<String> {
+        let lower: f64 = field(line, "lower")?.parse().ok()?;
+        let upper: f64 = field(line, "upper")?.parse().ok()?;
+        let hw: f64 = field(line, "hw_lower")?
+            .parse::<f64>()
+            .ok()?
+            .max(field(line, "hw_upper")?.parse().ok()?);
+        Some(format!(
+            "{} ±{:.2}pp",
+            pct_bounds(sbgp_core::Bounds { lower, upper }),
+            100.0 * hw
+        ))
+    };
+    let mut cells: Vec<Cell> = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if line.contains("\"schema\": \"campaign-cell-v1\"") {
+            cells.push(Cell {
+                figure: String::new(),
+                asns: String::new(),
+                seed: String::new(),
+                model: String::new(),
+                pairs: String::new(),
+                population: String::new(),
+                first: String::new(),
+                last: String::new(),
+                steps: 0,
+            });
+            continue;
+        }
+        let Some(cell) = cells.last_mut() else {
+            continue;
+        };
+        if line.starts_with("\"figure\"") {
+            cell.figure = field(line, "figure").unwrap_or_default().to_string();
+        } else if line.starts_with("\"asns\"") {
+            cell.asns = field(line, "asns").unwrap_or_default().to_string();
+        } else if line.starts_with("\"seed\"") {
+            cell.seed = field(line, "seed").unwrap_or_default().to_string();
+        } else if line.starts_with("\"model\"") {
+            cell.model = field(line, "model").unwrap_or_default().to_string();
+        } else if line.starts_with("\"pairs\"") {
+            cell.pairs = field(line, "pairs").unwrap_or_default().to_string();
+        } else if line.starts_with("\"population\"") {
+            cell.population = field(line, "population").unwrap_or_default().to_string();
+        } else if line.starts_with("{\"step\"") {
+            if let Some(e) = estimate(line) {
+                if cell.steps == 0 {
+                    cell.first = e.clone();
+                }
+                cell.last = e;
+                cell.steps += 1;
+            }
+        }
+    }
+    cells.retain(|c| c.steps > 0 && !c.figure.is_empty());
+    if cells.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    out.push_str(
+        "Release-grid stratified estimates, quoted verbatim from the committed\n\
+         campaign JSON (95% CI; no re-derivation):\n\n",
+    );
+    let mut t = Table::new([
+        "figure",
+        "asns",
+        "seed",
+        "model",
+        "pairs",
+        "of",
+        "H first step",
+        "H last step",
+    ]);
+    for c in &cells {
+        t.row([
+            c.figure.clone(),
+            c.asns.clone(),
+            c.seed.clone(),
+            c.model.clone(),
+            c.pairs.clone(),
+            c.population.clone(),
+            c.first.clone(),
+            if c.steps > 1 {
+                c.last.clone()
+            } else {
+                "—".to_string()
+            },
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(regenerate with `cargo run --release -p sbgp_bench --bin campaign`)\n");
+    Some(out)
+}

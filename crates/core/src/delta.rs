@@ -161,12 +161,7 @@ pub struct AttackDeltaEngine<'g> {
     stats: DeltaStats,
 }
 
-/// Pack a lexicographic `(u32, u32, u32)` preference key into one `u128`
-/// (strictly order-preserving, and always below `u128::MAX`).
-#[inline]
-fn pack_key(k: (u32, u32, u32)) -> u128 {
-    ((k.0 as u128) << 64) | ((k.1 as u128) << 32) | (k.2 as u128)
-}
+use crate::region::pack_key;
 
 impl<'g> AttackDeltaEngine<'g> {
     /// Create a delta engine for `graph`.
@@ -290,6 +285,17 @@ impl<'g> AttackDeltaEngine<'g> {
         self.stats
     }
 
+    /// The per-cell packed snapshot preference keys (`u128::MAX` = no
+    /// route), for the fused engine's shared multi-lane scan.
+    pub(crate) fn cell_keys(&self) -> &[u128] {
+        &self.cell_keys
+    }
+
+    /// The adjacency-mass budget above which this engine would fall back.
+    pub(crate) fn mass_budget(&self) -> usize {
+        self.mass_budget
+    }
+
     /// Compute the exact stable outcome for `attacker` announcing
     /// `strategy` against the cell's destination. The returned outcome is
     /// valid until the next `attack`/`begin*` call.
@@ -321,16 +327,7 @@ impl<'g> AttackDeltaEngine<'g> {
             .expect("AttackDeltaEngine::begin not called");
         let d = self.destination;
         let scenario = AttackScenario::colluding(attackers, d).with_strategy(strategy);
-
-        self.region.clear();
-        self.region_list.clear();
-        self.region_mass = 0;
-        let graph = self.graph();
-        for m in scenario.attackers() {
-            self.region.insert(m);
-            self.region_list.push(m);
-            self.region_mass += graph.degree(m);
-        }
+        self.init_roots(scenario);
 
         // Discover the contested ball in one cheap forward scan over the
         // *snapshot* (the working outcome is not consulted, so no restore
@@ -344,7 +341,80 @@ impl<'g> AttackDeltaEngine<'g> {
         if self.region_mass > self.mass_budget {
             return self.fallback(scenario, deployment);
         }
+        self.serve(scenario, deployment)
+    }
 
+    /// As [`AttackDeltaEngine::attack_set`], but adopt an externally
+    /// discovered seed region instead of running this engine's own
+    /// contested-ball scan — the [`crate::FusedDeltaEngine`] discovers all
+    /// its lanes' balls in one shared multi-lane traversal and hands each
+    /// lane its slice here. Seeding is *purely* a performance hint: the
+    /// verify-and-grow loop reaches local consistency from any seed set and
+    /// Theorem 2.1 uniqueness then pins the same stable outcome bit for
+    /// bit, so callers may pass any subset or superset of the true ball.
+    pub(crate) fn attack_set_seeded(
+        &mut self,
+        attackers: &[AsId],
+        strategy: AttackStrategy,
+        seeds: &[AsId],
+    ) -> &Outcome {
+        let deployment = self
+            .deployment
+            .take()
+            .expect("AttackDeltaEngine::begin not called");
+        let d = self.destination;
+        let scenario = AttackScenario::colluding(attackers, d).with_strategy(strategy);
+        self.init_roots(scenario);
+        let graph = self.graph();
+        for &v in seeds {
+            if v == d || scenario.is_attacker(v) {
+                continue;
+            }
+            if self.region.insert(v) {
+                self.region_list.push(v);
+                self.region_mass += graph.degree(v);
+            }
+        }
+        if self.region_mass > self.mass_budget {
+            return self.fallback(scenario, deployment);
+        }
+        self.serve(scenario, deployment)
+    }
+
+    /// Serve one attack with a forced full compute — the fused engine's
+    /// per-lane escape hatch when the shared scan already proved this
+    /// lane's ball blows its budget.
+    pub(crate) fn attack_set_full(
+        &mut self,
+        attackers: &[AsId],
+        strategy: AttackStrategy,
+    ) -> &Outcome {
+        let deployment = self
+            .deployment
+            .take()
+            .expect("AttackDeltaEngine::begin not called");
+        let scenario =
+            AttackScenario::colluding(attackers, self.destination).with_strategy(strategy);
+        self.fallback(scenario, deployment)
+    }
+
+    /// Reset the region to exactly the announcer roots.
+    fn init_roots(&mut self, scenario: AttackScenario) {
+        self.region.clear();
+        self.region_list.clear();
+        self.region_mass = 0;
+        let graph = self.graph();
+        for m in scenario.attackers() {
+            self.region.insert(m);
+            self.region_list.push(m);
+            self.region_mass += graph.degree(m);
+        }
+    }
+
+    /// The patch tail shared by every seeded entry point: undo, solve the
+    /// region to local consistency (growing it as needed), patch the happy
+    /// bounds, and flip the snapshot/undo bookkeeping.
+    fn serve(&mut self, scenario: AttackScenario, deployment: Deployment) -> &Outcome {
         // Undo the previous attack's writes; afterwards the working outcome
         // equals the snapshot again and the patch can solve against it.
         match self.restore {

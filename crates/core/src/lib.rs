@@ -35,6 +35,12 @@
 //!   compute the normal-conditions outcome once and serve every attacker
 //!   `m ∈ M` by re-fixing only the contested region around its bogus
 //!   announcement, with a touched-list snapshot restore between attackers.
+//! * [`fused`] — the fused multi-cell pass: one traversal serves every
+//!   policy cell (model × LP variant × strategy rung) of a
+//!   `(destination, deployment)` pair at once, collapsing behaviorally
+//!   identical cells and sharing the contested-region discovery, with a
+//!   per-lane fallback to the single-cell engines that keeps fused
+//!   results bit-identical to per-cell computes.
 //!
 //! [`sweep`] and [`delta`] are the two axes of one amortization hierarchy
 //! (deployment × attacker); `sbgp-sim` composes them destination-major —
@@ -57,6 +63,7 @@ pub mod attack;
 pub mod delta;
 pub mod deployment;
 pub mod engine;
+pub mod fused;
 pub mod metric;
 pub mod outcome;
 pub mod partition;
@@ -69,8 +76,9 @@ pub use attack::{AttackScenario, AttackStrategy, MAX_ATTACKERS};
 pub use delta::{AttackDeltaEngine, DeltaStats};
 pub use deployment::Deployment;
 pub use engine::Engine;
+pub use fused::{CellSet, FusedDeltaEngine, FusedStats, PolicyCell};
 pub use metric::{Bounds, HappyCount};
-pub use outcome::{Outcome, RootFlags, RouteClass, RouteInfo};
+pub use outcome::{MultiOutcome, Outcome, RootFlags, RouteClass, RouteInfo};
 pub use partition::{Fate, PartitionComputer, PartitionCounts};
 pub use policy::{LpVariant, Policy, SecurityModel};
 pub use sweep::{SweepEngine, SweepStats};

@@ -14,8 +14,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sbgp_core::{
-    AttackDeltaEngine, AttackStrategy, Bounds, Deployment, HappyCount, PairAnalysis, PairAnalyzer,
-    PartitionComputer, PartitionCounts, Policy,
+    AttackDeltaEngine, AttackStrategy, Bounds, CellSet, Deployment, FusedDeltaEngine, HappyCount,
+    PairAnalysis, PairAnalyzer, PartitionComputer, PartitionCounts, Policy,
 };
 use sbgp_topology::AsId;
 
@@ -350,6 +350,56 @@ fn metric_accumulate(
         },
         |a, b| a.merge(b),
     )
+}
+
+/// The metric `H_{M,D}(S)` for **every policy cell** of a [`CellSet`]
+/// over the same pair sample, one fused engine pass per destination
+/// group. Returned in input-cell order (duplicate spellings report their
+/// shared lane's value).
+///
+/// Each cell's column is bit-identical to running
+/// [`metric_with_strategy`] for that `(policy, strategy)` alone: the
+/// fused engine returns per-cell outcomes identical to the single-cell
+/// engines, and every cell's accumulator folds the same per-pair
+/// fractions in the same (group, attacker) order.
+pub fn metric_cells(
+    net: &Internet,
+    pairs: &[(AsId, AsId)],
+    deployment: &Deployment,
+    cells: &CellSet,
+    par: Parallelism,
+) -> Vec<Bounds> {
+    let groups = sample::group_by_destination(pairs);
+    let sources = net.graph.len() - 2;
+    let accs = map_reduce_grouped(
+        par,
+        &groups,
+        || FusedDeltaEngine::new(&net.graph, cells.clone()),
+        || vec![MetricAccumulator::default(); cells.input_len()],
+        |fused, acc, (d, attackers)| {
+            fused.begin(*d, deployment);
+            for &m in attackers {
+                if m == *d {
+                    continue;
+                }
+                fused.attack(m);
+                for (i, a) in acc.iter_mut().enumerate() {
+                    let (lower, upper) = fused.count_happy(i);
+                    a.add(HappyCount {
+                        lower,
+                        upper,
+                        sources,
+                    });
+                }
+            }
+        },
+        |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                x.merge(y);
+            }
+        },
+    );
+    accs.into_iter().map(|a| a.value()).collect()
 }
 
 /// Per-destination happy counts (summed over the attackers), for the

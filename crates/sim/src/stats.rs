@@ -43,11 +43,20 @@
 //!   round schedule does not depend on the target, so a tighter target
 //!   stops at a later round and its sample is a **superset** of every
 //!   looser target's sample.
+//! * The fused multi-cell drivers ([`estimate_metric_cells`],
+//!   [`estimate_metric_sweep_cells`], [`estimate_strategy_ladder_cells`])
+//!   run *every policy* of a figure through one
+//!   [`sbgp_core::FusedDeltaEngine`] per worker, sharing the sample stream
+//!   and the snapshot traversal across cells. Because the sampling
+//!   schedule depends only on the universe and the seed — never on the
+//!   policy — each cell can stop at its own round and still reproduce its
+//!   solo estimator **bit for bit** ([`estimate_adaptive_cells`]).
 
 use std::collections::HashMap;
 
 use sbgp_core::{
-    AttackDeltaEngine, AttackScenario, AttackStrategy, Bounds, Deployment, Policy, SweepEngine,
+    AttackDeltaEngine, AttackScenario, AttackStrategy, Bounds, CellSet, Deployment,
+    FusedDeltaEngine, Policy, SweepEngine,
 };
 use sbgp_topology::tier::{Tier, FIGURE_TIER_ORDER};
 use sbgp_topology::AsId;
@@ -721,6 +730,128 @@ pub fn estimate_adaptive<W>(
     }
 }
 
+/// The multi-cell generalization of [`estimate_adaptive`]: `cell_stats[c]`
+/// statistics are tracked for each of several *cells* (policy × figure
+/// lanes sharing one worker), and every cell stops **on its own schedule**.
+///
+/// The round schedule — allocation targets, per-stratum counts, sampled
+/// pairs — depends only on the universe and `cfg`, never on the observed
+/// statistics, so cell `c`'s solo run ([`estimate_adaptive`] with
+/// `stat_count = cell_stats[c]`) executes a *prefix* of the fused rounds.
+/// The driver freezes each cell's accumulators, sample list and trajectory
+/// at exactly the round where its solo run would stop (its CI target met,
+/// or the shared budget exhausted), so each returned [`AdaptiveRun`] is
+/// bit-identical to the solo run's. Evaluation for already-stopped cells
+/// still happens (the fused engine serves all lanes in one traversal; the
+/// marginal cost is the point) — its emissions are simply not folded.
+pub fn estimate_adaptive_cells<W>(
+    universe: &PairUniverse,
+    cfg: &EstimatorConfig,
+    cell_stats: &[usize],
+    par: Parallelism,
+    make_worker: impl Fn() -> W + Sync,
+    begin_destination: impl Fn(&mut W, AsId) + Sync,
+    eval_pair: impl Fn(&mut W, AsId, AsId, &mut dyn FnMut(usize, usize, Bounds)) + Sync,
+) -> Vec<AdaptiveRun> {
+    let nstrata = universe.strata().len();
+    let budget = cfg.budget.min(universe.population());
+    let mut runs: Vec<AdaptiveRun> = cell_stats
+        .iter()
+        .map(|&k| AdaptiveRun {
+            estimates: vec![Estimate::default(); k],
+            rounds: Vec::new(),
+            sampled: Vec::new(),
+            population: universe.population(),
+            strata: nstrata,
+        })
+        .collect();
+    // A zero-stat cell is done before sampling, exactly like its solo run.
+    let mut active: Vec<bool> = cell_stats.iter().map(|&k| k > 0 && budget > 0).collect();
+    if !active.iter().any(|&a| a) {
+        return runs;
+    }
+    let sampler = StratifiedSampler::new(universe, cfg.seed);
+    let initial = if cfg.initial == 0 {
+        (2 * nstrata as u64).max(64)
+    } else {
+        cfg.initial
+    };
+    let mut counts = vec![0u64; nstrata];
+    let mut persistent: Vec<Vec<Vec<StratumStats>>> = cell_stats
+        .iter()
+        .map(|&k| vec![vec![StratumStats::default(); nstrata]; k])
+        .collect();
+    let mut target = initial.min(budget);
+    loop {
+        let prev = counts.clone();
+        universe.allocate_into(&mut counts, target);
+        let incr = sampler.increment(&prev, &counts);
+        let groups = group_tagged_by_destination(&incr);
+        let active_now = &active;
+        let round = map_reduce_grouped(
+            par,
+            &groups,
+            &make_worker,
+            || {
+                cell_stats
+                    .iter()
+                    .map(|&k| vec![vec![StratumStats::default(); nstrata]; k])
+                    .collect::<Vec<_>>()
+            },
+            |worker, acc, (d, attackers)| {
+                begin_destination(worker, *d);
+                for &(m, h) in attackers {
+                    eval_pair(worker, m, *d, &mut |c, k, b| {
+                        if active_now[c] {
+                            acc[c][k][h].push(b);
+                        }
+                    });
+                }
+            },
+            |a, b| {
+                for (cell_a, cell_b) in a.iter_mut().zip(b) {
+                    for (xs, ys) in cell_a.iter_mut().zip(cell_b) {
+                        for (x, y) in xs.iter_mut().zip(ys) {
+                            x.merge(y);
+                        }
+                    }
+                }
+            },
+        );
+        for (p, r) in persistent.iter_mut().zip(round) {
+            for (xs, ys) in p.iter_mut().zip(r) {
+                for (x, y) in xs.iter_mut().zip(ys) {
+                    x.merge(y);
+                }
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        for (c, run) in runs.iter_mut().enumerate() {
+            if !active[c] {
+                continue;
+            }
+            run.sampled
+                .extend(incr.iter().map(|p| (p.attacker, p.dest)));
+            run.estimates = persistent[c]
+                .iter()
+                .map(|stats| recombine(universe, stats, cfg.z))
+                .collect();
+            run.rounds.push(RoundTrace {
+                pairs: total,
+                max_halfwidth: run.max_halfwidth(),
+            });
+            let ci_met = cfg.ci_target.is_some_and(|t| run.max_halfwidth() <= t);
+            if ci_met || total >= budget {
+                active[c] = false;
+            }
+        }
+        if !active.iter().any(|&a| a) {
+            return runs;
+        }
+        target = (total * 2).min(budget);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Concrete estimators
 // ---------------------------------------------------------------------------
@@ -884,6 +1015,187 @@ pub fn estimate_strategy_ladder(
         optimal,
         run,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fused multi-cell estimators (one engine pass serves every policy)
+// ---------------------------------------------------------------------------
+
+/// [`estimate_metric`] for a whole set of policies at once: one fused
+/// engine per worker serves every policy cell from one snapshot traversal
+/// (and one computation per *distinct* lane — at zero validators the three
+/// security models collapse onto a single lane). Returns one run per input
+/// policy, each bit-identical to its solo [`estimate_metric`].
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_metric_cells(
+    net: &Internet,
+    attacker_pool: &[AsId],
+    dest_pool: &[AsId],
+    deployment: &Deployment,
+    policies: &[Policy],
+    strategy: AttackStrategy,
+    cfg: &EstimatorConfig,
+    par: Parallelism,
+) -> Vec<AdaptiveRun> {
+    estimate_metric_sweep_cells(
+        net,
+        attacker_pool,
+        dest_pool,
+        std::slice::from_ref(deployment),
+        policies,
+        strategy,
+        cfg,
+        par,
+    )
+}
+
+/// [`estimate_metric_sweep`] for a whole set of policies at once. The
+/// first step of every destination group is one fused patch serving all
+/// policy lanes; the remaining steps run one [`SweepEngine`] per lane,
+/// adopted from the lane's fused outcome — exactly the composition the
+/// solo estimator uses per policy, so each returned run is bit-identical
+/// to its solo [`estimate_metric_sweep`].
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_metric_sweep_cells(
+    net: &Internet,
+    attacker_pool: &[AsId],
+    dest_pool: &[AsId],
+    deployments: &[Deployment],
+    policies: &[Policy],
+    strategy: AttackStrategy,
+    cfg: &EstimatorConfig,
+    par: Parallelism,
+) -> Vec<AdaptiveRun> {
+    if policies.is_empty() {
+        return Vec::new();
+    }
+    let universe = PairUniverse::new(net, attacker_pool, dest_pool);
+    let sources = (net.graph.len() - 2).max(1) as f64;
+    let fraction = move |(lower, upper): (usize, usize)| Bounds {
+        lower: lower as f64 / sources,
+        upper: upper as f64 / sources,
+    };
+    let cells = CellSet::per_policy(policies, strategy);
+    let cell_stats = vec![deployments.len(); policies.len()];
+    estimate_adaptive_cells(
+        &universe,
+        cfg,
+        &cell_stats,
+        par,
+        || {
+            let sweeps: Vec<SweepEngine> = (0..cells.lane_count())
+                .map(|_| SweepEngine::new(&net.graph))
+                .collect();
+            (FusedDeltaEngine::new(&net.graph, cells.clone()), sweeps)
+        },
+        |(fused, _), d| {
+            if let Some(first) = deployments.first() {
+                fused.begin(d, first);
+            }
+        },
+        |(fused, sweeps), m, d, emit| {
+            fused.attack(m);
+            for c in 0..cells.input_len() {
+                emit(c, 0, fraction(fused.count_happy(c)));
+            }
+            if deployments.len() > 1 {
+                for (j, (lane, sweep)) in cells.lanes().iter().zip(sweeps.iter_mut()).enumerate() {
+                    let scenario = AttackScenario::attack(m, d).with_strategy(lane.strategy);
+                    sweep.begin_from(
+                        scenario,
+                        lane.policy,
+                        &deployments[0],
+                        fused.lane_outcome(j),
+                        fused.lane_happy(j),
+                    );
+                }
+                for (k, dep) in deployments.iter().enumerate().skip(1) {
+                    for sweep in sweeps.iter_mut() {
+                        sweep.advance(dep);
+                    }
+                    for c in 0..cells.input_len() {
+                        emit(c, k, fraction(sweeps[cells.lane_of(c)].count_happy()));
+                    }
+                }
+            }
+        },
+    )
+}
+
+/// [`estimate_strategy_ladder`] for a whole set of policies at once: the
+/// (policy × rung) grid becomes one [`CellSet`] (rungs deduped through
+/// [`AttackStrategy::canonical`]), so every attack serves all policies'
+/// whole ladders from one shared traversal. Returns one ladder per input
+/// policy, each bit-identical to its solo [`estimate_strategy_ladder`].
+///
+/// # Panics
+///
+/// Panics when `rungs` is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_strategy_ladder_cells(
+    net: &Internet,
+    attacker_pool: &[AsId],
+    dest_pool: &[AsId],
+    deployment: &Deployment,
+    policies: &[Policy],
+    rungs: &[AttackStrategy],
+    cfg: &EstimatorConfig,
+    par: Parallelism,
+) -> Vec<LadderEstimate> {
+    assert!(!rungs.is_empty(), "the ladder needs at least one rung");
+    if policies.is_empty() {
+        return Vec::new();
+    }
+    let universe = PairUniverse::new(net, attacker_pool, dest_pool);
+    let sources = (net.graph.len() - 2).max(1) as f64;
+    let cells = CellSet::grid(policies, rungs);
+    let nr = rungs.len();
+    let cell_stats = vec![nr + 1; policies.len()];
+    let runs = estimate_adaptive_cells(
+        &universe,
+        cfg,
+        &cell_stats,
+        par,
+        || FusedDeltaEngine::new(&net.graph, cells.clone()),
+        |fused, d| fused.begin(d, deployment),
+        |fused, m, _d, emit| {
+            fused.attack(m);
+            for p in 0..policies.len() {
+                let mut best = (usize::MAX, usize::MAX);
+                for r in 0..nr {
+                    let (lower, upper) = fused.count_happy(p * nr + r);
+                    emit(
+                        p,
+                        r,
+                        Bounds {
+                            lower: lower as f64 / sources,
+                            upper: upper as f64 / sources,
+                        },
+                    );
+                    best = best.min((lower, upper));
+                }
+                emit(
+                    p,
+                    nr,
+                    Bounds {
+                        lower: best.0 as f64 / sources,
+                        upper: best.1 as f64 / sources,
+                    },
+                );
+            }
+        },
+    );
+    runs.into_iter()
+        .map(|run| {
+            let optimal = *run.estimates.last().expect("rungs is nonempty");
+            LadderEstimate {
+                rungs: rungs.to_vec(),
+                per_rung: run.estimates[..nr].to_vec(),
+                optimal,
+                run,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1123,5 +1435,151 @@ mod tests {
         for rung in &r.per_rung {
             assert!(r.optimal.value.lower <= rung.value.lower + 1e-12);
         }
+    }
+
+    fn assert_runs_identical(fused: &AdaptiveRun, solo: &AdaptiveRun, label: &str) {
+        assert_eq!(fused.estimates, solo.estimates, "{label}: estimates");
+        assert_eq!(fused.rounds, solo.rounds, "{label}: trajectory");
+        assert_eq!(fused.sampled, solo.sampled, "{label}: sample");
+        assert_eq!(fused.population, solo.population, "{label}: population");
+        assert_eq!(fused.strata, solo.strata, "{label}: strata");
+    }
+
+    #[test]
+    fn fused_sweep_cells_match_solo_estimators_bit_for_bit() {
+        let net = net();
+        let attackers = net.tiers.non_stubs();
+        let dests: Vec<AsId> = net.graph.ases().collect();
+        let t2 = net.tiers.tier2();
+        let deps = vec![
+            Deployment::empty(net.len()),
+            crate::scenario::isps_and_stubs(&net, &t2[..2.min(t2.len())]),
+            crate::scenario::isps_and_stubs(&net, &t2[..4.min(t2.len())]),
+        ];
+        let policies: Vec<Policy> = SecurityModel::ALL.map(Policy::new).to_vec();
+        // A CI target loose enough that cells stop at different rounds
+        // (step 0 collapses across models, later steps diverge), so the
+        // per-cell freeze is actually exercised.
+        let cfg = EstimatorConfig::with_budget(400, 17).with_ci(0.04);
+        let fused = estimate_metric_sweep_cells(
+            &net,
+            &attackers,
+            &dests,
+            &deps,
+            &policies,
+            AttackStrategy::FakeLink,
+            &cfg,
+            Parallelism(2),
+        );
+        assert_eq!(fused.len(), policies.len());
+        for (i, &policy) in policies.iter().enumerate() {
+            let solo = estimate_metric_sweep(
+                &net,
+                &attackers,
+                &dests,
+                &deps,
+                policy,
+                AttackStrategy::FakeLink,
+                &cfg,
+                Parallelism(2),
+            );
+            assert_runs_identical(&fused[i], &solo, &format!("{:?}", policy.model));
+        }
+        // Budget-only single-deployment form, at a different thread count.
+        let cfg = EstimatorConfig::with_budget(300, 5);
+        let dep = Deployment::empty(net.len());
+        let fused = estimate_metric_cells(
+            &net,
+            &attackers,
+            &dests,
+            &dep,
+            &policies,
+            AttackStrategy::FakeLink,
+            &cfg,
+            Parallelism(1),
+        );
+        for (i, &policy) in policies.iter().enumerate() {
+            let solo = estimate_metric(
+                &net,
+                &attackers,
+                &dests,
+                &dep,
+                policy,
+                AttackStrategy::FakeLink,
+                &cfg,
+                Parallelism(2),
+            );
+            assert_runs_identical(&fused[i], &solo, &format!("{:?}", policy.model));
+        }
+    }
+
+    #[test]
+    fn fused_ladder_cells_match_solo_estimators_bit_for_bit() {
+        let net = net();
+        let attackers = sample::sample_non_stubs(&net, 25, 5);
+        let dests = sample::sample_all(&net, 50, 6);
+        let dep = Deployment::empty(net.len());
+        let policies: Vec<Policy> = SecurityModel::ALL.map(Policy::new).to_vec();
+        let cfg = EstimatorConfig::with_budget(250, 13);
+        let fused = estimate_strategy_ladder_cells(
+            &net,
+            &attackers,
+            &dests,
+            &dep,
+            &policies,
+            &AttackStrategy::LADDER,
+            &cfg,
+            Parallelism(2),
+        );
+        assert_eq!(fused.len(), policies.len());
+        for (i, &policy) in policies.iter().enumerate() {
+            let solo = estimate_strategy_ladder(
+                &net,
+                &attackers,
+                &dests,
+                &dep,
+                policy,
+                &AttackStrategy::LADDER,
+                &cfg,
+                Parallelism(2),
+            );
+            assert_eq!(fused[i].rungs, solo.rungs);
+            assert_eq!(fused[i].per_rung, solo.per_rung, "{:?}", policy.model);
+            assert_eq!(fused[i].optimal, solo.optimal, "{:?}", policy.model);
+            assert_runs_identical(&fused[i].run, &solo.run, &format!("{:?}", policy.model));
+        }
+    }
+
+    #[test]
+    fn fused_cells_handle_degenerate_inputs() {
+        let net = net();
+        let dests: Vec<AsId> = net.graph.ases().collect();
+        let cfg = EstimatorConfig::with_budget(100, 3);
+        // No policies: no runs.
+        let r = estimate_metric_cells(
+            &net,
+            &dests,
+            &dests,
+            &Deployment::empty(net.len()),
+            &[],
+            AttackStrategy::FakeLink,
+            &cfg,
+            Parallelism(1),
+        );
+        assert!(r.is_empty());
+        // Empty deployment list: one empty run per policy, like solo.
+        let r = estimate_metric_sweep_cells(
+            &net,
+            &dests,
+            &dests,
+            &[],
+            &[Policy::new(SecurityModel::Security2nd)],
+            AttackStrategy::FakeLink,
+            &cfg,
+            Parallelism(1),
+        );
+        assert_eq!(r.len(), 1);
+        assert!(r[0].estimates.is_empty());
+        assert!(r[0].sampled.is_empty());
     }
 }

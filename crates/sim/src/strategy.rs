@@ -16,13 +16,22 @@
 //!   compare the metric under simultaneous announcement against the
 //!   strongest single member, exposing the *collusion dividend*.
 //!
-//! Both run destination-major on one [`AttackDeltaEngine`] per worker
-//! (every rung and every colluder set of a cell is one contested-region
-//! patch off the destination's shared normal outcome) and reduce in chunk
-//! order, so results are bit-identical at any thread count.
+//! Both run destination-major and reduce in chunk order, so results are
+//! bit-identical at any thread count. The ladder rides one
+//! [`sbgp_core::FusedDeltaEngine`] per worker: the rungs form a
+//! [`CellSet`] deduped through [`AttackStrategy::canonical`] (so the
+//! `path1`/fake-link and `path0`/hijack spellings can never run the same
+//! cell twice), every attack serves all remaining rungs from one shared
+//! contested-region traversal, and duplicate rungs report their shared
+//! lane's value — with ties still going to the earlier input rung, win
+//! attribution is unchanged. [`metric_collusion`] keeps a plain
+//! [`AttackDeltaEngine`] (one cell per call).
 
 use sbgp_core::metric::MetricAccumulator;
-use sbgp_core::{AttackDeltaEngine, AttackStrategy, Bounds, Deployment, HappyCount, Policy};
+use sbgp_core::{
+    AttackDeltaEngine, AttackStrategy, Bounds, CellSet, Deployment, FusedDeltaEngine, HappyCount,
+    Policy,
+};
 use sbgp_topology::AsId;
 
 use crate::runner::{map_reduce_grouped, Parallelism};
@@ -70,28 +79,32 @@ pub fn metric_strategy_ladder(
         !rungs.is_empty(),
         "the strategy ladder needs at least one rung"
     );
+    // Input cell r of the grid is exactly rung r; canonical dedup makes
+    // duplicate spellings share a lane (evaluated once, reported per
+    // input rung).
+    let cells = CellSet::grid(&[policy], rungs);
     let groups = sample::group_by_destination(pairs);
     let sources = net.graph.len() - 2;
     let acc = map_reduce_grouped(
         par,
         &groups,
-        || AttackDeltaEngine::new(&net.graph),
+        || FusedDeltaEngine::new(&net.graph, cells.clone()),
         || LadderAcc {
             per_rung: vec![MetricAccumulator::default(); rungs.len()],
             optimal: MetricAccumulator::default(),
             wins: vec![0; rungs.len()],
         },
-        |delta, acc, (d, attackers)| {
-            delta.begin(*d, deployment, policy);
+        |fused, acc, (d, attackers)| {
+            fused.begin(*d, deployment);
             for &m in attackers {
                 if m == *d {
                     continue;
                 }
+                fused.attack(m);
                 let mut best = (usize::MAX, usize::MAX);
                 let mut best_rung = 0usize;
-                for (r, &strategy) in rungs.iter().enumerate() {
-                    delta.attack(m, strategy);
-                    let (lower, upper) = delta.count_happy();
+                for r in 0..rungs.len() {
+                    let (lower, upper) = fused.count_happy(r);
                     acc.per_rung[r].add(HappyCount {
                         lower,
                         upper,

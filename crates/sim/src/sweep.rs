@@ -30,8 +30,8 @@
 
 use sbgp_core::metric::MetricAccumulator;
 use sbgp_core::{
-    AttackDeltaEngine, AttackScenario, AttackStrategy, Bounds, Deployment, HappyCount, Policy,
-    SweepEngine,
+    AttackDeltaEngine, AttackScenario, AttackStrategy, Bounds, CellSet, Deployment,
+    FusedDeltaEngine, HappyCount, Policy, SweepEngine,
 };
 use sbgp_topology::AsId;
 
@@ -123,6 +123,95 @@ pub fn metric_sweep(
         },
     );
     accs.into_iter().map(|a| a.value()).collect()
+}
+
+/// The swept metric for **every policy cell** of a [`CellSet`] at once:
+/// `result[i][k]` is input cell `i` under `deployments[k]`. The first
+/// step of every `(m, d)` pair is served by one [`FusedDeltaEngine`]
+/// (all cells share the contested-region discovery and, at
+/// validator-free steps, whole computations), and each *lane* then rides
+/// its own [`SweepEngine`] along the remaining steps.
+///
+/// Each cell's row is bit-identical to [`metric_sweep`] for that
+/// `(policy, strategy)` alone: per-cell outcomes are identical, and the
+/// per-cell accumulators fold the same fractions in the same
+/// (group, attacker, step) order.
+pub fn metric_sweep_cells(
+    net: &Internet,
+    pairs: &[(AsId, AsId)],
+    deployments: &[Deployment],
+    cells: &CellSet,
+    par: Parallelism,
+) -> Vec<Vec<Bounds>> {
+    if deployments.is_empty() {
+        return vec![Vec::new(); cells.input_len()];
+    }
+    let groups = sample::group_by_destination(pairs);
+    let sources = net.graph.len() - 2;
+    let accs = map_reduce_grouped(
+        par,
+        &groups,
+        || {
+            let sweeps: Vec<SweepEngine<'_>> = (0..cells.lane_count())
+                .map(|_| SweepEngine::new(&net.graph))
+                .collect();
+            (FusedDeltaEngine::new(&net.graph, cells.clone()), sweeps)
+        },
+        || vec![vec![MetricAccumulator::default(); deployments.len()]; cells.input_len()],
+        |(fused, sweeps), acc, (d, attackers)| {
+            let first = &deployments[0];
+            fused.begin(*d, first);
+            for &m in attackers {
+                if m == *d {
+                    continue;
+                }
+                fused.attack(m);
+                for (i, row) in acc.iter_mut().enumerate() {
+                    let (lower, upper) = fused.count_happy(i);
+                    row[0].add(HappyCount {
+                        lower,
+                        upper,
+                        sources,
+                    });
+                }
+                if deployments.len() > 1 {
+                    for (j, cell) in cells.lanes().iter().enumerate() {
+                        let scenario = AttackScenario::attack(m, *d).with_strategy(cell.strategy);
+                        sweeps[j].begin_from(
+                            scenario,
+                            cell.policy,
+                            first,
+                            fused.lane_outcome(j),
+                            fused.lane_happy(j),
+                        );
+                    }
+                    for (k, dep) in deployments.iter().enumerate().skip(1) {
+                        for sweep in sweeps.iter_mut() {
+                            sweep.advance(dep);
+                        }
+                        for (i, row) in acc.iter_mut().enumerate() {
+                            let (lower, upper) = sweeps[cells.lane_of(i)].count_happy();
+                            row[k].add(HappyCount {
+                                lower,
+                                upper,
+                                sources,
+                            });
+                        }
+                    }
+                }
+            }
+        },
+        |a, b| {
+            for (xs, ys) in a.iter_mut().zip(b) {
+                for (x, y) in xs.iter_mut().zip(ys) {
+                    x.merge(y);
+                }
+            }
+        },
+    );
+    accs.into_iter()
+        .map(|row| row.into_iter().map(|a| a.value()).collect())
+        .collect()
 }
 
 /// Per-destination happy counts (summed over the attackers) for every
