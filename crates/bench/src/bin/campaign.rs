@@ -19,9 +19,21 @@
 //! `campaign-cell-v1` schema and resume granularity is unchanged: a
 //! restarted group fuses only its *missing* model cells.
 //!
+//! The graph axis is synthetic by default; `--file <as-rel>` swaps it for
+//! a **parsed CAIDA snapshot next to its synthetic twin** — each seed runs
+//! every figure × model cell on the parsed graph *and* on a synthetic
+//! graph of the same size, so real-snapshot numbers always sit beside a
+//! like-for-like baseline. Parsed cells carry the snapshot name in their
+//! checkpoint id and an extra `"graph"` field in their JSON; synthetic
+//! cells keep their existing ids and bytes, so old checkpoints and the
+//! committed campaign JSON stay valid. `--cps <asn,asn,...>` names the
+//! content providers by real ASN (resolved through the snapshot's
+//! labels).
+//!
 //! ```text
 //! campaign --figures baseline,rollout --asns 4000,40000 --seeds 42 \
 //!          --models sec1,sec2,sec3 --pairs 2000 --ci 0.01
+//! campaign --file cyclops.as-rel --cps 15169,8075 --seeds 42
 //! campaign --smoke                 # the tiny CI grid
 //! campaign --validate BENCH_campaign.json   # schema drift check
 //! ```
@@ -102,6 +114,8 @@ struct Args {
     checkpoint_dir: PathBuf,
     out: PathBuf,
     validate: Option<PathBuf>,
+    file: Option<PathBuf>,
+    cps: Vec<u32>,
 }
 
 impl Default for Args {
@@ -118,6 +132,8 @@ impl Default for Args {
             checkpoint_dir: PathBuf::from("campaign_ckpt"),
             out: PathBuf::from("BENCH_campaign.json"),
             validate: None,
+            file: None,
+            cps: Vec::new(),
         }
     }
 }
@@ -134,6 +150,7 @@ fn parse_list<T, E: std::fmt::Display>(
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut a = Args::default();
+    let mut asns_explicit = false;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -141,7 +158,10 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         };
         match arg.as_str() {
             "--figures" => a.figures = parse_list(&take("--figures")?, Figure::parse)?,
-            "--asns" => a.asns = parse_list(&take("--asns")?, |t| t.parse::<usize>())?,
+            "--asns" => {
+                a.asns = parse_list(&take("--asns")?, |t| t.parse::<usize>())?;
+                asns_explicit = true;
+            }
             "--seeds" => a.seeds = parse_list(&take("--seeds")?, |t| t.parse::<u64>())?,
             "--models" => a.models = parse_list(&take("--models")?, parse_model)?,
             "--ci" => {
@@ -175,6 +195,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--checkpoint-dir" => a.checkpoint_dir = PathBuf::from(take("--checkpoint-dir")?),
             "--out" => a.out = PathBuf::from(take("--out")?),
             "--validate" => a.validate = Some(PathBuf::from(take("--validate")?)),
+            "--file" => a.file = Some(PathBuf::from(take("--file")?)),
+            "--cps" => a.cps = parse_list(&take("--cps")?, |t| t.parse::<u32>())?,
             "--smoke" => {
                 // The CI grid: small enough for a PR gate, still covering
                 // two figures, every model, checkpoint + resume and the
@@ -197,6 +219,12 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     }
     if a.figures.is_empty() || a.asns.is_empty() || a.seeds.is_empty() || a.models.is_empty() {
         return Err("empty grid axis".into());
+    }
+    if !a.cps.is_empty() && a.file.is_none() {
+        return Err("--cps only makes sense with --file (real ASNs need a snapshot)".into());
+    }
+    if asns_explicit && a.file.is_some() {
+        return Err("--asns conflicts with --file (the snapshot fixes the graph size)".into());
     }
     Ok(a)
 }
@@ -231,12 +259,17 @@ fn expected_steps(figure: Figure, args: &Args) -> usize {
 }
 
 /// Render one cell's JSON object (two-space indent under `cells`).
+///
+/// `graph` is `Some(label)` for parsed-snapshot cells only; synthetic
+/// cells omit the field entirely so their bytes (and the committed
+/// release-grid JSON) are unchanged.
 #[allow(clippy::too_many_arguments)]
 fn cell_json(
     figure: Figure,
     asns: usize,
     seed: u64,
     model: SecurityModel,
+    graph: Option<&str>,
     args: &Args,
     run: &AdaptiveRun,
     step_count: usize,
@@ -249,6 +282,9 @@ fn cell_json(
     let _ = writeln!(j, "      \"schema\": \"{CELL_SCHEMA}\",");
     let _ = writeln!(j, "      \"figure\": \"{}\",", figure.name());
     let _ = writeln!(j, "      \"asns\": {asns},");
+    if let Some(g) = graph {
+        let _ = writeln!(j, "      \"graph\": \"{g}\",");
+    }
     let _ = writeln!(j, "      \"seed\": {seed},");
     let _ = writeln!(j, "      \"model\": \"{}\",", model_token(model));
     let _ = writeln!(j, "      \"steps\": {step_count},");
@@ -296,9 +332,28 @@ fn cell_json(
     j
 }
 
-/// The checkpoint file name of one model cell.
-fn cell_id(figure: Figure, asns: usize, seed: u64, model: SecurityModel) -> String {
-    format!("{}_{}_{}_{}", figure.name(), asns, seed, model_token(model))
+/// The checkpoint file name of one model cell. Parsed-snapshot cells
+/// prefix the size with the snapshot label, so they never collide with
+/// their synthetic twin's checkpoints (whose ids keep the historical
+/// format).
+fn cell_id(
+    figure: Figure,
+    asns: usize,
+    seed: u64,
+    model: SecurityModel,
+    graph: Option<&str>,
+) -> String {
+    match graph {
+        Some(g) => format!(
+            "{}_{}-{}_{}_{}",
+            figure.name(),
+            g,
+            asns,
+            seed,
+            model_token(model)
+        ),
+        None => format!("{}_{}_{}_{}", figure.name(), asns, seed, model_token(model)),
+    }
 }
 
 /// Attempt to reuse one model cell from its checkpoint file.
@@ -307,9 +362,10 @@ fn try_resume(
     net: &Internet,
     seed: u64,
     model: SecurityModel,
+    graph: Option<&str>,
     args: &Args,
 ) -> Option<CellOutcome> {
-    let cell_id = cell_id(figure, net.graph.len(), seed, model);
+    let cell_id = cell_id(figure, net.graph.len(), seed, model, graph);
     let path = args.checkpoint_dir.join(format!("{cell_id}.json"));
     let text = std::fs::read_to_string(&path).ok()?;
     // A reusable checkpoint carries the schema marker and a closing
@@ -352,11 +408,17 @@ fn try_resume(
 /// order, one [`CellOutcome`] per model; wall-clock is attributed evenly
 /// across the group's computed cells, so per-cell `pairs_per_sec`
 /// reflects the fused amortization.
-fn run_figure_group(figure: Figure, net: &Internet, seed: u64, args: &Args) -> Vec<CellOutcome> {
+fn run_figure_group(
+    figure: Figure,
+    net: &Internet,
+    seed: u64,
+    graph: Option<&str>,
+    args: &Args,
+) -> Vec<CellOutcome> {
     let resumed: Vec<Option<CellOutcome>> = args
         .models
         .iter()
-        .map(|&m| try_resume(figure, net, seed, m, args))
+        .map(|&m| try_resume(figure, net, seed, m, graph, args))
         .collect();
     let missing: Vec<SecurityModel> = args
         .models
@@ -432,12 +494,13 @@ fn run_figure_group(figure: Figure, net: &Internet, seed: u64, args: &Args) -> V
         .iter()
         .zip(&runs)
         .map(|(&model, run)| {
-            let cell_id = cell_id(figure, net.graph.len(), seed, model);
+            let cell_id = cell_id(figure, net.graph.len(), seed, model, graph);
             let json = cell_json(
                 figure,
                 net.graph.len(),
                 seed,
                 model,
+                graph,
                 args,
                 run,
                 expected_steps(figure, args),
@@ -528,7 +591,7 @@ fn main() {
                 "usage: [--figures baseline,rollout,ladder] [--asns N,...] [--seeds S,...] \
                  [--models sec1,sec2,sec3] [--ci H] [--pairs B] [--rollout-steps K] \
                  [--threads T] [--checkpoint-dir DIR] [--out FILE] [--smoke] \
-                 [--validate FILE]"
+                 [--file AS-REL [--cps ASN,...]] [--validate FILE]"
             );
             std::process::exit(2);
         }
@@ -548,10 +611,13 @@ fn main() {
 
     std::fs::create_dir_all(&args.checkpoint_dir).expect("create checkpoint dir");
     println!(
-        "campaign: {} figure(s) × {} size(s) × {} seed(s) × {} model(s), \
+        "campaign: {} figure(s) × {} × {} seed(s) × {} model(s), \
          budget {} pairs{}, checkpoints in {}",
         args.figures.len(),
-        args.asns.len(),
+        match &args.file {
+            Some(p) => format!("snapshot {} + synthetic twin", p.display()),
+            None => format!("{} size(s)", args.asns.len()),
+        },
         args.seeds.len(),
         args.models.len(),
         args.pairs,
@@ -564,20 +630,14 @@ fn main() {
     let mut cells: Vec<String> = Vec::new();
     let (mut total_ms, mut total_pairs) = (0f64, 0u64);
     let (mut resumed, mut computed) = (0usize, 0usize);
-    for &asns in &args.asns {
-        for &seed in &args.seeds {
-            // One graph per (asns, seed), shared by every figure × model
-            // cell of the two inner loops.
-            let t0 = Instant::now();
-            let net = Internet::synthetic(asns, seed);
-            println!(
-                "graph synthetic-{asns} seed {seed}: generated in {:.1} ms",
-                t0.elapsed().as_secs_f64() * 1e3
-            );
+    {
+        // One figure × model sweep over a graph; appends its cells in
+        // figure-major, model-minor order.
+        let mut sweep = |net: &Internet, seed: u64, graph: Option<&str>| {
             for &figure in &args.figures {
                 // All models of the figure in one fused pass (or all
-                // resumed); cell order stays figure-major, model-minor.
-                for out in run_figure_group(figure, &net, seed, &args) {
+                // resumed).
+                for out in run_figure_group(figure, net, seed, graph, &args) {
                     total_ms += out.wall_ms;
                     total_pairs += out.pairs;
                     if out.resumed {
@@ -586,6 +646,57 @@ fn main() {
                         computed += 1;
                     }
                     cells.push(out.json);
+                }
+            }
+        };
+        if let Some(path) = &args.file {
+            // The parsed-snapshot axis: load once, then per seed run the
+            // snapshot's cells followed by a synthetic twin of the same
+            // size so the real graph always has a like-for-like baseline.
+            let t0 = Instant::now();
+            let parsed = match Internet::from_file(path, &args.cps) {
+                Ok(net) => net,
+                Err(e) => {
+                    eprintln!("cannot load snapshot {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            };
+            // Checkpoint ids are file names: keep the label to safe chars.
+            let label: String = parsed
+                .name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                .collect();
+            println!(
+                "graph {} ({} ASes, {} CPs): parsed in {:.1} ms",
+                parsed.name,
+                parsed.len(),
+                parsed.content_providers.len(),
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+            for &seed in &args.seeds {
+                sweep(&parsed, seed, Some(&label));
+                let t0 = Instant::now();
+                let twin = Internet::synthetic(parsed.len(), seed);
+                println!(
+                    "graph synthetic-{} seed {seed} (twin): generated in {:.1} ms",
+                    parsed.len(),
+                    t0.elapsed().as_secs_f64() * 1e3
+                );
+                sweep(&twin, seed, None);
+            }
+        } else {
+            for &asns in &args.asns {
+                for &seed in &args.seeds {
+                    // One graph per (asns, seed), shared by every figure ×
+                    // model cell of the two inner loops.
+                    let t0 = Instant::now();
+                    let net = Internet::synthetic(asns, seed);
+                    println!(
+                        "graph synthetic-{asns} seed {seed}: generated in {:.1} ms",
+                        t0.elapsed().as_secs_f64() * 1e3
+                    );
+                    sweep(&net, seed, None);
                 }
             }
         }
@@ -598,6 +709,12 @@ fn main() {
     let figures: Vec<&str> = args.figures.iter().map(|f| f.name()).collect();
     let models: Vec<&str> = args.models.iter().map(|&m| model_token(m)).collect();
     let _ = writeln!(json, "    \"figures\": {},", list_json(&figures, true));
+    if let Some(path) = &args.file {
+        // Only parsed-snapshot runs carry these keys; the synthetic grid
+        // (and the committed release JSON) is byte-for-byte unchanged.
+        let _ = writeln!(json, "    \"snapshot\": \"{}\",", path.display());
+        let _ = writeln!(json, "    \"cps\": {},", list_json(&args.cps, false));
+    }
     let _ = writeln!(json, "    \"asns\": {},", list_json(&args.asns, false));
     let _ = writeln!(json, "    \"seeds\": {},", list_json(&args.seeds, false));
     let _ = writeln!(json, "    \"models\": {},", list_json(&models, true));

@@ -12,7 +12,11 @@
 //!
 //! Common flags: `--asns N`, `--seed S`, `--attackers A`,
 //! `--destinations D`, `--per-tier P`, `--threads T`, `--ixp`
-//! (Appendix J graph), `--policy lp|lp2|lpinf` (Appendix K variants),
+//! (Appendix J graph), `--file <as-rel>` (run on a parsed CAIDA
+//! serial-1/serial-2 snapshot instead of the synthetic generator) with
+//! `--cps <asn,asn,...>` (the paper's explicit 17-content-provider list as
+//! real ASNs, resolved through the snapshot's labels),
+//! `--policy lp|lp2|lpinf` (Appendix K variants),
 //! `--strategy fakelink|hijack|pathK` (the Goldberg et al. attack
 //! taxonomy; honored by the rollout, per-destination and baseline
 //! figures), and the estimation mode `--ci H` / `--pairs B` (stratified
@@ -24,6 +28,8 @@
 #![warn(missing_docs)]
 
 pub mod render;
+
+use std::path::PathBuf;
 
 use sbgp_core::{AttackStrategy, Deployment, LpVariant};
 use sbgp_sim::experiments::ExperimentConfig;
@@ -55,6 +61,12 @@ pub struct Cli {
     pub seed: u64,
     /// Use the IXP-augmented graph (Appendix J).
     pub ixp: bool,
+    /// Parse a real CAIDA serial-1/serial-2 snapshot instead of
+    /// generating a synthetic graph.
+    pub file: Option<PathBuf>,
+    /// Content-provider list as real-world ASNs (the paper's explicit
+    /// 17-CP list), resolved through the snapshot's preserved labels.
+    pub cps: Vec<u32>,
     /// LP variant (Appendix K).
     pub variant: LpVariant,
     /// Sampling configuration.
@@ -67,6 +79,8 @@ impl Default for Cli {
             asns: 4_000,
             seed: 42,
             ixp: false,
+            file: None,
+            cps: Vec::new(),
             variant: LpVariant::Standard,
             config: ExperimentConfig::default(),
         }
@@ -82,7 +96,8 @@ impl Cli {
                 eprintln!("{msg}");
                 eprintln!(
                     "usage: [--asns N] [--seed S] [--attackers A] [--destinations D] \
-                     [--per-tier P] [--threads T] [--ixp] [--policy lp|lp2|lpinf] \
+                     [--per-tier P] [--threads T] [--ixp] [--file AS-REL] \
+                     [--cps ASN,ASN,...] [--policy lp|lp2|lpinf] \
                      [--strategy fakelink|hijack|pathK] [--ci H] [--pairs B]"
                 );
                 std::process::exit(2);
@@ -108,6 +123,14 @@ impl Cli {
                     cli.config.parallelism = Parallelism(parse_num(&take("--threads")?)?)
                 }
                 "--ixp" => cli.ixp = true,
+                "--file" => cli.file = Some(PathBuf::from(take("--file")?)),
+                "--cps" => {
+                    cli.cps = take("--cps")?
+                        .split(',')
+                        .filter(|t| !t.is_empty())
+                        .map(|t| parse_num(t.trim()))
+                        .collect::<Result<Vec<u32>, String>>()?;
+                }
                 "--strategy" => {
                     let value = take("--strategy")?;
                     let strategy = match value.as_str() {
@@ -147,15 +170,47 @@ impl Cli {
             }
         }
         cli.config.seed = cli.seed;
+        if !cli.cps.is_empty() && cli.file.is_none() {
+            return Err("--cps only makes sense with --file (synthetic graphs \
+                        carry their own generated CP list)"
+                .into());
+        }
+        if cli.file.is_some() && cli.ixp {
+            return Err(
+                "--ixp augments synthetic graphs and cannot be combined with --file".into(),
+            );
+        }
         Ok(cli)
     }
 
-    /// Build the experiment topology.
+    /// Build the experiment topology, exiting with a diagnostic when a
+    /// `--file` snapshot fails to load.
     pub fn internet(&self) -> Internet {
-        if self.ixp {
-            Internet::synthetic_with_ixp(self.asns, self.seed)
+        match self.try_internet() {
+            Ok(net) => net,
+            Err(e) => {
+                eprintln!(
+                    "cannot load snapshot {}: {e}",
+                    self.file
+                        .as_deref()
+                        .unwrap_or(std::path::Path::new("?"))
+                        .display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Build the experiment topology: the parsed `--file` snapshot when
+    /// given (CPs resolved from the real-ASN `--cps` list), otherwise the
+    /// synthetic generator (IXP-augmented under `--ixp`).
+    pub fn try_internet(&self) -> Result<Internet, sbgp_topology::TopologyError> {
+        if let Some(path) = &self.file {
+            Internet::from_file(path, &self.cps)
+        } else if self.ixp {
+            Ok(Internet::synthetic_with_ixp(self.asns, self.seed))
         } else {
-            Internet::synthetic(self.asns, self.seed)
+            Ok(Internet::synthetic(self.asns, self.seed))
         }
     }
 
@@ -283,6 +338,57 @@ mod tests {
         assert!(parse(&["--asns", "x"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--policy", "lp9"]).is_err());
+    }
+
+    #[test]
+    fn file_and_cps_flags_parse() {
+        let cli = parse(&["--file", "snap.as-rel", "--cps", "15169,20940, 8075"]).unwrap();
+        assert_eq!(
+            cli.file.as_deref(),
+            Some(std::path::Path::new("snap.as-rel"))
+        );
+        assert_eq!(cli.cps, vec![15169, 20940, 8075]);
+
+        // --file alone is fine (empty CP list).
+        let cli = parse(&["--file", "snap.as-rel"]).unwrap();
+        assert!(cli.cps.is_empty());
+
+        // --cps without --file, --file+--ixp, and junk ASNs are rejected.
+        assert!(parse(&["--cps", "15169"]).is_err());
+        assert!(parse(&["--file", "x", "--ixp"]).is_err());
+        assert!(parse(&["--file", "x", "--cps", "google"]).is_err());
+        assert!(parse(&["--file"]).is_err());
+        assert!(parse(&["--cps"]).is_err());
+    }
+
+    #[test]
+    fn try_internet_loads_a_snapshot_with_resolved_cps() {
+        let dir = std::env::temp_dir().join(format!("sbgp_cli_file_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mini.as-rel");
+        std::fs::write(
+            &path,
+            "3356|15169|-1\n3356|174|0\n174|15169|-1\n701|3356|-1\n",
+        )
+        .unwrap();
+        let cli = parse(&[
+            "--file",
+            path.to_str().unwrap(),
+            "--cps",
+            "15169",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        let net = cli.try_internet().unwrap();
+        assert_eq!(net.name, "mini");
+        assert_eq!(net.len(), 4);
+        assert_eq!(net.content_providers.len(), 1);
+        assert_eq!(net.graph.asn_label(net.content_providers[0]), 15169);
+        // An unknown CP ASN is a load error, not a silent drop.
+        let cli = parse(&["--file", path.to_str().unwrap(), "--cps", "64512"]).unwrap();
+        assert!(cli.try_internet().is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

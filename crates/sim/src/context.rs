@@ -1,9 +1,11 @@
 //! The [`Internet`]: a topology plus everything experiments need to know
 //! about it.
 
+use std::path::Path;
+
 use sbgp_topology::gen::{self, GeneratedInternet, InternetConfig, IxpConfig};
 use sbgp_topology::tier::{TierConfig, TierMap};
-use sbgp_topology::{AsGraph, AsId};
+use sbgp_topology::{io, AsGraph, AsId, TopologyError};
 
 /// A topology bundled with its tier classification and content-provider
 /// list — the unit every experiment runs against.
@@ -55,18 +57,49 @@ impl Internet {
 
     /// Wrap an externally built graph (e.g. a parsed CAIDA snapshot); tiers
     /// are classified with the given config.
+    ///
+    /// The content-provider list is the *classified* one
+    /// ([`TierMap::content_providers`]), not the raw config list:
+    /// `TierMap::classify` drops out-of-range ids and ids already claimed
+    /// by Tier 1/2/3, and an out-of-range id kept here would panic the
+    /// first time it was used as a destination.
     pub fn from_graph(
         graph: AsGraph,
         tier_config: &TierConfig,
         name: impl Into<String>,
     ) -> Internet {
         let tiers = TierMap::classify(&graph, tier_config);
+        let content_providers = tiers.content_providers().to_vec();
         Internet {
             name: name.into(),
             graph,
             tiers,
-            content_providers: tier_config.content_providers.clone(),
+            content_providers,
         }
+    }
+
+    /// Load a real routing snapshot from a CAIDA serial-1/serial-2
+    /// relationship file (e.g. the paper's UCLA Cyclops 2012 snapshot).
+    ///
+    /// `cp_asns` is the content-provider list as *real-world ASNs* (the
+    /// paper's explicit 17-CP list), resolved through the file's preserved
+    /// ASN labels; an ASN absent from the snapshot is a hard error. The
+    /// provider hierarchy is validated acyclic — the Gao–Rexford
+    /// prerequisite every routing model here assumes — before tiers are
+    /// classified with the real-ASN-aware [`TierConfig`]. The Internet's
+    /// name is the file stem, so banners and reports identify the
+    /// snapshot.
+    pub fn from_file(path: &Path, cp_asns: &[u32]) -> Result<Internet, TopologyError> {
+        let graph = io::read_relationships_file(path)?;
+        if !graph.provider_hierarchy_is_acyclic() {
+            return Err(TopologyError::CyclicProviderHierarchy);
+        }
+        let tier_config = TierConfig::with_content_provider_asns(&graph, cp_asns)?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        Ok(Internet::from_graph(graph, &tier_config, name))
     }
 
     fn from_generated(generated: GeneratedInternet, name: String) -> Internet {
@@ -106,6 +139,64 @@ mod tests {
             assert_eq!(net.tiers.tier(cp), Tier::Cp);
         }
         assert_eq!(net.name, "synthetic-1200");
+    }
+
+    #[test]
+    fn from_graph_keeps_only_classified_content_providers() {
+        // Regression: the CP list used to be copied verbatim from the
+        // config, so an out-of-range id (panics downstream as a
+        // destination) or an id claimed by Tier 1/2/3 could disagree with
+        // `tiers.content_providers()`.
+        let net = Internet::synthetic(400, 9);
+        let n = net.len();
+        let t1 = net.tiers.tier1()[0];
+        let genuine = net.content_providers[0];
+        let cfg = TierConfig {
+            content_providers: vec![genuine, t1, AsId(n as u32 + 5)],
+            ..TierConfig::default()
+        };
+        let rebuilt = Internet::from_graph(net.graph.clone(), &cfg, "rebuilt");
+        assert_eq!(
+            rebuilt.content_providers,
+            rebuilt.tiers.content_providers().to_vec()
+        );
+        assert!(rebuilt.content_providers.contains(&genuine));
+        assert!(!rebuilt.content_providers.contains(&t1));
+        assert!(rebuilt
+            .content_providers
+            .iter()
+            .all(|cp| cp.index() < rebuilt.len()));
+    }
+
+    #[test]
+    fn from_file_resolves_cps_and_validates_the_hierarchy() {
+        let dir = std::env::temp_dir().join(format!("sbgp_from_file_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let ok = dir.join("tiny.as-rel");
+        std::fs::write(&ok, "3356|15169|-1\n3356|174|0\n174|15169|-1\n").unwrap();
+        let net = Internet::from_file(&ok, &[15169]).unwrap();
+        assert_eq!(net.name, "tiny");
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.content_providers.len(), 1);
+        assert_eq!(
+            net.graph.asn_label(net.content_providers[0]),
+            15169,
+            "CP resolved through labels, not dense ids"
+        );
+        assert!(matches!(
+            Internet::from_file(&ok, &[64512]),
+            Err(TopologyError::UnknownAsn(64512))
+        ));
+
+        let cyclic = dir.join("cyclic.as-rel");
+        std::fs::write(&cyclic, "1|2|-1\n2|3|-1\n3|1|-1\n").unwrap();
+        assert!(matches!(
+            Internet::from_file(&cyclic, &[]),
+            Err(TopologyError::CyclicProviderHierarchy)
+        ));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -25,6 +25,18 @@ pub enum TopologyError {
         /// Description of the problem.
         message: String,
     },
+    /// An ASN-label vector of the wrong length was attached to a builder.
+    LabelCountMismatch {
+        /// Number of labels supplied.
+        labels: usize,
+        /// Number of ASes the builder was created with.
+        len: usize,
+    },
+    /// A real-world ASN (e.g. from a `--cps` list) has no AS in the graph.
+    UnknownAsn(u32),
+    /// The customer→provider hierarchy of a parsed snapshot contains a
+    /// cycle, violating the Gao–Rexford prerequisite.
+    CyclicProviderHierarchy,
     /// Underlying I/O failure while reading a relationship file.
     Io(String),
 }
@@ -41,6 +53,19 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            TopologyError::LabelCountMismatch { labels, len } => {
+                write!(f, "{labels} ASN labels attached to a graph of {len} ASes")
+            }
+            TopologyError::UnknownAsn(asn) => {
+                write!(f, "no AS in the graph carries ASN {asn}")
+            }
+            TopologyError::CyclicProviderHierarchy => {
+                write!(
+                    f,
+                    "the customer\u{2192}provider hierarchy contains a cycle \
+                     (Gao\u{2013}Rexford stability requires an acyclic hierarchy)"
+                )
             }
             TopologyError::Io(e) => write!(f, "i/o error: {e}"),
         }

@@ -1,31 +1,60 @@
-//! CAIDA serial-1 relationship-file I/O.
+//! CAIDA serial-1/serial-2 relationship-file I/O.
 //!
 //! Format (one edge per line, `#` comments):
 //!
 //! ```text
 //! <provider-asn>|<customer-asn>|-1
 //! <peer-asn>|<peer-asn>|0
+//! <provider-asn>|<customer-asn>|-1|<source>     (serial-2)
 //! ```
+//!
+//! Serial-2 releases append one provenance column — the inference source,
+//! one of `bgp`, `mlp` or `ixp` — which is accepted and ignored; any other
+//! trailing column (or a fifth column) is rejected with a located parse
+//! error rather than silently dropped, so junk files cannot masquerade as
+//! valid snapshots.
 //!
 //! Real-world ASNs are remapped to dense [`AsId`]s in first-appearance
 //! order; the original numbers are preserved as [`AsGraph::asn_label`]s.
 //! This is the format of CAIDA's `as-rel` releases and of the UCLA Cyclops
 //! snapshots the paper used, so published snapshots can be dropped in as a
 //! replacement for the synthetic generator.
+//!
+//! **Caveat:** the relationship format carries edges only, so an AS with no
+//! edges at all is unrepresentable — a write→parse round trip drops
+//! edge-less ASes. Real snapshots never contain them (an AS with no
+//! relationships is not observable in BGP), and the synthetic generator
+//! never produces them.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Read};
+use std::io::Read;
 use std::path::Path;
 
 use crate::{AsGraph, AsId, GraphBuilder, Relationship, TopologyError};
 
-/// Parse a serial-1 relationship document from any reader.
-pub fn parse_relationships<R: Read>(reader: R) -> Result<AsGraph, TopologyError> {
-    let reader = BufReader::new(reader);
-    let mut ids: HashMap<u32, AsId> = HashMap::new();
-    let mut labels: Vec<u32> = Vec::new();
-    let mut edges: Vec<(AsId, AsId, Relationship)> = Vec::new();
+/// The provenance tokens serial-2 releases append as a fourth column.
+const SERIAL2_SOURCES: [&str; 3] = ["bgp", "mlp", "ixp"];
+
+/// Parse a serial-1 or serial-2 relationship document from any reader.
+pub fn parse_relationships<R: Read>(mut reader: R) -> Result<AsGraph, TopologyError> {
+    // Slurp the document, then pre-size every container from a cheap
+    // line-counting pass: at 100k+ ASes the re-hash/re-allocation churn of
+    // growing the intern and dedup maps from empty is measurable, and the
+    // text itself is small (a full Internet snapshot is a few MB).
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    let data_lines = text
+        .lines()
+        .filter(|l| {
+            let l = l.trim();
+            !l.is_empty() && !l.starts_with('#')
+        })
+        .count();
+
+    let mut ids: HashMap<u32, AsId> = HashMap::with_capacity(data_lines);
+    let mut labels: Vec<u32> = Vec::with_capacity(data_lines / 2 + 1);
+    let mut edges: Vec<(AsId, AsId, Relationship)> = Vec::with_capacity(data_lines);
     // Relationship of each normalized ASN pair as first declared, plus its
     // line number: exact repeats are deduplicated, *contradictory* repeats
     // (peer vs transit, or the transit direction reversed) are rejected
@@ -47,8 +76,7 @@ pub fn parse_relationships<R: Read>(reader: R) -> Result<AsGraph, TopologyError>
         })
     };
 
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+    for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -63,6 +91,27 @@ pub fn parse_relationships<R: Read>(reader: R) -> Result<AsGraph, TopologyError>
                 })
             }
         };
+        // Serial-2 appends exactly one provenance column; anything else
+        // trailing is junk and must not parse as a valid snapshot.
+        match (parts.next(), parts.next()) {
+            (None, _) => {}
+            (Some(source), None) if SERIAL2_SOURCES.contains(&source.trim()) => {}
+            (Some(source), None) => {
+                return Err(TopologyError::Parse {
+                    line: lineno + 1,
+                    message: format!(
+                        "unknown trailing column {source:?} (serial-2 allows one \
+                         source column: bgp|mlp|ixp)"
+                    ),
+                })
+            }
+            (Some(_), Some(_)) => {
+                return Err(TopologyError::Parse {
+                    line: lineno + 1,
+                    message: format!("too many '|' columns in {line:?}"),
+                })
+            }
+        }
         let parse_asn = |s: &str| -> Result<u32, TopologyError> {
             s.trim().parse().map_err(|_| TopologyError::Parse {
                 line: lineno + 1,
@@ -112,21 +161,24 @@ pub fn parse_relationships<R: Read>(reader: R) -> Result<AsGraph, TopologyError>
         }
     }
 
-    let mut builder = GraphBuilder::new(labels.len());
-    builder.set_asn_labels(labels);
-    for (a, b, rel) in edges {
-        builder.add_edge(a, b, rel)?;
-    }
-    Ok(builder.build())
+    // Bulk sorted-edge CSR build: the `seen` map above already guarantees
+    // the edge list is duplicate-free and conflict-free, so this cannot
+    // fail on relationships — it only re-checks structure (and the label
+    // count, which matches by construction).
+    GraphBuilder::from_edges(labels.len(), labels, edges)
 }
 
-/// Parse a serial-1 relationship file from disk.
+/// Parse a serial-1/serial-2 relationship file from disk.
 pub fn read_relationships_file(path: &Path) -> Result<AsGraph, TopologyError> {
     let file = std::fs::File::open(path)?;
     parse_relationships(file)
 }
 
 /// Serialize `graph` to serial-1 text (using ASN labels when present).
+///
+/// The format carries edges only: an AS with no edges at all does not
+/// appear in the output, so parsing it back drops such ASes (see the
+/// module docs). Every connected graph round-trips exactly.
 pub fn write_relationships(graph: &AsGraph) -> String {
     let mut out = String::new();
     out.push_str("# serial-1 AS relationships: <provider>|<customer>|-1, <peer>|<peer>|0\n");
@@ -219,6 +271,30 @@ mod tests {
         let id_of = |asn: u32| g.ases().find(|&v| g.asn_label(v) == asn).unwrap();
         assert_eq!(g.customers(id_of(1)).len(), 1);
         assert_eq!(g.peers(id_of(3)).len(), 1);
+    }
+
+    #[test]
+    fn serial2_source_column_is_accepted() {
+        let doc = "3356|21740|-1|bgp\n174|3356|0|mlp\n174|21740|0|ixp\n";
+        let g = parse_relationships(doc.as_bytes()).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_customer_provider_edges(), 1);
+        assert_eq!(g.num_peer_edges(), 2);
+    }
+
+    #[test]
+    fn junk_trailing_columns_are_rejected_with_location() {
+        for doc in [
+            "1|2|0|junk\n",      // unknown source token
+            "1|2|-1|\n",         // empty source column
+            "1|2|-1|bgp|more\n", // five columns
+            "1|2|0|bgp|bgp\n",   // five columns, all known tokens
+        ] {
+            match parse_relationships(doc.as_bytes()) {
+                Err(TopologyError::Parse { line: 1, .. }) => {}
+                other => panic!("{doc:?}: expected a line-1 parse error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -110,7 +110,8 @@ fn rebuild(graph: &AsGraph, removed: &[bool]) -> Pruned {
     }
     let mut b = GraphBuilder::new(old_id.len());
     let labels: Vec<u32> = old_id.iter().map(|&v| graph.asn_label(v)).collect();
-    b.set_asn_labels(labels);
+    b.set_asn_labels(labels)
+        .expect("one label per surviving AS by construction");
     for (a, c, rel) in graph.edges() {
         if !removed[a.index()] && !removed[c.index()] {
             b.add_edge(new_id[a.index()], new_id[c.index()], rel)
@@ -175,7 +176,7 @@ mod tests {
     #[test]
     fn labels_follow_pruning() {
         let mut b = GraphBuilder::new(3);
-        b.set_asn_labels(vec![100, 200, 300]);
+        b.set_asn_labels(vec![100, 200, 300]).unwrap();
         b.add_peering(AsId(0), AsId(1)).unwrap();
         // 2 isolated.
         let g = b.build();

@@ -15,7 +15,7 @@
 //! rows is assigned the first one. In particular a customer-less AS with a
 //! very high peering degree is a *Small CP*, not a stub-x.
 
-use crate::{AsGraph, AsId, AsSet};
+use crate::{AsGraph, AsId, AsSet, TopologyError};
 
 /// Tier of an AS per the paper's Table 1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -96,6 +96,37 @@ impl Default for TierConfig {
             small_cp_count: 300,
             content_providers: Vec::new(),
         }
+    }
+}
+
+impl TierConfig {
+    /// Table 1 defaults with the content-provider list given as
+    /// *real-world ASNs* (the paper's explicit 17-CP list), resolved into
+    /// dense ids through `graph`'s [`AsGraph::asn_label`]s.
+    ///
+    /// This is the entry point for parsed snapshots, where ids are
+    /// first-appearance interning order and mean nothing outside the
+    /// graph. An ASN no AS carries is a hard [`TopologyError::UnknownAsn`]
+    /// — a CP list that silently shrank would skew every per-CP figure.
+    /// Works on synthetic graphs too, where each AS is labeled by its own
+    /// id.
+    pub fn with_content_provider_asns(
+        graph: &AsGraph,
+        cp_asns: &[u32],
+    ) -> Result<TierConfig, TopologyError> {
+        let by_label: std::collections::HashMap<u32, AsId> =
+            graph.ases().map(|v| (graph.asn_label(v), v)).collect();
+        let mut content_providers = Vec::with_capacity(cp_asns.len());
+        for &asn in cp_asns {
+            match by_label.get(&asn) {
+                Some(&v) => content_providers.push(v),
+                None => return Err(TopologyError::UnknownAsn(asn)),
+            }
+        }
+        Ok(TierConfig {
+            content_providers,
+            ..TierConfig::default()
+        })
     }
 }
 
@@ -367,6 +398,28 @@ mod tests {
         for &t1 in tm.tier1() {
             assert_eq!(g.provider_degree(t1), 0);
         }
+    }
+
+    #[test]
+    fn content_provider_asns_resolve_through_labels() {
+        let mut b = GraphBuilder::new(3);
+        b.add_provider(AsId(1), AsId(0)).unwrap();
+        b.add_provider(AsId(2), AsId(0)).unwrap();
+        b.set_asn_labels(vec![3356, 15169, 20940]).unwrap();
+        let g = b.build();
+        let cfg = TierConfig::with_content_provider_asns(&g, &[20940, 15169]).unwrap();
+        assert_eq!(cfg.content_providers, vec![AsId(2), AsId(1)]);
+        assert_eq!(cfg.tier1_count, TierConfig::default().tier1_count);
+        assert!(matches!(
+            TierConfig::with_content_provider_asns(&g, &[64512]),
+            Err(TopologyError::UnknownAsn(64512))
+        ));
+        // Synthetic graphs label each AS by its own id.
+        let mut b = GraphBuilder::new(2);
+        b.add_peering(AsId(0), AsId(1)).unwrap();
+        let g = b.build();
+        let cfg = TierConfig::with_content_provider_asns(&g, &[1]).unwrap();
+        assert_eq!(cfg.content_providers, vec![AsId(1)]);
     }
 
     #[test]

@@ -124,3 +124,82 @@ fn table_strategy_ladder_runs_end_to_end_on_tiny_topology() {
         "optimal column missing:\n{stdout}"
     );
 }
+
+/// The `--file` ingestion path, end to end on the committed CAIDA-style
+/// fixture: parse → label-aware CP resolution → tier classification →
+/// partition rendering, with the snapshot name in the banner.
+#[test]
+fn figure03_runs_end_to_end_on_the_committed_snapshot_fixture() {
+    let out = cargo()
+        .args([
+            "run",
+            "-q",
+            "-p",
+            "sbgp_bench",
+            "--bin",
+            "figure03",
+            "--",
+            "--file",
+            "tests/fixtures/cyclops_sample.as-rel",
+            "--cps",
+            "15169,8075,20940,32934,16509",
+            "--attackers",
+            "3",
+            "--destinations",
+            "4",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("failed to spawn cargo run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "figure03 --file exited nonzero:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("cyclops_sample"),
+        "snapshot name missing from the banner:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("24 ASes"),
+        "parsed AS count missing from the banner:\n{stdout}"
+    );
+    assert!(
+        stdout.lines().count() > 5,
+        "figure03 output suspiciously short:\n{stdout}"
+    );
+}
+
+/// A bad snapshot path must be a clean diagnostic exit, not a panic.
+#[test]
+fn figure03_reports_missing_snapshots_cleanly() {
+    let out = cargo()
+        .args([
+            "run",
+            "-q",
+            "-p",
+            "sbgp_bench",
+            "--bin",
+            "figure03",
+            "--",
+            "--file",
+            "tests/fixtures/no_such_file.as-rel",
+        ])
+        .output()
+        .expect("failed to spawn cargo run");
+    assert!(
+        !out.status.success(),
+        "missing snapshot should exit nonzero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot load snapshot"),
+        "no diagnostic on stderr:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "missing snapshot caused a panic:\n{stderr}"
+    );
+}

@@ -91,3 +91,80 @@ fn scale_smoke_40k_generation_and_delta_group() {
          stub share {stub_share:.3}, c2p/p2p {ratio:.2}"
     );
 }
+
+/// The `--file` ingestion pipeline at beyond-paper scale: serialize a
+/// 100k-AS synthetic Internet to CAIDA serial-1 text, load it back through
+/// [`Internet::from_file`] (parse → bulk CSR build → hierarchy validation
+/// → label-aware tier classification), and serve a delta-engine
+/// destination group on the loaded snapshot.
+#[test]
+#[ignore = "100k-AS ingest smoke; run by CI bench-smoke with --ignored"]
+fn scale_smoke_100k_ingest_and_delta_group() {
+    use bgp_juice::topology::io;
+
+    const N: usize = 100_000;
+    let net = Internet::synthetic(N, 42);
+    let cp_asns: Vec<u32> = net
+        .content_providers
+        .iter()
+        .map(|&v| net.graph.asn_label(v))
+        .collect();
+    let path = std::env::temp_dir().join(format!("scale_smoke_100k_{}.as-rel", std::process::id()));
+    std::fs::write(&path, io::write_relationships(&net.graph)).unwrap();
+
+    let t0 = Instant::now();
+    let loaded = Internet::from_file(&path, &cp_asns).unwrap();
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let _ = std::fs::remove_file(&path);
+
+    // The loaded snapshot is the synthetic net under relabeled dense ids:
+    // same size and edge counts, same tier populations, and every CP
+    // resolved back through its preserved ASN label.
+    assert_eq!(loaded.len(), N);
+    assert_eq!(
+        loaded.graph.num_customer_provider_edges(),
+        net.graph.num_customer_provider_edges()
+    );
+    assert_eq!(loaded.graph.num_peer_edges(), net.graph.num_peer_edges());
+    assert_eq!(loaded.tiers.tier1().len(), 13);
+    assert_eq!(loaded.tiers.tier2().len(), 100);
+    assert_eq!(loaded.content_providers.len(), net.content_providers.len());
+    let mut want: Vec<u32> = cp_asns.clone();
+    let mut got: Vec<u32> = loaded
+        .content_providers
+        .iter()
+        .map(|&v| loaded.graph.asn_label(v))
+        .collect();
+    want.sort_unstable();
+    got.sort_unstable();
+    assert_eq!(got, want, "CPs survive the round trip by ASN");
+
+    // One destination group on the loaded graph, same shape as the 40k
+    // smoke above.
+    let attackers = sample::sample_non_stubs(&loaded, 40, 7);
+    let d = loaded.tiers.tier2()[0];
+    let dep = Deployment::full_from_iter(loaded.len(), loaded.tiers.tier1().iter().copied());
+    let t_group = Instant::now();
+    let mut delta = AttackDeltaEngine::new(&loaded.graph);
+    delta.begin(d, &dep, Policy::new(SecurityModel::Security2nd));
+    let mut served = 0usize;
+    for &m in &attackers {
+        if m == d {
+            continue;
+        }
+        delta.attack(m, AttackStrategy::FakeLink);
+        let (lower, upper) = delta.count_happy();
+        assert!(lower <= upper && upper <= loaded.len() - 2);
+        served += 1;
+    }
+    let group_ms = t_group.elapsed().as_secs_f64() * 1e3;
+    assert!(served >= 39, "only {served} attackers served");
+    let total_s = (load_ms + group_ms) / 1e3;
+    assert!(
+        total_s < 300.0,
+        "100k-AS load + delta group took {total_s:.1}s (load {load_ms:.0}ms, group {group_ms:.0}ms)"
+    );
+    println!(
+        "100k ingest smoke: load {load_ms:.0} ms, {served}-attacker delta group {group_ms:.0} ms"
+    );
+}
