@@ -342,7 +342,10 @@ fn main() {
         gate.speedup()
     );
     json.push_str("}\n");
-    std::fs::write(&args.out, &json).expect("write fused bench JSON");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
     println!("wrote {}", args.out.display());
     if let Err(msg) = validate(&args.out) {
         eprintln!("self-check failed: {msg}");

@@ -156,7 +156,10 @@ fn run_cell(asns: usize, seed: u64, rel_path: &std::path::Path) -> Cell {
     // Stage 1: serialize to serial-1 text on disk.
     let t0 = Instant::now();
     let text = io::write_relationships(&net.graph);
-    std::fs::write(rel_path, &text).expect("write relationship file");
+    if let Err(e) = std::fs::write(rel_path, &text) {
+        eprintln!("cannot write relationship file {}: {e}", rel_path.display());
+        std::process::exit(1);
+    }
     let write_ms = t0.elapsed().as_secs_f64() * 1e3;
     let lines = text.lines().count();
 
@@ -165,7 +168,13 @@ fn run_cell(asns: usize, seed: u64, rel_path: &std::path::Path) -> Cell {
     let mut parsed = None;
     for _ in 0..REPS {
         let t0 = Instant::now();
-        let g = io::read_relationships_file(rel_path).expect("parse relationship file");
+        let g = match io::read_relationships_file(rel_path) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("cannot parse relationship file {}: {e}", rel_path.display());
+                std::process::exit(1);
+            }
+        };
         parse = parse.min(t0.elapsed());
         parsed = Some(g);
     }
@@ -210,7 +219,13 @@ fn run_cell(asns: usize, seed: u64, rel_path: &std::path::Path) -> Cell {
     let mut loaded = None;
     for _ in 0..REPS {
         let t0 = Instant::now();
-        let n = Internet::from_file(rel_path, &cp_asns).expect("load snapshot");
+        let n = match Internet::from_file(rel_path, &cp_asns) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("cannot load snapshot {}: {e}", rel_path.display());
+                std::process::exit(1);
+            }
+        };
         load = load.min(t0.elapsed());
         loaded = Some(n);
     }
@@ -368,7 +383,10 @@ fn main() {
         gate.speedup()
     );
     json.push_str("}\n");
-    std::fs::write(&args.out, &json).expect("write ingest bench JSON");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
     println!("wrote {}", args.out.display());
     if let Err(msg) = validate(&args.out) {
         eprintln!("self-check failed: {msg}");

@@ -206,6 +206,9 @@ fn main() {
         "  \"overall_speedup_vs_pair_sweep\": {overall_vs_sweep:.3}"
     );
     json.push_str("}\n");
-    std::fs::write("BENCH_pairs.json", &json).expect("write BENCH_pairs.json");
+    if let Err(e) = std::fs::write("BENCH_pairs.json", &json) {
+        eprintln!("cannot write BENCH_pairs.json: {e}");
+        std::process::exit(1);
+    }
     println!("wrote BENCH_pairs.json");
 }

@@ -132,6 +132,9 @@ fn main() {
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"overall_speedup\": {overall:.3}");
     json.push_str("}\n");
-    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    if let Err(e) = std::fs::write("BENCH_sweep.json", &json) {
+        eprintln!("cannot write BENCH_sweep.json: {e}");
+        std::process::exit(1);
+    }
     println!("wrote BENCH_sweep.json");
 }

@@ -30,21 +30,39 @@
 //! content providers by real ASN (resolved through the snapshot's
 //! labels).
 //!
+//! `--workers N` swaps the in-process thread pool for a **supervised
+//! fleet of N worker processes** (this binary re-invoked with
+//! `--worker`), speaking length-prefixed JSON over stdin/stdout: worker
+//! crashes, hangs and garbage replies walk a retry ladder (kill →
+//! exponential-backoff respawn → reassign → after `--strikes` failures
+//! mark the cell *degraded* and keep going), and the merge order is
+//! group-exact, so an N-worker run is **bit-identical** to the
+//! single-process run. Every checkpoint carries an FNV-1a content
+//! checksum; resume quarantines torn/corrupted/zero-byte cells to
+//! `<name>.json.quarantined` and recomputes them, and `--validate`
+//! audits the checksums of an assembled campaign JSON. `--fault-plan`
+//! arms deterministic fault injection (`sbgp_sim::faultpoint`; needs the
+//! `fault-injection` build feature) to exercise all of the above.
+//!
 //! ```text
 //! campaign --figures baseline,rollout --asns 4000,40000 --seeds 42 \
 //!          --models sec1,sec2,sec3 --pairs 2000 --ci 0.01
 //! campaign --file cyclops.as-rel --cps 15169,8075 --seeds 42
 //! campaign --smoke                 # the tiny CI grid
+//! campaign --smoke --workers 4     # same bytes, four worker processes
 //! campaign --validate BENCH_campaign.json   # schema drift check
 //! ```
 
 use std::fmt::Write as _;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sbgp_bench::sweep_rollout_steps;
 use sbgp_core::{AttackStrategy, Deployment, Policy, SecurityModel};
-use sbgp_sim::stats::{self, AdaptiveRun, EstimatorConfig};
+use sbgp_sim::faultpoint;
+use sbgp_sim::stats::{self, AdaptiveRun, EstimatorConfig, PairUniverse};
+use sbgp_sim::supervise::{self, Supervisor, SupervisorConfig, WorkerMsg};
 use sbgp_sim::{Internet, Parallelism};
 use sbgp_topology::AsId;
 
@@ -116,6 +134,17 @@ struct Args {
     validate: Option<PathBuf>,
     file: Option<PathBuf>,
     cps: Vec<u32>,
+    /// Number of supervised worker processes; 0 = in-process thread pool.
+    workers: usize,
+    /// Run as a supervised worker child (internal; set by the coordinator).
+    worker: bool,
+    /// Worker incarnation id (internal; distinguishes respawns in fault
+    /// plans and diagnostics).
+    worker_id: u64,
+    fault_plan: Option<PathBuf>,
+    watchdog_ms: u64,
+    strikes: u32,
+    backoff_ms: u64,
 }
 
 impl Default for Args {
@@ -134,6 +163,13 @@ impl Default for Args {
             validate: None,
             file: None,
             cps: Vec::new(),
+            workers: 0,
+            worker: false,
+            worker_id: 0,
+            fault_plan: None,
+            watchdog_ms: 120_000,
+            strikes: 3,
+            backoff_ms: 50,
         }
     }
 }
@@ -197,6 +233,36 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--validate" => a.validate = Some(PathBuf::from(take("--validate")?)),
             "--file" => a.file = Some(PathBuf::from(take("--file")?)),
             "--cps" => a.cps = parse_list(&take("--cps")?, |t| t.parse::<u32>())?,
+            "--workers" => {
+                a.workers = take("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers wants a number".to_string())?
+            }
+            "--worker" => a.worker = true,
+            "--worker-id" => {
+                a.worker_id = take("--worker-id")?
+                    .parse()
+                    .map_err(|_| "--worker-id wants a number".to_string())?
+            }
+            "--fault-plan" => a.fault_plan = Some(PathBuf::from(take("--fault-plan")?)),
+            "--watchdog-ms" => {
+                a.watchdog_ms = take("--watchdog-ms")?
+                    .parse()
+                    .map_err(|_| "--watchdog-ms wants a number".to_string())?
+            }
+            "--strikes" => {
+                a.strikes = take("--strikes")?
+                    .parse()
+                    .map_err(|_| "--strikes wants a number".to_string())?;
+                if a.strikes == 0 {
+                    return Err("--strikes wants at least 1".into());
+                }
+            }
+            "--backoff-ms" => {
+                a.backoff_ms = take("--backoff-ms")?
+                    .parse()
+                    .map_err(|_| "--backoff-ms wants a number".to_string())?
+            }
             "--smoke" => {
                 // The CI grid: small enough for a PR gate, still covering
                 // two figures, every model, checkpoint + resume and the
@@ -242,10 +308,14 @@ fn json_u64(text: &str, key: &str) -> Option<u64> {
 }
 
 struct CellOutcome {
+    id: String,
     json: String,
     wall_ms: f64,
     pairs: u64,
     resumed: bool,
+    /// Some destination groups were lost to worker strikes; the cell's
+    /// estimates cover only the surviving sample.
+    degraded: bool,
 }
 
 /// Statistics tracked per pair for a figure — `"steps"` in the cell JSON,
@@ -300,6 +370,14 @@ fn cell_json(
     let _ = writeln!(j, "      \"population\": {},", run.population);
     let _ = writeln!(j, "      \"strata\": {},", run.strata);
     let _ = writeln!(j, "      \"pairs\": {pairs},");
+    if run.lost_groups > 0 || run.lost_pairs > 0 {
+        // Supervised-run damage report: these groups exhausted the retry
+        // ladder. The estimates below cover only the surviving sample;
+        // resume never trusts a degraded cell, so a rerun repairs it.
+        let _ = writeln!(j, "      \"degraded\": true,");
+        let _ = writeln!(j, "      \"lost_groups\": {},", run.lost_groups);
+        let _ = writeln!(j, "      \"lost_pairs\": {},", run.lost_pairs);
+    }
     let _ = writeln!(j, "      \"wall_ms\": {wall_ms:.3},");
     let _ = writeln!(j, "      \"pairs_per_sec\": {pairs_per_sec:.3},");
     let _ = writeln!(j, "      \"max_halfwidth\": {:.6},", run.max_halfwidth());
@@ -329,6 +407,13 @@ fn cell_json(
     }
     let _ = writeln!(j, "      ]");
     let _ = write!(j, "    }}");
+    // Self-embedded content checksum (the `"checksum":` line elides
+    // itself from the hash), so resume and --validate can detect any
+    // corruption of the surrounding bytes.
+    let sum = supervise::checksum_hex(&j);
+    let anchor = format!("      \"schema\": \"{CELL_SCHEMA}\",\n");
+    let pos = j.find(&anchor).expect("schema line") + anchor.len();
+    j.insert_str(pos, &format!("      \"checksum\": \"{sum}\",\n"));
     j
 }
 
@@ -356,7 +441,29 @@ fn cell_id(
     }
 }
 
+/// Move a damaged checkpoint aside so it is never trusted again (and a
+/// human can still autopsy it), then warn.
+fn quarantine(path: &Path, cell_id: &str, why: &str) {
+    let qpath = path.with_extension("json.quarantined");
+    match std::fs::rename(path, &qpath) {
+        Ok(()) => eprintln!(
+            "warning: cell {cell_id}: checkpoint {why}; quarantined to {}, recomputing",
+            qpath.display()
+        ),
+        Err(e) => eprintln!(
+            "warning: cell {cell_id}: checkpoint {why}; quarantine rename failed ({e}), recomputing"
+        ),
+    }
+}
+
 /// Attempt to reuse one model cell from its checkpoint file.
+///
+/// Integrity comes first: a zero-byte file (a crashed `write(2)` that got
+/// as far as `create`), a torn tail, or an embedded-checksum mismatch is
+/// **quarantined** to `<name>.json.quarantined` and recomputed — resume
+/// never trusts checkpoint bytes it cannot verify. A checkpoint that
+/// predates content checksums, or one marked `"degraded"` by a supervised
+/// run, is recomputed in place (the file itself is healthy).
 fn try_resume(
     figure: Figure,
     net: &Internet,
@@ -367,37 +474,127 @@ fn try_resume(
 ) -> Option<CellOutcome> {
     let cell_id = cell_id(figure, net.graph.len(), seed, model, graph);
     let path = args.checkpoint_dir.join(format!("{cell_id}.json"));
-    let text = std::fs::read_to_string(&path).ok()?;
-    // A reusable checkpoint carries the schema marker and a closing
-    // brace (anything else is a torn write from a kill) AND was
-    // produced under the *same estimation parameters* — we write
-    // these lines ourselves, so exact string matches are a full
-    // check. A rerun with a different --pairs / --ci /
-    // --rollout-steps recomputes the cell instead of silently
-    // reusing stale estimates under a new grid header.
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            eprintln!("warning: cell {cell_id}: cannot read checkpoint: {e}; recomputing");
+            return None;
+        }
+    };
+    let complete = text.contains(&format!("\"schema\": \"{CELL_SCHEMA}\"")) && text.ends_with('}');
+    let damage = if text.is_empty() {
+        Some("is zero bytes (torn write)")
+    } else if !complete {
+        Some("is torn or not a campaign cell")
+    } else {
+        match supervise::verify_checksum(&text) {
+            supervise::ChecksumStatus::Valid | supervise::ChecksumStatus::Missing => None,
+            supervise::ChecksumStatus::Mismatch => Some("fails its content checksum"),
+        }
+    };
+    if let Some(why) = damage {
+        quarantine(&path, &cell_id, why);
+        return None;
+    }
+    if matches!(
+        supervise::verify_checksum(&text),
+        supervise::ChecksumStatus::Missing
+    ) {
+        // Healthy pre-hardening checkpoint: recompute (don't quarantine)
+        // so every trusted cell carries a checksum going forward.
+        println!("cell {cell_id}: checkpoint predates content checksums, recomputing");
+        return None;
+    }
+    if text.contains("\"degraded\": true") {
+        println!("cell {cell_id}: checkpoint is degraded (lost groups), recomputing to repair");
+        return None;
+    }
+    // A reusable checkpoint was also produced under the *same estimation
+    // parameters* — we write these lines ourselves, so exact string
+    // matches are a full check. A rerun with a different --pairs / --ci
+    // / --rollout-steps recomputes the cell instead of silently reusing
+    // stale estimates under a new grid header.
     let ci_line = match args.ci {
         Some(t) => format!("\"ci_target\": {t},"),
         None => "\"ci_target\": null,".to_string(),
     };
-    let complete = text.contains(&format!("\"schema\": \"{CELL_SCHEMA}\"")) && text.ends_with('}');
     let same_params = text.contains(&format!("\"budget\": {},", args.pairs))
         && text.contains(&ci_line)
         && text.contains(&format!("\"steps\": {},", expected_steps(figure, args)));
-    if complete && same_params {
-        let wall_ms = json_u64(&text, "wall_ms").unwrap_or(0) as f64;
-        let pairs = json_u64(&text, "pairs").unwrap_or(0);
-        println!("cell {cell_id}: resumed from checkpoint");
-        return Some(CellOutcome {
-            json: text,
-            wall_ms,
-            pairs,
-            resumed: true,
-        });
-    }
-    if complete {
+    if !same_params {
         println!("cell {cell_id}: checkpoint has different estimation parameters, recomputing");
+        return None;
     }
-    None
+    let wall_ms = json_u64(&text, "wall_ms").unwrap_or(0) as f64;
+    let pairs = json_u64(&text, "pairs").unwrap_or(0);
+    println!("cell {cell_id}: resumed from checkpoint");
+    Some(CellOutcome {
+        id: cell_id,
+        json: text,
+        wall_ms,
+        pairs,
+        resumed: true,
+        degraded: false,
+    })
+}
+
+/// Write one cell checkpoint atomically (tmp + rename), warning and
+/// continuing on I/O failure — a lost checkpoint only costs a recompute
+/// on the next resume, never the campaign. The `ckpt.write` /
+/// `ckpt.rename` fault points tear, corrupt or drop the write under a
+/// `--fault-plan` to prove exactly that.
+fn write_checkpoint(dir: &Path, cell_id: &str, json: &str) {
+    let path = dir.join(format!("{cell_id}.json"));
+    let tmp = dir.join(format!("{cell_id}.json.tmp"));
+    let mut content = json.to_string();
+    match faultpoint::check("ckpt.write", cell_id) {
+        Some(faultpoint::Fault::Torn) => {
+            content.truncate(content.len() / 2);
+            eprintln!("faultpoint: tearing checkpoint {cell_id}");
+        }
+        Some(faultpoint::Fault::Corrupt) => {
+            // Flip one digit mid-file: still valid UTF-8 and JSON, but
+            // the content checksum no longer matches.
+            if let Some(pos) = content.rfind(|c: char| c.is_ascii_digit()) {
+                let b = content.as_bytes()[pos];
+                let flipped = (b'0' + (b - b'0' + 1) % 10) as char;
+                content.replace_range(pos..pos + 1, &flipped.to_string());
+            }
+            eprintln!("faultpoint: corrupting checkpoint {cell_id}");
+        }
+        Some(faultpoint::Fault::Garbage) => {
+            content = "garbage\n".to_string();
+            eprintln!("faultpoint: scribbling over checkpoint {cell_id}");
+        }
+        Some(faultpoint::Fault::Err) => {
+            eprintln!(
+                "faultpoint: simulated ENOSPC writing checkpoint {cell_id}; \
+                 continuing without checkpoint"
+            );
+            return;
+        }
+        None => {}
+    }
+    if let Err(e) = std::fs::write(&tmp, &content) {
+        eprintln!(
+            "warning: cannot write checkpoint {}: {e}; continuing without checkpoint",
+            tmp.display()
+        );
+        return;
+    }
+    if faultpoint::check("ckpt.rename", cell_id).is_some() {
+        // A crash between write and rename: the tmp file survives, the
+        // final name never appears.
+        eprintln!("faultpoint: simulated rename failure for checkpoint {cell_id}");
+        return;
+    }
+    if let Err(e) = std::fs::rename(&tmp, &path) {
+        eprintln!(
+            "warning: cannot finalize checkpoint {}: {e}; continuing without checkpoint",
+            path.display()
+        );
+    }
 }
 
 /// Run every model cell of one `(figure, graph, seed)` group — one fused
@@ -408,12 +605,17 @@ fn try_resume(
 /// order, one [`CellOutcome`] per model; wall-clock is attributed evenly
 /// across the group's computed cells, so per-cell `pairs_per_sec`
 /// reflects the fused amortization.
+///
+/// With `sup` set, the group's destination groups are sharded across the
+/// supervised worker fleet instead of the in-process pool; merge order is
+/// group-exact, so the estimates are bit-identical either way.
 fn run_figure_group(
     figure: Figure,
     net: &Internet,
     seed: u64,
     graph: Option<&str>,
     args: &Args,
+    sup: Option<&mut Supervisor>,
 ) -> Vec<CellOutcome> {
     let resumed: Vec<Option<CellOutcome>> = args
         .models
@@ -445,48 +647,63 @@ fn run_figure_group(
     let all: Vec<AsId> = net.graph.ases().collect();
     let non_stubs = net.tiers.non_stubs();
     let t0 = Instant::now();
-    let runs: Vec<AdaptiveRun> = match figure {
-        Figure::Baseline => stats::estimate_metric_cells(
-            net,
-            &all,
-            &all,
-            &Deployment::empty(net.len()),
-            &policies,
-            AttackStrategy::FakeLink,
-            &est,
-            args.threads,
-        ),
-        Figure::Rollout => {
-            let mut deps = vec![Deployment::empty(net.len())];
-            deps.extend(sweep_rollout_steps(net, args.rollout_steps));
-            debug_assert_eq!(deps.len(), expected_steps(figure, args));
-            stats::estimate_metric_sweep_cells(
+    let runs: Vec<AdaptiveRun> = if let Some(sup) = sup {
+        // Distributed path: the workers rebuild this exact graph and
+        // evaluator from the group spec, stream raw Welford triples
+        // back, and the coordinator merges them in group order — the
+        // same merge sequence as the in-process pool, so the estimates
+        // are bit-identical to `--workers 0`.
+        let spec = group_spec_json(figure, net, seed, &missing, graph, args);
+        let universe = match figure {
+            Figure::Baseline => PairUniverse::new(net, &all, &all),
+            Figure::Rollout | Figure::Ladder => PairUniverse::new(net, &non_stubs, &all),
+        };
+        let cell_stats = vec![expected_steps(figure, args); missing.len()];
+        supervise::estimate_adaptive_supervised(&universe, &est, &cell_stats, &spec, sup)
+    } else {
+        match figure {
+            Figure::Baseline => stats::estimate_metric_cells(
                 net,
-                &non_stubs,
                 &all,
-                &deps,
+                &all,
+                &Deployment::empty(net.len()),
                 &policies,
                 AttackStrategy::FakeLink,
                 &est,
                 args.threads,
+            ),
+            Figure::Rollout => {
+                let mut deps = vec![Deployment::empty(net.len())];
+                deps.extend(sweep_rollout_steps(net, args.rollout_steps));
+                debug_assert_eq!(deps.len(), expected_steps(figure, args));
+                stats::estimate_metric_sweep_cells(
+                    net,
+                    &non_stubs,
+                    &all,
+                    &deps,
+                    &policies,
+                    AttackStrategy::FakeLink,
+                    &est,
+                    args.threads,
+                )
+            }
+            Figure::Ladder => stats::estimate_strategy_ladder_cells(
+                net,
+                &non_stubs,
+                &all,
+                &Deployment::empty(net.len()),
+                &policies,
+                &AttackStrategy::LADDER,
+                &est,
+                args.threads,
             )
+            .into_iter()
+            .map(|l| {
+                debug_assert_eq!(l.rungs.len() + 1, expected_steps(figure, args));
+                l.run
+            })
+            .collect(),
         }
-        Figure::Ladder => stats::estimate_strategy_ladder_cells(
-            net,
-            &non_stubs,
-            &all,
-            &Deployment::empty(net.len()),
-            &policies,
-            &AttackStrategy::LADDER,
-            &est,
-            args.threads,
-        )
-        .into_iter()
-        .map(|l| {
-            debug_assert_eq!(l.rungs.len() + 1, expected_steps(figure, args));
-            l.run
-        })
-        .collect(),
     };
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let share_ms = wall_ms / missing.len().max(1) as f64;
@@ -508,22 +725,30 @@ fn run_figure_group(
             );
             // Atomic checkpoint: a kill mid-write leaves only the tmp
             // file behind.
-            let path = args.checkpoint_dir.join(format!("{cell_id}.json"));
-            let tmp = args.checkpoint_dir.join(format!("{cell_id}.json.tmp"));
-            std::fs::write(&tmp, &json).expect("write checkpoint tmp");
-            std::fs::rename(&tmp, &path).expect("rename checkpoint");
+            write_checkpoint(&args.checkpoint_dir, &cell_id, &json);
+            let degraded = run.lost_groups > 0 || run.lost_pairs > 0;
             println!(
-                "cell {cell_id}: {} pairs in {:.1} ms fused share ({:.0} pairs/s), max CI ±{:.3}pp",
+                "cell {cell_id}: {} pairs in {:.1} ms fused share ({:.0} pairs/s), max CI ±{:.3}pp{}",
                 run.sampled.len(),
                 share_ms,
                 run.sampled.len() as f64 / (share_ms / 1e3).max(1e-9),
-                100.0 * run.max_halfwidth()
+                100.0 * run.max_halfwidth(),
+                if degraded {
+                    format!(
+                        " [DEGRADED: {} group(s), {} pair(s) lost]",
+                        run.lost_groups, run.lost_pairs
+                    )
+                } else {
+                    String::new()
+                }
             );
             CellOutcome {
+                id: cell_id,
                 json,
                 wall_ms: share_ms,
                 pairs: run.sampled.len() as u64,
                 resumed: false,
+                degraded,
             }
         })
         .collect();
@@ -563,6 +788,39 @@ fn validate(path: &Path) -> Result<(), String> {
             return Err(format!("{}: missing {key}", path.display()));
         }
     }
+    // Audit the embedded content checksum of every cell block that has
+    // one (pre-hardening campaign files carry none — still accepted).
+    // Cell blocks sit at exactly four spaces of indent, so the scan
+    // can't confuse them with the one-line trajectory/estimate objects.
+    let mut cell: Vec<&str> = Vec::new();
+    let mut in_cell = false;
+    for line in text.lines() {
+        if line == "    {" {
+            in_cell = true;
+            cell.clear();
+        }
+        if in_cell {
+            cell.push(line);
+            if line == "    }" || line == "    }," {
+                in_cell = false;
+                let mut block = cell.join("\n");
+                if block.ends_with(',') {
+                    block.pop(); // restore the exact checkpointed bytes
+                }
+                if supervise::verify_checksum(&block) == supervise::ChecksumStatus::Mismatch {
+                    let id = block
+                        .lines()
+                        .find_map(|l| l.trim().strip_prefix("\"figure\": "))
+                        .unwrap_or("?")
+                        .trim_matches(|c| c == '"' || c == ',');
+                    return Err(format!(
+                        "{}: cell checksum mismatch (figure {id})",
+                        path.display()
+                    ));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -591,11 +849,26 @@ fn main() {
                 "usage: [--figures baseline,rollout,ladder] [--asns N,...] [--seeds S,...] \
                  [--models sec1,sec2,sec3] [--ci H] [--pairs B] [--rollout-steps K] \
                  [--threads T] [--checkpoint-dir DIR] [--out FILE] [--smoke] \
-                 [--file AS-REL [--cps ASN,...]] [--validate FILE]"
+                 [--file AS-REL [--cps ASN,...]] [--validate FILE] \
+                 [--workers N [--watchdog-ms MS] [--strikes K] [--backoff-ms MS]] \
+                 [--fault-plan FILE]"
             );
             std::process::exit(2);
         }
     };
+    if args.worker {
+        worker_main(&args);
+    }
+    faultpoint::set_role("coord");
+    if let Some(plan) = &args.fault_plan {
+        match faultpoint::load_plan(plan) {
+            Ok(n) => println!("fault plan: {n} fault(s) armed from {}", plan.display()),
+            Err(e) => {
+                eprintln!("cannot load fault plan {}: {e}", plan.display());
+                std::process::exit(2);
+            }
+        }
+    }
     if let Some(path) = &args.validate {
         match validate(path) {
             Ok(()) => {
@@ -609,10 +882,16 @@ fn main() {
         }
     }
 
-    std::fs::create_dir_all(&args.checkpoint_dir).expect("create checkpoint dir");
+    if let Err(e) = std::fs::create_dir_all(&args.checkpoint_dir) {
+        eprintln!(
+            "cannot create checkpoint dir {}: {e}",
+            args.checkpoint_dir.display()
+        );
+        std::process::exit(1);
+    }
     println!(
         "campaign: {} figure(s) × {} × {} seed(s) × {} model(s), \
-         budget {} pairs{}, checkpoints in {}",
+         budget {} pairs{}, checkpoints in {}{}",
         args.figures.len(),
         match &args.file {
             Some(p) => format!("snapshot {} + synthetic twin", p.display()),
@@ -624,10 +903,39 @@ fn main() {
         args.ci
             .map(|t| format!(", CI target ±{:.2}pp", 100.0 * t))
             .unwrap_or_default(),
-        args.checkpoint_dir.display()
+        args.checkpoint_dir.display(),
+        if args.workers > 0 {
+            format!(", {} supervised worker(s)", args.workers)
+        } else {
+            String::new()
+        }
     );
+    let mut sup: Option<Supervisor> = if args.workers > 0 {
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("cannot locate own executable for worker spawn: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut argv = vec![exe.display().to_string(), "--worker".to_string()];
+        if let Some(plan) = &args.fault_plan {
+            argv.push("--fault-plan".to_string());
+            argv.push(plan.display().to_string());
+        }
+        Some(Supervisor::new(SupervisorConfig {
+            workers: args.workers,
+            argv,
+            watchdog: Duration::from_millis(args.watchdog_ms),
+            strikes: args.strikes,
+            backoff: Duration::from_millis(args.backoff_ms),
+        }))
+    } else {
+        None
+    };
 
     let mut cells: Vec<String> = Vec::new();
+    let mut degraded_ids: Vec<String> = Vec::new();
     let (mut total_ms, mut total_pairs) = (0f64, 0u64);
     let (mut resumed, mut computed) = (0usize, 0usize);
     {
@@ -637,13 +945,16 @@ fn main() {
             for &figure in &args.figures {
                 // All models of the figure in one fused pass (or all
                 // resumed).
-                for out in run_figure_group(figure, net, seed, graph, &args) {
+                for out in run_figure_group(figure, net, seed, graph, &args, sup.as_mut()) {
                     total_ms += out.wall_ms;
                     total_pairs += out.pairs;
                     if out.resumed {
                         resumed += 1;
                     } else {
                         computed += 1;
+                    }
+                    if out.degraded {
+                        degraded_ids.push(out.id);
                     }
                     cells.push(out.json);
                 }
@@ -734,23 +1045,321 @@ fn main() {
         let _ = writeln!(json, "{c}{}", if i + 1 < cells.len() { "," } else { "" });
     }
     let _ = writeln!(json, "  ],");
+    // Cells whose supervised run exhausted the retry ladder; the grid
+    // still validates, and a rerun repairs them from their (untrusted)
+    // degraded checkpoints.
+    let _ = writeln!(json, "  \"degraded\": {},", list_json(&degraded_ids, true));
     let _ = writeln!(json, "  \"totals\": {{");
     let _ = writeln!(json, "    \"cells\": {},", cells.len());
     let _ = writeln!(json, "    \"computed_this_run\": {computed},");
     let _ = writeln!(json, "    \"resumed\": {resumed},");
+    let _ = writeln!(json, "    \"degraded\": {},", degraded_ids.len());
     let _ = writeln!(json, "    \"pairs\": {total_pairs},");
     let _ = writeln!(json, "    \"wall_ms\": {total_ms:.3}");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
-    std::fs::write(&args.out, &json).expect("write campaign JSON");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
     println!(
-        "wrote {} ({} cells: {computed} computed, {resumed} resumed; {total_pairs} pairs, {:.1} s)",
+        "wrote {} ({} cells: {computed} computed, {resumed} resumed, {} degraded; \
+         {total_pairs} pairs, {:.1} s)",
         args.out.display(),
         cells.len(),
+        degraded_ids.len(),
         total_ms / 1e3
     );
     if let Err(msg) = validate(&args.out) {
         eprintln!("self-check failed: {msg}");
         std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervised worker mode
+// ---------------------------------------------------------------------------
+
+/// The group identity the coordinator ships in its `init` frame: enough
+/// for a worker to rebuild the exact graph, policies and deployments of
+/// one `(figure, graph, seed)` fused pass. Single-line JSON; comparing
+/// the strings *is* comparing the groups (the supervisor re-inits its
+/// fleet only when the payload changes).
+fn group_spec_json(
+    figure: Figure,
+    net: &Internet,
+    seed: u64,
+    models: &[SecurityModel],
+    graph: Option<&str>,
+    args: &Args,
+) -> String {
+    let mut s = format!(
+        "{{\"figure\":\"{}\",\"asns\":{},\"seed\":{seed},\"models\":[",
+        figure.name(),
+        net.len()
+    );
+    for (i, &m) in models.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", model_token(m));
+    }
+    let _ = write!(s, "],\"steps\":{}", args.rollout_steps);
+    if graph.is_some() {
+        if let Some(path) = &args.file {
+            let _ = write!(s, ",\"snapshot\":\"{}\"", path.display());
+            let _ = write!(s, ",\"cps\":[");
+            for (i, cp) in args.cps.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{cp}");
+            }
+            s.push(']');
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// `"key":"value"` extraction from a compact (no-space) group spec.
+fn spec_str<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let pat = format!("\"{key}\":\"");
+    let start = text.find(&pat)? + pat.len();
+    let end = text[start..].find('"')? + start;
+    Some(&text[start..end])
+}
+
+/// `"key":123` extraction from a compact group spec.
+fn spec_u64(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `"key":[...]` — the raw bracket contents of a compact group spec.
+fn spec_list<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let pat = format!("\"{key}\":[");
+    let start = text.find(&pat)? + pat.len();
+    let end = text[start..].find(']')? + start;
+    Some(&text[start..end])
+}
+
+struct GroupSpec {
+    figure: Figure,
+    asns: usize,
+    seed: u64,
+    models: Vec<SecurityModel>,
+    steps: usize,
+    snapshot: Option<PathBuf>,
+    cps: Vec<u32>,
+}
+
+fn parse_group_spec(text: &str) -> Result<GroupSpec, String> {
+    let figure = Figure::parse(spec_str(text, "figure").ok_or("spec: no figure")?)?;
+    let asns = spec_u64(text, "asns").ok_or("spec: no asns")? as usize;
+    let seed = spec_u64(text, "seed").ok_or("spec: no seed")?;
+    let models = spec_list(text, "models")
+        .ok_or("spec: no models")?
+        .split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| parse_model(t.trim_matches('"')))
+        .collect::<Result<Vec<_>, _>>()?;
+    let steps = spec_u64(text, "steps").ok_or("spec: no steps")? as usize;
+    let snapshot = spec_str(text, "snapshot").map(PathBuf::from);
+    let cps = match spec_list(text, "cps") {
+        Some(list) => list
+            .split(',')
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse::<u32>().map_err(|e| format!("spec: bad cp: {e}")))
+            .collect::<Result<Vec<_>, _>>()?,
+        None => Vec::new(),
+    };
+    Ok(GroupSpec {
+        figure,
+        asns,
+        seed,
+        models,
+        steps,
+        snapshot,
+        cps,
+    })
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panicked".to_string())
+}
+
+/// Serve evaluation tasks for one group until the coordinator re-inits
+/// (returns the new payload), shuts us down, or disappears (returns
+/// `None`). Stdout carries only protocol frames — diagnostics go to
+/// stderr, which the coordinator leaves attached to its own.
+///
+/// A panic inside the fused kernels (real, or injected through the
+/// `worker.eval` fault point) is caught, converted into an `error`
+/// reply, and the scratch engines are rebuilt — one poisoned cell
+/// evaluation never takes the worker down with it.
+fn serve_tasks<E: stats::CellEval>(
+    eval: &E,
+    nstrata: usize,
+    stdin: &mut impl Read,
+    stdout: &mut impl Write,
+) -> Option<String> {
+    let cell_stats = eval.cell_stats();
+    if supervise::write_frame(stdout, &supervise::encode_ready(&cell_stats, nstrata)).is_err() {
+        return None;
+    }
+    let mut w = eval.make_worker();
+    loop {
+        let frame = match supervise::read_frame(stdin) {
+            Ok(Some(f)) => f,
+            _ => return None,
+        };
+        match supervise::parse_worker_msg(&frame) {
+            Ok(WorkerMsg::Init(p)) => return Some(p),
+            Ok(WorkerMsg::Shutdown) => return None,
+            Ok(WorkerMsg::Task {
+                id,
+                dest,
+                attackers,
+            }) => {
+                let key = format!("task{id}");
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Some(f) = faultpoint::check("worker.eval", &key) {
+                        return Err(format!("injected {f:?} fault at worker.eval"));
+                    }
+                    Ok(supervise::eval_task_data(
+                        eval, &mut w, nstrata, dest, &attackers,
+                    ))
+                }));
+                let reply = match outcome {
+                    Ok(Ok(data)) => supervise::encode_result(id, &data),
+                    Ok(Err(msg)) => supervise::encode_error(id, &msg),
+                    Err(panic) => {
+                        // The scratch engines may be mid-update; rebuild.
+                        w = eval.make_worker();
+                        supervise::encode_error(id, &panic_message(panic))
+                    }
+                };
+                let reply = match faultpoint::check("worker.reply", &key) {
+                    // Wrong-schema reply: right type, missing data — the
+                    // coordinator must strike it, not merge it.
+                    Some(_) => format!("{{\"type\":\"result\",\"id\":{id}}}"),
+                    None => reply,
+                };
+                if supervise::write_frame(stdout, &reply).is_err() {
+                    return None;
+                }
+            }
+            Err(e) => {
+                // An unparseable coordinator frame (e.g. the injected
+                // `coord.frame` garbage): we can't know which task it
+                // carried, so stay silent and let the coordinator's
+                // watchdog reassign it.
+                eprintln!("worker: ignoring bad coordinator frame: {e}");
+            }
+        }
+    }
+}
+
+/// The `--worker` child process: rebuild each group the coordinator
+/// announces and serve its cell evaluations over stdin/stdout. Never
+/// returns; exits 0 on shutdown/EOF, nonzero on a broken spec or graph.
+fn worker_main(args: &Args) -> ! {
+    faultpoint::set_role(&format!("worker{}", args.worker_id));
+    if let Some(plan) = &args.fault_plan {
+        if let Err(e) = faultpoint::load_plan(plan) {
+            eprintln!(
+                "worker {}: cannot load fault plan {}: {e}",
+                args.worker_id,
+                plan.display()
+            );
+            std::process::exit(2);
+        }
+    }
+    let mut stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+    let mut next_init: Option<String> = None;
+    loop {
+        let payload = match next_init.take() {
+            Some(p) => p,
+            None => match supervise::read_frame(&mut stdin) {
+                Ok(Some(f)) => match supervise::parse_worker_msg(&f) {
+                    Ok(WorkerMsg::Init(p)) => p,
+                    Ok(WorkerMsg::Shutdown) => std::process::exit(0),
+                    Ok(WorkerMsg::Task { .. }) => {
+                        eprintln!("worker {}: task before init, ignoring", args.worker_id);
+                        continue;
+                    }
+                    Err(e) => {
+                        eprintln!("worker {}: ignoring bad frame: {e}", args.worker_id);
+                        continue;
+                    }
+                },
+                _ => std::process::exit(0), // EOF: the coordinator is gone
+            },
+        };
+        let spec = match parse_group_spec(&payload) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("worker {}: bad group spec: {e}", args.worker_id);
+                std::process::exit(2);
+            }
+        };
+        let net = match &spec.snapshot {
+            Some(path) => match Internet::from_file(path, &spec.cps) {
+                Ok(net) => net,
+                Err(e) => {
+                    eprintln!(
+                        "worker {}: cannot load snapshot {}: {e}",
+                        args.worker_id,
+                        path.display()
+                    );
+                    std::process::exit(1);
+                }
+            },
+            None => Internet::synthetic(spec.asns, spec.seed),
+        };
+        let policies: Vec<Policy> = spec.models.iter().map(|&m| Policy::new(m)).collect();
+        let all: Vec<AsId> = net.graph.ases().collect();
+        let non_stubs = net.tiers.non_stubs();
+        // Same pools, deployments and evaluators as the in-process path
+        // of `run_figure_group` — that is what makes the streamed
+        // accumulators merge to bit-identical estimates.
+        next_init = match spec.figure {
+            Figure::Baseline => {
+                let universe = PairUniverse::new(&net, &all, &all);
+                let deps = vec![Deployment::empty(net.len())];
+                let eval =
+                    stats::SweepCellsEval::new(&net, &deps, &policies, AttackStrategy::FakeLink);
+                serve_tasks(&eval, universe.strata().len(), &mut stdin, &mut stdout)
+            }
+            Figure::Rollout => {
+                let universe = PairUniverse::new(&net, &non_stubs, &all);
+                let mut deps = vec![Deployment::empty(net.len())];
+                deps.extend(sweep_rollout_steps(&net, spec.steps));
+                let eval =
+                    stats::SweepCellsEval::new(&net, &deps, &policies, AttackStrategy::FakeLink);
+                serve_tasks(&eval, universe.strata().len(), &mut stdin, &mut stdout)
+            }
+            Figure::Ladder => {
+                let universe = PairUniverse::new(&net, &non_stubs, &all);
+                let dep = Deployment::empty(net.len());
+                let eval =
+                    stats::LadderCellsEval::new(&net, &dep, &policies, &AttackStrategy::LADDER);
+                serve_tasks(&eval, universe.strata().len(), &mut stdin, &mut stdout)
+            }
+        };
+        if next_init.is_none() {
+            std::process::exit(0);
+        }
     }
 }

@@ -31,26 +31,14 @@ pub mod render;
 
 use std::path::PathBuf;
 
-use sbgp_core::{AttackStrategy, Deployment, LpVariant};
+use sbgp_core::{AttackStrategy, LpVariant};
 use sbgp_sim::experiments::ExperimentConfig;
-use sbgp_sim::{scenario, Internet, Parallelism};
-use sbgp_topology::AsId;
+use sbgp_sim::{Internet, Parallelism};
 
-/// The sweep-benchmark workload: a monotone rollout of `steps` deployments
-/// growing toward `min(100, |Tier 2|)` Tier 2 ISPs (plus their stubs) in
-/// customer-degree order. Shared by the criterion bench (`benches/sweep.rs`)
-/// and the `bench_sweep` binary so both measure the same shape.
-pub fn sweep_rollout_steps(net: &Internet, steps: usize) -> Vec<Deployment> {
-    let t2 = net.tiers.tier2();
-    let target = t2.len().clamp(1, 100);
-    (1..=steps)
-        .map(|i| {
-            let y = ((target * i).div_ceil(steps)).max(1);
-            let isps: Vec<AsId> = t2.iter().take(y).copied().collect();
-            scenario::isps_and_stubs(net, &isps)
-        })
-        .collect()
-}
+/// The sweep-benchmark / campaign rollout workload — re-exported from
+/// [`sbgp_sim::scenario`], where it moved so supervised campaign worker
+/// processes can rebuild the coordinator's exact deployments.
+pub use sbgp_sim::scenario::sweep_rollout_steps;
 
 /// Parsed command-line options for the figure binaries.
 #[derive(Clone, Debug)]

@@ -1,0 +1,252 @@
+//! Deterministic, plan-driven fault injection.
+//!
+//! A *fault point* is a named site in the code (`"worker.eval"`,
+//! `"ckpt.write"`, …) that asks this module whether it should fail right
+//! now. Which sites fail, how, and on which hit is scripted by a **fault
+//! plan** — a committed text file — so every failure mode of the
+//! supervised campaign can be *replayed* byte-for-byte in CI instead of
+//! waiting for the real thing.
+//!
+//! Without the `fault-injection` cargo feature, [`check`] compiles to a
+//! constant `None` and [`load_plan`] refuses to load anything: release
+//! binaries carry zero live fault branches.
+//!
+//! # Plan format
+//!
+//! One entry per line; `#` comments and blank lines are skipped:
+//!
+//! ```text
+//! point=worker.eval proc=worker0 hit=1 action=abort
+//! point=ckpt.write  key=rollout_400_11_sec3 action=corrupt
+//! ```
+//!
+//! * `point=<site>` (required) — the fault-point name passed to [`check`].
+//! * `action=<act>` (required) — one of `panic`, `abort`, `hang` (executed
+//!   *inside* [`check`]; the first two never return, the third sleeps past
+//!   any watchdog), or `err`, `torn`, `corrupt`, `garbage` (returned as a
+//!   [`Fault`] for the site to act out — an injected I/O error, a torn
+//!   partial write, silent byte corruption, a wrong-schema reply).
+//! * `proc=<role>` (default `*`) — only fire in processes whose
+//!   [`set_role`] matches; a trailing `*` is a prefix wildcard, so
+//!   `proc=worker*` hits every worker but not the coordinator. Roles are
+//!   per *incarnation* (`worker0`, then `worker2` after a respawn), which
+//!   is how a plan injects a crash that the retry ladder then heals.
+//! * `key=<substr>` (default any) — only fire when the site's key (a cell
+//!   id, a task label) contains the substring.
+//! * `hit=<n|all>` (default `1`) — fire on the `n`-th matching check only,
+//!   or on every one. Counters are per entry and per process.
+
+#[cfg(feature = "fault-injection")]
+use std::sync::Mutex;
+
+/// A fault the *call site* must act out ([`check`] handles `panic`,
+/// `abort` and `hang` itself and never returns them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the operation with an injected error (e.g. pretend ENOSPC).
+    Err,
+    /// Write only a prefix of the payload, then fail (a torn tmp file).
+    Torn,
+    /// Complete the operation, then silently flip one payload byte.
+    Corrupt,
+    /// Reply with well-formed nonsense instead of the real payload.
+    Garbage,
+}
+
+#[cfg(feature = "fault-injection")]
+#[derive(Debug)]
+struct Entry {
+    point: String,
+    proc_pat: String,
+    key_substr: String,
+    hit: Option<u64>, // None = every hit
+    action: String,
+    count: u64,
+}
+
+#[cfg(feature = "fault-injection")]
+static PLAN: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+#[cfg(feature = "fault-injection")]
+static ROLE: Mutex<String> = Mutex::new(String::new());
+
+/// Name this process for `proc=` scoping (e.g. `"coord"`, `"worker3"`).
+/// Call before [`load_plan`]; defaults to the empty role, which only
+/// `proc=*` entries match.
+pub fn set_role(role: &str) {
+    #[cfg(feature = "fault-injection")]
+    {
+        *ROLE.lock().unwrap() = role.to_string();
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = role;
+}
+
+/// Parse and install a fault plan. Without the `fault-injection` feature
+/// this always fails — a binary that cannot inject faults must say so
+/// rather than silently running clean under a `--fault-plan` flag.
+pub fn load_plan(path: &std::path::Path) -> Result<usize, String> {
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        Err(format!(
+            "{}: this binary was built without the fault-injection feature",
+            path.display()
+        ))
+    }
+    #[cfg(feature = "fault-injection")]
+    {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut entries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut point = None;
+            let mut proc_pat = "*".to_string();
+            let mut key_substr = String::new();
+            let mut hit = Some(1u64);
+            let mut action = None;
+            for tok in line.split_whitespace() {
+                let (k, v) = tok.split_once('=').ok_or_else(|| {
+                    format!("{}:{}: bad token {tok:?}", path.display(), lineno + 1)
+                })?;
+                match k {
+                    "point" => point = Some(v.to_string()),
+                    "proc" => proc_pat = v.to_string(),
+                    "key" => key_substr = v.to_string(),
+                    "hit" => {
+                        hit = if v == "all" {
+                            None
+                        } else {
+                            Some(v.parse().map_err(|_| {
+                                format!("{}:{}: bad hit {v:?}", path.display(), lineno + 1)
+                            })?)
+                        }
+                    }
+                    "action" => {
+                        if !matches!(
+                            v,
+                            "panic" | "abort" | "hang" | "err" | "torn" | "corrupt" | "garbage"
+                        ) {
+                            return Err(format!(
+                                "{}:{}: unknown action {v:?}",
+                                path.display(),
+                                lineno + 1
+                            ));
+                        }
+                        action = Some(v.to_string());
+                    }
+                    other => {
+                        return Err(format!(
+                            "{}:{}: unknown field {other:?}",
+                            path.display(),
+                            lineno + 1
+                        ))
+                    }
+                }
+            }
+            let point = point
+                .ok_or_else(|| format!("{}:{}: missing point=", path.display(), lineno + 1))?;
+            let action = action
+                .ok_or_else(|| format!("{}:{}: missing action=", path.display(), lineno + 1))?;
+            entries.push(Entry {
+                point,
+                proc_pat,
+                key_substr,
+                hit,
+                action,
+                count: 0,
+            });
+        }
+        // Entries scoped to other processes still load (roles are
+        // per-incarnation and the same plan file is shared by the whole
+        // process tree); they just never match here.
+        let n = entries.len();
+        *PLAN.lock().unwrap() = entries;
+        Ok(n)
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+fn role_matches(pat: &str, role: &str) -> bool {
+    if pat == "*" {
+        return true;
+    }
+    match pat.strip_suffix('*') {
+        Some(prefix) => role.starts_with(prefix),
+        None => role == pat,
+    }
+}
+
+/// Ask whether the fault point `point` should fail for `key` right now.
+///
+/// `panic` / `abort` / `hang` actions are carried out here (the first two
+/// never return); the rest come back as a [`Fault`] for the site to act
+/// out. Compiled to a constant `None` without the `fault-injection`
+/// feature.
+#[inline]
+pub fn check(point: &str, key: &str) -> Option<Fault> {
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = (point, key);
+        None
+    }
+    #[cfg(feature = "fault-injection")]
+    {
+        let action = {
+            let role = ROLE.lock().unwrap().clone();
+            let mut plan = PLAN.lock().unwrap();
+            let mut fired = None;
+            for e in plan.iter_mut() {
+                if e.point != point
+                    || !role_matches(&e.proc_pat, &role)
+                    || !key.contains(&e.key_substr)
+                {
+                    continue;
+                }
+                e.count += 1;
+                let fire = match e.hit {
+                    None => true,
+                    Some(n) => e.count == n,
+                };
+                if fire && fired.is_none() {
+                    fired = Some(e.action.clone());
+                }
+            }
+            fired?
+        };
+        match action.as_str() {
+            "panic" => panic!("fault injection: panic at {point} ({key})"),
+            "abort" => {
+                eprintln!("fault injection: abort at {point} ({key})");
+                std::process::abort();
+            }
+            "hang" => {
+                eprintln!("fault injection: hang at {point} ({key})");
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(60));
+                }
+            }
+            "err" => Some(Fault::Err),
+            "torn" => Some(Fault::Torn),
+            "corrupt" => Some(Fault::Corrupt),
+            "garbage" => Some(Fault::Garbage),
+            _ => unreachable!("validated at load"),
+        }
+    }
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_patterns() {
+        assert!(role_matches("*", ""));
+        assert!(role_matches("*", "worker0"));
+        assert!(role_matches("worker*", "worker7"));
+        assert!(!role_matches("worker*", "coord"));
+        assert!(role_matches("worker0", "worker0"));
+        assert!(!role_matches("worker0", "worker1"));
+    }
+}

@@ -27,6 +27,14 @@
 //!   pair sampling with nested without-replacement prefixes, streaming
 //!   per-stratum Welford accumulators, population-weighted recombination
 //!   with confidence intervals, and adaptive sample growth;
+//! * [`supervise`] — the crash-contained distributed campaign: a
+//!   coordinator sharding destination groups across supervised worker
+//!   processes (watchdogs, exponential-backoff respawn, K-strikes
+//!   degradation) with bit-identical merging, plus checkpoint content
+//!   checksums;
+//! * [`faultpoint`] — seeded deterministic fault injection (compiled to
+//!   no-ops without the `fault-injection` feature) for exercising the
+//!   recovery paths;
 //! * [`experiments`] — one driver per figure/table, returning plain data
 //!   that the `sbgp-bench` binaries print;
 //! * [`report`] — aligned-text table rendering.
@@ -35,12 +43,14 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod faultpoint;
 pub mod report;
 pub mod runner;
 pub mod sample;
 pub mod scenario;
 pub mod stats;
 pub mod strategy;
+pub mod supervise;
 pub mod sweep;
 pub mod weights;
 

@@ -90,6 +90,103 @@ where
     map_reduce_chunked(par, items, 1, make_worker, make_acc, step, merge)
 }
 
+/// As [`map_reduce_grouped`], with **panic isolation**: each item's
+/// evaluation runs under `catch_unwind`, so one poisoned item (a bug, or
+/// an injected fault) loses *that item* instead of tearing down the whole
+/// reduction. Returns the merged accumulator plus the indices of the
+/// poisoned items, in item order; the worker scratch is rebuilt after a
+/// catch (an engine mid-panic is in no state to serve the next item).
+///
+/// The merge stays chunk-order exact: surviving items merge in item order,
+/// so with no poisoned items the result is bit-identical to
+/// [`map_reduce_grouped`] at any [`Parallelism`].
+pub fn map_reduce_grouped_isolated<T, W, Acc>(
+    par: Parallelism,
+    items: &[T],
+    make_worker: impl Fn() -> W + Sync,
+    make_acc: impl Fn() -> Acc + Sync,
+    step: impl Fn(&mut W, &mut Acc, &T) + Sync,
+    merge: impl FnMut(&mut Acc, Acc),
+) -> (Acc, Vec<usize>)
+where
+    T: Sync,
+    Acc: Send,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let n = items.len();
+    let threads = par.0.clamp(1, n.max(1));
+    let mut merge = merge;
+    // One item per catch domain. The closures are not UnwindSafe in the
+    // type-system sense only because they borrow shared state; a poisoned
+    // worker is discarded and rebuilt, and a poisoned per-item accumulator
+    // never escapes, so the assertion is sound.
+    let run_item = |worker: &mut Option<W>, i: usize| -> Option<Acc> {
+        let w = worker.get_or_insert_with(&make_worker);
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            let mut acc = make_acc();
+            step(w, &mut acc, &items[i]);
+            acc
+        }));
+        if out.is_err() {
+            *worker = None; // rebuild before the next item
+        }
+        out.ok()
+    };
+
+    if threads == 1 {
+        let mut worker: Option<W> = None;
+        let mut total = make_acc();
+        let mut poisoned = Vec::new();
+        for i in 0..n {
+            match run_item(&mut worker, i) {
+                Some(acc) => merge(&mut total, acc),
+                None => poisoned.push(i),
+            }
+        }
+        return (total, poisoned);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut total = make_acc();
+    let mut merged = 0usize;
+    let mut poisoned = Vec::new();
+    let mut pending: HashMap<usize, Option<Acc>> = HashMap::new();
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Option<Acc>)>();
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let run_item = &run_item;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut worker: Option<W> = None;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if tx.send((i, run_item(&mut worker, i))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, acc) in rx {
+            pending.insert(i, acc);
+            while let Some(acc) = pending.remove(&merged) {
+                match acc {
+                    Some(acc) => merge(&mut total, acc),
+                    None => poisoned.push(merged),
+                }
+                merged += 1;
+            }
+        }
+    });
+    assert_eq!(merged, n, "an isolated worker died outside its catch");
+    (total, poisoned)
+}
+
 fn map_reduce_chunked<T, W, Acc>(
     par: Parallelism,
     items: &[T],
@@ -507,6 +604,39 @@ mod tests {
         let par = metric(&net, &pairs, &dep, policy, Parallelism(4));
         assert!((seq.lower - par.lower).abs() < 1e-12);
         assert!((seq.upper - par.upper).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_map_reduce_drops_only_poisoned_items() {
+        let items: Vec<usize> = (0..40).collect();
+        let poison = |i: usize| i % 13 == 5;
+        for threads in [1, 4] {
+            let (sum, poisoned) = map_reduce_grouped_isolated(
+                Parallelism(threads),
+                &items,
+                || (),
+                || 0usize,
+                |_, acc, &i| {
+                    assert!(!poison(i), "poisoned {i}");
+                    *acc += i;
+                },
+                |a, b| *a += b,
+            );
+            assert_eq!(poisoned, vec![5, 18, 31], "threads={threads}");
+            let expect: usize = items.iter().filter(|&&i| !poison(i)).sum();
+            assert_eq!(sum, expect, "threads={threads}");
+        }
+        // No poison: identical to the plain grouped reduction.
+        let (clean, none) = map_reduce_grouped_isolated(
+            Parallelism(3),
+            &items,
+            || (),
+            || 0usize,
+            |_, acc, &i| *acc += i,
+            |a, b| *a += b,
+        );
+        assert!(none.is_empty());
+        assert_eq!(clean, items.iter().sum::<usize>());
     }
 
     #[test]

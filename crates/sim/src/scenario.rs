@@ -52,6 +52,23 @@ pub fn isps_and_stubs(net: &Internet, isps: &[AsId]) -> Deployment {
     dep
 }
 
+/// The sweep-benchmark / campaign rollout workload: a monotone rollout of
+/// `steps` deployments growing toward `min(100, |Tier 2|)` Tier 2 ISPs
+/// (plus their stubs) in customer-degree order. Deterministic in the
+/// topology alone, so a supervised campaign worker can rebuild the exact
+/// deployments of the coordinator's grid from `(graph, steps)`.
+pub fn sweep_rollout_steps(net: &Internet, steps: usize) -> Vec<Deployment> {
+    let t2 = net.tiers.tier2();
+    let target = t2.len().clamp(1, 100);
+    (1..=steps)
+        .map(|i| {
+            let y = ((target * i).div_ceil(steps)).max(1);
+            let isps: Vec<AsId> = t2.iter().take(y).copied().collect();
+            isps_and_stubs(net, &isps)
+        })
+        .collect()
+}
+
 /// The §5.2.1 Tier 1 + Tier 2 rollout: secure `x` Tier 1s and `y` Tier 2s
 /// (both by descending customer degree) plus all their stubs.
 pub fn tier12_step(net: &Internet, x: usize, y: usize) -> NamedDeployment {

@@ -61,7 +61,7 @@ use sbgp_core::{
 use sbgp_topology::tier::{Tier, FIGURE_TIER_ORDER};
 use sbgp_topology::AsId;
 
-use crate::runner::{map_reduce_grouped, Parallelism};
+use crate::runner::{map_reduce_grouped, map_reduce_grouped_isolated, Parallelism};
 use crate::Internet;
 
 /// The default two-sided 95% normal quantile.
@@ -125,6 +125,18 @@ impl Welford {
         } else {
             (self.m2 / (self.n - 1) as f64).max(0.0)
         }
+    }
+
+    /// The raw `(n, mean, m2)` state — the wire form the supervised
+    /// campaign ships between processes (floats as `to_bits`, so a round
+    /// trip is bit-exact).
+    pub(crate) fn raw(&self) -> (u64, f64, f64) {
+        (self.n, self.mean, self.m2)
+    }
+
+    /// Rebuild from [`Welford::raw`] state.
+    pub(crate) fn from_raw(n: u64, mean: f64, m2: f64) -> Welford {
+        Welford { n, mean, m2 }
     }
 }
 
@@ -471,12 +483,12 @@ pub struct StratumStats {
 }
 
 impl StratumStats {
-    fn push(&mut self, b: Bounds) {
+    pub(crate) fn push(&mut self, b: Bounds) {
         self.lower.push(b.lower);
         self.upper.push(b.upper);
     }
 
-    fn merge(&mut self, o: StratumStats) {
+    pub(crate) fn merge(&mut self, o: StratumStats) {
         self.lower.merge(o.lower);
         self.upper.merge(o.upper);
     }
@@ -508,7 +520,7 @@ impl Estimate {
 /// reached every stratum. Fully enumerated strata contribute zero variance
 /// (finite-population correction); strata with a single observation
 /// contribute their weight but no variance estimate.
-fn recombine(universe: &PairUniverse, stats: &[StratumStats], z: f64) -> Estimate {
+pub(crate) fn recombine(universe: &PairUniverse, stats: &[StratumStats], z: f64) -> Estimate {
     let mut covered = 0u64;
     let mut pairs = 0u64;
     for (s, acc) in universe.strata.iter().zip(stats) {
@@ -609,6 +621,14 @@ pub struct AdaptiveRun {
     pub population: u64,
     /// Nonempty strata in the universe.
     pub strata: usize,
+    /// Destination groups whose evaluation was lost — poisoned in-process
+    /// (a caught panic) or degraded by the supervisor's retry ladder.
+    /// Their pairs are excluded from `sampled` and from every estimate;
+    /// nonzero means the run is *degraded* but still statistically valid
+    /// over the surviving sample.
+    pub lost_groups: u64,
+    /// Pairs dropped with those lost groups.
+    pub lost_pairs: u64,
 }
 
 impl AdaptiveRun {
@@ -623,7 +643,7 @@ impl AdaptiveRun {
 
 /// Group tagged pairs destination-major (first-appearance order), keeping
 /// each attacker's stratum tag — the shape the delta engine amortizes.
-fn group_tagged_by_destination(pairs: &[TaggedPair]) -> Vec<(AsId, Vec<(AsId, usize)>)> {
+pub(crate) fn group_tagged_by_destination(pairs: &[TaggedPair]) -> Vec<(AsId, Vec<(AsId, usize)>)> {
     let mut index: HashMap<AsId, usize> = HashMap::new();
     let mut groups: Vec<(AsId, Vec<(AsId, usize)>)> = Vec::new();
     for p in pairs {
@@ -668,6 +688,8 @@ pub fn estimate_adaptive<W>(
         sampled: Vec::new(),
         population: universe.population(),
         strata: nstrata,
+        lost_groups: 0,
+        lost_pairs: 0,
     };
     if budget == 0 || stat_count == 0 {
         return run;
@@ -744,6 +766,13 @@ pub fn estimate_adaptive<W>(
 /// bit-identical to the solo run's. Evaluation for already-stopped cells
 /// still happens (the fused engine serves all lanes in one traversal; the
 /// marginal cost is the point) — its emissions are simply not folded.
+///
+/// Evaluation is **panic-isolated**
+/// ([`map_reduce_grouped_isolated`]): a destination group that
+/// panics mid-evaluation is dropped from every active cell (tracked in
+/// [`AdaptiveRun::lost_groups`] / [`AdaptiveRun::lost_pairs`]) instead of
+/// aborting the whole run. With no panics the isolation is free and the
+/// results are unchanged, bit for bit.
 pub fn estimate_adaptive_cells<W>(
     universe: &PairUniverse,
     cfg: &EstimatorConfig,
@@ -763,6 +792,8 @@ pub fn estimate_adaptive_cells<W>(
             sampled: Vec::new(),
             population: universe.population(),
             strata: nstrata,
+            lost_groups: 0,
+            lost_pairs: 0,
         })
         .collect();
     // A zero-stat cell is done before sampling, exactly like its solo run.
@@ -788,7 +819,7 @@ pub fn estimate_adaptive_cells<W>(
         let incr = sampler.increment(&prev, &counts);
         let groups = group_tagged_by_destination(&incr);
         let active_now = &active;
-        let round = map_reduce_grouped(
+        let (round, poisoned) = map_reduce_grouped_isolated(
             par,
             &groups,
             &make_worker,
@@ -825,13 +856,28 @@ pub fn estimate_adaptive_cells<W>(
                 }
             }
         }
+        // Pairs of poisoned groups never reached an accumulator: drop
+        // them from every active cell's sample and mark the loss, so the
+        // estimates and the sample list stay consistent.
+        let lost: std::collections::HashSet<AsId> = poisoned.iter().map(|&g| groups[g].0).collect();
+        let lost_pairs: u64 = poisoned.iter().map(|&g| groups[g].1.len() as u64).sum();
         let total: u64 = counts.iter().sum();
         for (c, run) in runs.iter_mut().enumerate() {
             if !active[c] {
                 continue;
             }
-            run.sampled
-                .extend(incr.iter().map(|p| (p.attacker, p.dest)));
+            if lost.is_empty() {
+                run.sampled
+                    .extend(incr.iter().map(|p| (p.attacker, p.dest)));
+            } else {
+                run.sampled.extend(
+                    incr.iter()
+                        .filter(|p| !lost.contains(&p.dest))
+                        .map(|p| (p.attacker, p.dest)),
+                );
+                run.lost_groups += poisoned.len() as u64;
+                run.lost_pairs += lost_pairs;
+            }
             run.estimates = persistent[c]
                 .iter()
                 .map(|stats| recombine(universe, stats, cfg.z))
@@ -1021,6 +1067,234 @@ pub fn estimate_strategy_ladder(
 // Fused multi-cell estimators (one engine pass serves every policy)
 // ---------------------------------------------------------------------------
 
+/// A figure's multi-cell evaluation kernel, factored out of the closures
+/// of [`estimate_adaptive_cells`] so the *same* code path serves both the
+/// in-process estimators and the supervised multi-process campaign
+/// ([`crate::supervise`]): a worker process rebuilds the evaluator from
+/// its group spec and replays destination groups through it, which is
+/// what makes an N-worker run bit-identical to the single-process run.
+pub trait CellEval: Sync {
+    /// Per-thread scratch (typically one fused engine, plus sweep engines).
+    type Worker;
+
+    /// Statistics tracked per cell (`cell_stats()[c]` for cell `c`).
+    fn cell_stats(&self) -> Vec<usize>;
+
+    /// Build fresh worker scratch.
+    fn make_worker(&self) -> Self::Worker;
+
+    /// Anchor the scratch on a destination group.
+    fn begin(&self, w: &mut Self::Worker, dest: AsId);
+
+    /// Evaluate one `(m, d)` pair, emitting `(cell, statistic, value)`
+    /// triples (each statistic at most once per pair).
+    fn eval_pair(
+        &self,
+        w: &mut Self::Worker,
+        m: AsId,
+        d: AsId,
+        emit: &mut dyn FnMut(usize, usize, Bounds),
+    );
+}
+
+/// [`estimate_adaptive_cells`] driven by a [`CellEval`].
+pub fn estimate_adaptive_cells_eval<E: CellEval>(
+    universe: &PairUniverse,
+    cfg: &EstimatorConfig,
+    eval: &E,
+    par: Parallelism,
+) -> Vec<AdaptiveRun> {
+    estimate_adaptive_cells(
+        universe,
+        cfg,
+        &eval.cell_stats(),
+        par,
+        || eval.make_worker(),
+        |w, d| eval.begin(w, d),
+        |w, m, d, emit| eval.eval_pair(w, m, d, emit),
+    )
+}
+
+/// The deployment-sweep kernel behind [`estimate_metric_sweep_cells`]
+/// (and, with a single deployment, [`estimate_metric_cells`]): one fused
+/// patch per pair serves every policy lane's first step, and a per-lane
+/// [`SweepEngine`] adopted from the fused outcome carries the remaining
+/// deployments.
+pub struct SweepCellsEval<'a> {
+    net: &'a Internet,
+    deployments: &'a [Deployment],
+    cells: CellSet,
+    npolicies: usize,
+    sources: f64,
+}
+
+impl<'a> SweepCellsEval<'a> {
+    /// Build the kernel for a policy set under one attack strategy.
+    pub fn new(
+        net: &'a Internet,
+        deployments: &'a [Deployment],
+        policies: &[Policy],
+        strategy: AttackStrategy,
+    ) -> SweepCellsEval<'a> {
+        SweepCellsEval {
+            net,
+            deployments,
+            cells: CellSet::per_policy(policies, strategy),
+            npolicies: policies.len(),
+            sources: (net.graph.len() - 2).max(1) as f64,
+        }
+    }
+
+    fn fraction(&self, (lower, upper): (usize, usize)) -> Bounds {
+        Bounds {
+            lower: lower as f64 / self.sources,
+            upper: upper as f64 / self.sources,
+        }
+    }
+}
+
+impl<'a> CellEval for SweepCellsEval<'a> {
+    type Worker = (FusedDeltaEngine<'a>, Vec<SweepEngine<'a>>);
+
+    fn cell_stats(&self) -> Vec<usize> {
+        vec![self.deployments.len(); self.npolicies]
+    }
+
+    fn make_worker(&self) -> Self::Worker {
+        let sweeps: Vec<SweepEngine> = (0..self.cells.lane_count())
+            .map(|_| SweepEngine::new(&self.net.graph))
+            .collect();
+        (
+            FusedDeltaEngine::new(&self.net.graph, self.cells.clone()),
+            sweeps,
+        )
+    }
+
+    fn begin(&self, (fused, _): &mut Self::Worker, d: AsId) {
+        if let Some(first) = self.deployments.first() {
+            fused.begin(d, first);
+        }
+    }
+
+    fn eval_pair(
+        &self,
+        (fused, sweeps): &mut Self::Worker,
+        m: AsId,
+        d: AsId,
+        emit: &mut dyn FnMut(usize, usize, Bounds),
+    ) {
+        fused.attack(m);
+        for c in 0..self.cells.input_len() {
+            emit(c, 0, self.fraction(fused.count_happy(c)));
+        }
+        if self.deployments.len() > 1 {
+            for (j, (lane, sweep)) in self.cells.lanes().iter().zip(sweeps.iter_mut()).enumerate() {
+                let scenario = AttackScenario::attack(m, d).with_strategy(lane.strategy);
+                sweep.begin_from(
+                    scenario,
+                    lane.policy,
+                    &self.deployments[0],
+                    fused.lane_outcome(j),
+                    fused.lane_happy(j),
+                );
+            }
+            for (k, dep) in self.deployments.iter().enumerate().skip(1) {
+                for sweep in sweeps.iter_mut() {
+                    sweep.advance(dep);
+                }
+                for c in 0..self.cells.input_len() {
+                    emit(
+                        c,
+                        k,
+                        self.fraction(sweeps[self.cells.lane_of(c)].count_happy()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The strategy-ladder kernel behind [`estimate_strategy_ladder_cells`]:
+/// the (policy × rung) grid is one [`CellSet`], and statistic `nr` of each
+/// policy cell is the per-pair damage-maximizing rung.
+pub struct LadderCellsEval<'a> {
+    net: &'a Internet,
+    deployment: &'a Deployment,
+    cells: CellSet,
+    nr: usize,
+    npolicies: usize,
+    sources: f64,
+}
+
+impl<'a> LadderCellsEval<'a> {
+    /// Build the kernel for a policy set over a rung ladder (nonempty).
+    pub fn new(
+        net: &'a Internet,
+        deployment: &'a Deployment,
+        policies: &[Policy],
+        rungs: &[AttackStrategy],
+    ) -> LadderCellsEval<'a> {
+        assert!(!rungs.is_empty(), "the ladder needs at least one rung");
+        LadderCellsEval {
+            net,
+            deployment,
+            cells: CellSet::grid(policies, rungs),
+            nr: rungs.len(),
+            npolicies: policies.len(),
+            sources: (net.graph.len() - 2).max(1) as f64,
+        }
+    }
+}
+
+impl<'a> CellEval for LadderCellsEval<'a> {
+    type Worker = FusedDeltaEngine<'a>;
+
+    fn cell_stats(&self) -> Vec<usize> {
+        vec![self.nr + 1; self.npolicies]
+    }
+
+    fn make_worker(&self) -> Self::Worker {
+        FusedDeltaEngine::new(&self.net.graph, self.cells.clone())
+    }
+
+    fn begin(&self, fused: &mut Self::Worker, d: AsId) {
+        fused.begin(d, self.deployment);
+    }
+
+    fn eval_pair(
+        &self,
+        fused: &mut Self::Worker,
+        m: AsId,
+        _d: AsId,
+        emit: &mut dyn FnMut(usize, usize, Bounds),
+    ) {
+        fused.attack(m);
+        for p in 0..self.npolicies {
+            let mut best = (usize::MAX, usize::MAX);
+            for r in 0..self.nr {
+                let (lower, upper) = fused.count_happy(p * self.nr + r);
+                emit(
+                    p,
+                    r,
+                    Bounds {
+                        lower: lower as f64 / self.sources,
+                        upper: upper as f64 / self.sources,
+                    },
+                );
+                best = best.min((lower, upper));
+            }
+            emit(
+                p,
+                self.nr,
+                Bounds {
+                    lower: best.0 as f64 / self.sources,
+                    upper: best.1 as f64 / self.sources,
+                },
+            );
+        }
+    }
+}
+
 /// [`estimate_metric`] for a whole set of policies at once: one fused
 /// engine per worker serves every policy cell from one snapshot traversal
 /// (and one computation per *distinct* lane — at zero validators the three
@@ -1070,56 +1344,8 @@ pub fn estimate_metric_sweep_cells(
         return Vec::new();
     }
     let universe = PairUniverse::new(net, attacker_pool, dest_pool);
-    let sources = (net.graph.len() - 2).max(1) as f64;
-    let fraction = move |(lower, upper): (usize, usize)| Bounds {
-        lower: lower as f64 / sources,
-        upper: upper as f64 / sources,
-    };
-    let cells = CellSet::per_policy(policies, strategy);
-    let cell_stats = vec![deployments.len(); policies.len()];
-    estimate_adaptive_cells(
-        &universe,
-        cfg,
-        &cell_stats,
-        par,
-        || {
-            let sweeps: Vec<SweepEngine> = (0..cells.lane_count())
-                .map(|_| SweepEngine::new(&net.graph))
-                .collect();
-            (FusedDeltaEngine::new(&net.graph, cells.clone()), sweeps)
-        },
-        |(fused, _), d| {
-            if let Some(first) = deployments.first() {
-                fused.begin(d, first);
-            }
-        },
-        |(fused, sweeps), m, d, emit| {
-            fused.attack(m);
-            for c in 0..cells.input_len() {
-                emit(c, 0, fraction(fused.count_happy(c)));
-            }
-            if deployments.len() > 1 {
-                for (j, (lane, sweep)) in cells.lanes().iter().zip(sweeps.iter_mut()).enumerate() {
-                    let scenario = AttackScenario::attack(m, d).with_strategy(lane.strategy);
-                    sweep.begin_from(
-                        scenario,
-                        lane.policy,
-                        &deployments[0],
-                        fused.lane_outcome(j),
-                        fused.lane_happy(j),
-                    );
-                }
-                for (k, dep) in deployments.iter().enumerate().skip(1) {
-                    for sweep in sweeps.iter_mut() {
-                        sweep.advance(dep);
-                    }
-                    for c in 0..cells.input_len() {
-                        emit(c, k, fraction(sweeps[cells.lane_of(c)].count_happy()));
-                    }
-                }
-            }
-        },
-    )
+    let eval = SweepCellsEval::new(net, deployments, policies, strategy);
+    estimate_adaptive_cells_eval(&universe, cfg, &eval, par)
 }
 
 /// [`estimate_strategy_ladder`] for a whole set of policies at once: the
@@ -1147,44 +1373,9 @@ pub fn estimate_strategy_ladder_cells(
         return Vec::new();
     }
     let universe = PairUniverse::new(net, attacker_pool, dest_pool);
-    let sources = (net.graph.len() - 2).max(1) as f64;
-    let cells = CellSet::grid(policies, rungs);
+    let eval = LadderCellsEval::new(net, deployment, policies, rungs);
+    let runs = estimate_adaptive_cells_eval(&universe, cfg, &eval, par);
     let nr = rungs.len();
-    let cell_stats = vec![nr + 1; policies.len()];
-    let runs = estimate_adaptive_cells(
-        &universe,
-        cfg,
-        &cell_stats,
-        par,
-        || FusedDeltaEngine::new(&net.graph, cells.clone()),
-        |fused, d| fused.begin(d, deployment),
-        |fused, m, _d, emit| {
-            fused.attack(m);
-            for p in 0..policies.len() {
-                let mut best = (usize::MAX, usize::MAX);
-                for r in 0..nr {
-                    let (lower, upper) = fused.count_happy(p * nr + r);
-                    emit(
-                        p,
-                        r,
-                        Bounds {
-                            lower: lower as f64 / sources,
-                            upper: upper as f64 / sources,
-                        },
-                    );
-                    best = best.min((lower, upper));
-                }
-                emit(
-                    p,
-                    nr,
-                    Bounds {
-                        lower: best.0 as f64 / sources,
-                        upper: best.1 as f64 / sources,
-                    },
-                );
-            }
-        },
-    );
     runs.into_iter()
         .map(|run| {
             let optimal = *run.estimates.last().expect("rungs is nonempty");

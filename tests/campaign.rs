@@ -9,9 +9,9 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-fn campaign_cmd(dir: &Path) -> Command {
-    // Build (cached by the shared target dir) and locate the binary via
-    // cargo, but *run* it from the scratch directory.
+/// Build (cached by the shared target dir) and locate the binary via
+/// cargo.
+fn campaign_bin() -> PathBuf {
     let mut build = Command::new(env!("CARGO"));
     build
         .current_dir(Path::new(env!("CARGO_MANIFEST_DIR")))
@@ -30,22 +30,27 @@ fn campaign_cmd(dir: &Path) -> Command {
         "campaign failed to build:\n{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    let bin = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("target")
         .join("debug")
-        .join("campaign");
-    let mut cmd = Command::new(bin);
+        .join("campaign")
+}
+
+fn campaign_cmd(dir: &Path) -> Command {
+    let mut cmd = Command::new(campaign_bin());
     cmd.current_dir(dir);
     cmd.args(["--smoke", "--threads", "2"]);
     cmd
 }
 
-/// Strip the timing fields so runs are comparable.
+/// Strip the timing fields (and the content checksums, which cover them)
+/// so runs are comparable.
 fn estimates_only(json: &str) -> String {
     json.lines()
         .filter(|l| {
             !(l.contains("wall_ms")
                 || l.contains("pairs_per_sec")
+                || l.contains("\"checksum\"")
                 || l.contains("_this_run")
                 || l.contains("\"resumed\""))
         })
@@ -138,6 +143,132 @@ fn campaign_smoke_checkpoints_and_resumes() {
         .status()
         .expect("spawn validate");
     assert!(!status.success(), "validation accepted schema drift");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A supervised N-worker campaign must produce the same bytes as the
+/// in-process run — the coordinator merges worker accumulators in group
+/// order, the exact merge sequence of the thread pool — for every worker
+/// count and every figure kind.
+#[test]
+fn campaign_workers_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("sbgp_campaign_workers_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let bin = campaign_bin();
+
+    let run = |workers: usize| -> String {
+        let out_name = format!("out{workers}.json");
+        let out = Command::new(&bin)
+            .current_dir(&dir)
+            .args([
+                "--figures",
+                "baseline,rollout,ladder",
+                "--asns",
+                "300",
+                "--seeds",
+                "7",
+                "--models",
+                "sec1,sec2",
+                "--pairs",
+                "100",
+                "--rollout-steps",
+                "2",
+                "--threads",
+                "2",
+                "--workers",
+                &workers.to_string(),
+                "--checkpoint-dir",
+                &format!("ck{workers}"),
+                "--out",
+                &out_name,
+            ])
+            .output()
+            .expect("spawn campaign");
+        assert!(
+            out.status.success(),
+            "campaign --workers {workers} failed:\nstdout:\n{}\nstderr:\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("6 computed, 0 resumed, 0 degraded"),
+            "--workers {workers}: unexpected summary:\n{stdout}"
+        );
+        std::fs::read_to_string(dir.join(out_name)).expect("campaign JSON")
+    };
+
+    let reference = run(0);
+    assert!(
+        reference.contains("\"degraded\": [],"),
+        "clean run must report an empty degraded list"
+    );
+    for workers in [1usize, 2, 4] {
+        let distributed = run(workers);
+        assert_eq!(
+            estimates_only(&reference),
+            estimates_only(&distributed),
+            "--workers {workers} diverged from the in-process run"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resume must never trust damaged checkpoint bytes: a corrupted cell
+/// (checksum mismatch) and a zero-byte cell are both quarantined to
+/// `<name>.json.quarantined` and recomputed, and the repaired campaign
+/// JSON is byte-identical to the undamaged one.
+#[test]
+fn campaign_quarantines_damaged_checkpoints() {
+    let dir = std::env::temp_dir().join(format!("sbgp_campaign_quarantine_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let out = campaign_cmd(&dir).output().expect("spawn campaign");
+    assert!(out.status.success(), "first campaign run failed");
+    let json_path = dir.join("BENCH_campaign_smoke.json");
+    let first = std::fs::read_to_string(&json_path).expect("campaign JSON");
+    let ckpt = dir.join("campaign_smoke_ckpt");
+
+    // Silent corruption: flip one digit of a checkpointed estimate.
+    let victim = ckpt.join("baseline_400_11_sec1.json");
+    let text = std::fs::read_to_string(&victim).expect("victim cell");
+    let pos = text.find("\"population\": ").expect("population line") + "\"population\": ".len();
+    let mut bytes = text.into_bytes();
+    bytes[pos] = b'0' + (bytes[pos] - b'0' + 1) % 10;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    // A crashed write(2) that only got as far as create: zero bytes.
+    let truncated = ckpt.join("rollout_400_11_sec1.json");
+    assert!(truncated.exists());
+    std::fs::write(&truncated, b"").unwrap();
+
+    std::fs::remove_file(&json_path).unwrap();
+    let out = campaign_cmd(&dir).output().expect("spawn campaign");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "repair run failed:\n{stderr}");
+    assert!(
+        stdout.contains("2 computed, 4 resumed"),
+        "damaged cells were not both recomputed:\n{stdout}\n{stderr}"
+    );
+    assert!(
+        stderr.contains("fails its content checksum") && stderr.contains("zero bytes"),
+        "missing damage diagnoses:\n{stderr}"
+    );
+    assert_eq!(stderr.matches("quarantined to").count(), 2, "{stderr}");
+    assert!(ckpt.join("baseline_400_11_sec1.json.quarantined").exists());
+    assert!(ckpt.join("rollout_400_11_sec1.json.quarantined").exists());
+
+    let second = std::fs::read_to_string(&json_path).expect("campaign JSON after repair");
+    assert_eq!(
+        estimates_only(&first),
+        estimates_only(&second),
+        "repair after corruption drifted the estimates"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
