@@ -113,11 +113,25 @@ impl Cli {
                 "--ixp" => cli.ixp = true,
                 "--file" => cli.file = Some(PathBuf::from(take("--file")?)),
                 "--cps" => {
-                    cli.cps = take("--cps")?
+                    let cps = take("--cps")?
                         .split(',')
                         .filter(|t| !t.is_empty())
                         .map(|t| parse_num(t.trim()))
                         .collect::<Result<Vec<u32>, String>>()?;
+                    // A repeated ASN would double-count that content
+                    // provider in every per-CP average; reject it with
+                    // the offending positions instead of silently
+                    // skewing the numbers.
+                    for (i, asn) in cps.iter().enumerate() {
+                        if let Some(j) = cps[..i].iter().position(|b| b == asn) {
+                            return Err(format!(
+                                "--cps lists ASN {asn} twice (items {} and {})",
+                                j + 1,
+                                i + 1
+                            ));
+                        }
+                    }
+                    cli.cps = cps;
                 }
                 "--strategy" => {
                     let value = take("--strategy")?;
@@ -347,6 +361,22 @@ mod tests {
         assert!(parse(&["--file", "x", "--cps", "google"]).is_err());
         assert!(parse(&["--file"]).is_err());
         assert!(parse(&["--cps"]).is_err());
+    }
+
+    #[test]
+    fn duplicate_cps_are_a_located_error() {
+        // A repeated ASN used to be double-counted as two content
+        // providers; now the parse names the ASN and both positions.
+        let err = parse(&["--file", "x", "--cps", "15169,20940,15169"]).unwrap_err();
+        assert!(err.contains("15169"), "{err}");
+        assert!(err.contains("items 1 and 3"), "{err}");
+        // Whitespace variants collide too.
+        assert!(parse(&["--file", "x", "--cps", "8075, 8075"]).is_err());
+        // Distinct ASNs still parse.
+        assert_eq!(
+            parse(&["--file", "x", "--cps", "15169,20940"]).unwrap().cps,
+            vec![15169, 20940]
+        );
     }
 
     #[test]

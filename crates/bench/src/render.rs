@@ -608,8 +608,14 @@ pub fn render_campaign_quotes(json: &str) -> Option<String> {
         let pat = format!("\"{key}\": ");
         let start = line.find(&pat)? + pat.len();
         let rest = &line[start..];
+        // A quoted value ends at its closing quote — a `,` or `}` inside
+        // the string (e.g. a figure label like "rollout, sec3") is part
+        // of the value, not a terminator.
+        if let Some(inner) = rest.strip_prefix('"') {
+            return Some(&inner[..inner.find('"')?]);
+        }
         let end = rest.find([',', '}']).unwrap_or(rest.len());
-        Some(rest[..end].trim().trim_matches('"'))
+        Some(rest[..end].trim())
     }
     struct Cell {
         figure: String,
@@ -715,4 +721,49 @@ pub fn render_campaign_quotes(json: &str) -> Option<String> {
     out.push_str(&t.render());
     out.push_str("\n(regenerate with `cargo run --release -p sbgp_bench --bin campaign`)\n");
     Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::render_campaign_quotes;
+
+    /// Regression: quoted values carrying commas (PR 7 grid keys like
+    /// `"cps": "15169,20940,8075"` and suffixed figure ids) used to be
+    /// truncated at the first `,` by the field scanner.
+    #[test]
+    fn campaign_quotes_keep_commas_inside_quoted_values() {
+        let json = r#"{
+  "schema": "campaign-v1",
+  "cells": [
+    {
+      "schema": "campaign-cell-v1",
+      "figure": "rollout,cps=15169,20940,8075",
+      "asns": 4000,
+      "seed": 42,
+      "model": "sec3",
+      "population": 15996000,
+      "pairs": 2000,
+      "estimates": [
+        {"step": 0, "lower": 0.620991, "upper": 0.786886, "hw_lower": 0.005558, "hw_upper": 0.005134},
+        {"step": 1, "lower": 0.651200, "upper": 0.801100, "hw_lower": 0.004901, "hw_upper": 0.004700}
+      ]
+    }
+  ]
+}"#;
+        let out = render_campaign_quotes(json).expect("schema + one cell present");
+        assert!(
+            out.contains("rollout,cps=15169,20940,8075"),
+            "figure label truncated:\n{out}"
+        );
+        // Unquoted numeric fields still parse (both estimate rows made it).
+        assert!(out.contains("2000"), "{out}");
+        assert!(out.contains("±0.56pp"), "{out}");
+        assert!(out.contains("±0.49pp"), "{out}");
+    }
+
+    #[test]
+    fn campaign_quotes_require_schema_and_cells() {
+        assert!(render_campaign_quotes("{}").is_none());
+        assert!(render_campaign_quotes("{\"schema\": \"campaign-v1\"}").is_none());
+    }
 }

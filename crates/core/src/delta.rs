@@ -101,6 +101,24 @@ impl DeltaStats {
     }
 }
 
+/// One cell's adopted base state, exported by
+/// [`AttackDeltaEngine::export_base`] for external caching (the planner
+/// service's normal-outcome cache) and re-adopted by
+/// [`AttackDeltaEngine::begin_from_base`] without recomputing anything.
+#[derive(Clone, Debug)]
+pub struct CachedBase {
+    outcome: Outcome,
+    cell_keys: Vec<u128>,
+    normal_happy: (usize, usize),
+}
+
+impl CachedBase {
+    /// The cached normal-conditions outcome.
+    pub fn outcome(&self) -> &Outcome {
+        &self.outcome
+    }
+}
+
 /// How the engine's working outcome differs from the snapshot, i.e. what
 /// the next attack must undo before patching.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -232,6 +250,68 @@ impl<'g> AttackDeltaEngine<'g> {
         self.engine.outcome_mut().copy_from(normal);
         self.restore = Restore::Clean;
         self.adopt(normal.destination(), deployment, policy);
+    }
+
+    /// Export the current cell's base state for external caching: the
+    /// normal-conditions outcome plus the packed preference keys and
+    /// happy bounds the adoption scans derive from it. Re-anchoring
+    /// through [`AttackDeltaEngine::begin_from_base`] then skips the
+    /// route computation *and* the O(V) adoption scans.
+    ///
+    /// The export is only valid for the exact
+    /// `(destination, deployment, policy)` cell it was taken from; the
+    /// engine cannot verify that from the outcome alone, so callers key
+    /// their caches on the full cell identity (the planner service
+    /// compares the deployment's member lists).
+    pub fn export_base(&self) -> CachedBase {
+        CachedBase {
+            outcome: self.snapshot.clone(),
+            cell_keys: self.cell_keys.clone(),
+            normal_happy: self.normal_happy,
+        }
+    }
+
+    /// Fix the cell from a [`CachedBase`] exported earlier for the same
+    /// `(destination, deployment, policy)` cell. Unlike
+    /// [`AttackDeltaEngine::begin_from_normal`] this skips the per-AS
+    /// preference-key scan, so a cache hit costs only three buffer
+    /// copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the base carries an attacker or doesn't cover the
+    /// graph. A base exported from a *different* deployment or policy is
+    /// undetectable here and would corrupt results — the cell-identity
+    /// contract is the caller's (see [`AttackDeltaEngine::export_base`]).
+    pub fn begin_from_base(&mut self, base: &CachedBase, deployment: &Deployment, policy: Policy) {
+        assert!(
+            base.outcome.attacker().is_none(),
+            "base outcome must be normal conditions"
+        );
+        assert_eq!(
+            base.outcome.len(),
+            self.graph().len(),
+            "outcome/graph mismatch"
+        );
+        assert_eq!(
+            base.cell_keys.len(),
+            self.graph().len(),
+            "key/graph mismatch"
+        );
+        self.stats.adopted_bases += 1;
+        self.snapshot.copy_from(&base.outcome);
+        self.engine.outcome_mut().copy_from(&base.outcome);
+        self.restore = Restore::Clean;
+        self.destination = base.outcome.destination();
+        self.policy = policy;
+        self.normal_happy = base.normal_happy;
+        self.happy = base.normal_happy;
+        self.region_list.clear();
+        self.region.clear();
+        self.touched.clear();
+        self.cell_keys.clear();
+        self.cell_keys.extend_from_slice(&base.cell_keys);
+        self.deployment = Some(deployment.clone());
     }
 
     fn adopt(&mut self, destination: AsId, deployment: &Deployment, policy: Policy) {

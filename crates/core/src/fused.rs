@@ -45,7 +45,7 @@
 use sbgp_topology::{AsGraph, AsId};
 
 use crate::attack::AttackStrategy;
-use crate::delta::{AttackDeltaEngine, DeltaStats};
+use crate::delta::{AttackDeltaEngine, CachedBase, DeltaStats};
 use crate::deployment::Deployment;
 use crate::outcome::Outcome;
 use crate::policy::Policy;
@@ -160,6 +160,9 @@ pub struct FusedStats {
     /// Per-computation attacks the shared scan already proved over budget
     /// (served by a full compute without any patch work).
     pub forced_fallbacks: usize,
+    /// Base outcomes adopted from an *external* cache
+    /// ([`FusedDeltaEngine::begin_with_bases`]) instead of being computed.
+    pub cached_bases: usize,
 }
 
 /// One distinct computation of the current cell: the policy it actually
@@ -260,6 +263,33 @@ impl<'g> FusedDeltaEngine<'g> {
     /// deployment has no validators), compute each policy group's
     /// normal-conditions base once, and share it across the group.
     pub fn begin(&mut self, destination: AsId, deployment: &Deployment) {
+        self.begin_with_bases(destination, deployment, |_| None);
+    }
+
+    /// As [`FusedDeltaEngine::begin`], adopting externally cached base
+    /// states where available: for each distinct base computation,
+    /// `base(policy)` may supply a [`CachedBase`] exported earlier from
+    /// the **same** `(destination, deployment, policy)` cell, which is
+    /// then re-adopted through [`AttackDeltaEngine::begin_from_base`]
+    /// instead of recomputed.
+    ///
+    /// This is the planner service's cache-adoption hook. Exactness is the
+    /// caller's contract: a supplied base must be bit-identical to what a
+    /// fresh computation of that cell would produce (which holds
+    /// trivially when it *was* produced by one — the engines are
+    /// deterministic), so results are bit-identical at any cache state.
+    /// Freshly computed bases can be harvested afterwards via
+    /// [`FusedDeltaEngine::export_bases`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a supplied base carries an attacker, covers a
+    /// different graph size, or names a different destination.
+    pub fn begin_with_bases<'b, F>(&mut self, destination: AsId, deployment: &Deployment, base: F)
+    where
+        F: FnMut(Policy) -> Option<&'b CachedBase>,
+    {
+        let mut lookup = base;
         self.stats.begins += 1;
         self.destination = destination;
         let collapse = deployment.full_count() == 0;
@@ -302,7 +332,17 @@ impl<'g> FusedDeltaEngine<'g> {
         for ci in 0..self.comps.len() {
             let Comp { policy, base, .. } = self.comps[ci];
             if base == ci {
-                self.engines[ci].begin(destination, deployment, policy);
+                if let Some(cached) = lookup(policy) {
+                    assert_eq!(
+                        cached.outcome().destination(),
+                        destination,
+                        "cached base outcome names a different destination"
+                    );
+                    self.engines[ci].begin_from_base(cached, deployment, policy);
+                    self.stats.cached_bases += 1;
+                } else {
+                    self.engines[ci].begin(destination, deployment, policy);
+                }
             } else {
                 // Strategy-only sibling: the normal-conditions outcome
                 // does not depend on the strategy, adopt the group base.
@@ -403,6 +443,20 @@ impl<'g> FusedDeltaEngine<'g> {
     /// As [`FusedDeltaEngine::count_happy`], indexed by lane.
     pub fn lane_happy(&self, lane: usize) -> (usize, usize) {
         self.engines[self.comp_of[lane]].count_happy()
+    }
+
+    /// The current cell's distinct base computations as
+    /// `(policy, exported base)` pairs — one per computation that owns its
+    /// own base (model collapse reports the group's representative
+    /// policy). This is the harvest side of
+    /// [`FusedDeltaEngine::begin_with_bases`]: a caching layer keeps the
+    /// bases it did not supply and re-adopts them on later queries.
+    pub fn export_bases(&self) -> impl Iterator<Item = (Policy, CachedBase)> + '_ {
+        self.comps
+            .iter()
+            .enumerate()
+            .filter(|(ci, c)| c.base == *ci)
+            .map(|(ci, c)| (c.policy, self.engines[ci].export_base()))
     }
 }
 

@@ -73,7 +73,7 @@ pub mod sweep;
 
 pub use analysis::{PairAnalysis, PairAnalyzer};
 pub use attack::{AttackScenario, AttackStrategy, MAX_ATTACKERS};
-pub use delta::{AttackDeltaEngine, DeltaStats};
+pub use delta::{AttackDeltaEngine, CachedBase, DeltaStats};
 pub use deployment::Deployment;
 pub use engine::Engine;
 pub use fused::{CellSet, FusedDeltaEngine, FusedStats, PolicyCell};

@@ -127,7 +127,11 @@ pub struct RouteInfo {
 ///
 /// Produced by [`crate::Engine::compute`]; the buffers live inside the
 /// engine and are reused across runs, so the outcome borrows the engine.
-#[derive(Debug)]
+/// `Clone` exists so serving layers can retain an outcome past the
+/// engine's next run — e.g. the planner service caches normal-conditions
+/// outcomes and re-anchors later queries on them through
+/// [`crate::AttackDeltaEngine::begin_from_normal`].
+#[derive(Clone, Debug)]
 pub struct Outcome {
     pub(crate) kind: Vec<u8>,
     pub(crate) len: Vec<u32>,

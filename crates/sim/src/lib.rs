@@ -35,6 +35,12 @@
 //! * [`faultpoint`] — seeded deterministic fault injection (compiled to
 //!   no-ops without the `fault-injection` feature) for exercising the
 //!   recovery paths;
+//! * [`serve`] — the deployment-planner what-if service: a long-running
+//!   [`serve::Planner`] that caches normal-conditions outcomes per
+//!   destination (exact-keyed LRU) and answers "what if I deploy at S?"
+//!   queries over length-prefixed JSON frames by serving delta patches
+//!   off the cached bases, with a documented bit-identical determinism
+//!   contract;
 //! * [`experiments`] — one driver per figure/table, returning plain data
 //!   that the `sbgp-bench` binaries print;
 //! * [`report`] — aligned-text table rendering.
@@ -48,6 +54,7 @@ pub mod report;
 pub mod runner;
 pub mod sample;
 pub mod scenario;
+pub mod serve;
 pub mod stats;
 pub mod strategy;
 pub mod supervise;

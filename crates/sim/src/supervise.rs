@@ -92,14 +92,14 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<String>> {
 // Wire messages (hand-rolled JSON, like every serializer in this repo)
 // ---------------------------------------------------------------------------
 
-fn json_str_field<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+pub(crate) fn json_str_field<'t>(text: &'t str, key: &str) -> Option<&'t str> {
     let pat = format!("\"{key}\":\"");
     let start = text.find(&pat)? + pat.len();
     let rest = &text[start..];
     Some(&rest[..rest.find('"')?])
 }
 
-fn json_u64_field(text: &str, key: &str) -> Option<u64> {
+pub(crate) fn json_u64_field(text: &str, key: &str) -> Option<u64> {
     let pat = format!("\"{key}\":");
     let start = text.find(&pat)? + pat.len();
     let rest = &text[start..];
@@ -111,7 +111,7 @@ fn json_u64_field(text: &str, key: &str) -> Option<u64> {
 
 /// Parse a flat or one-level-nested array of unsigned integers starting at
 /// `"key":[` — every number in source order, nesting flattened.
-fn json_u64s(text: &str, key: &str) -> Option<Vec<u64>> {
+pub(crate) fn json_u64s(text: &str, key: &str) -> Option<Vec<u64>> {
     let pat = format!("\"{key}\":[");
     let start = text.find(&pat)? + pat.len() - 1;
     let mut out = Vec::new();
@@ -138,7 +138,7 @@ fn json_u64s(text: &str, key: &str) -> Option<Vec<u64>> {
     None
 }
 
-fn sanitize(msg: &str) -> String {
+pub(crate) fn sanitize(msg: &str) -> String {
     msg.chars()
         .map(|c| {
             if c == '"' || c == '\\' || c.is_control() {

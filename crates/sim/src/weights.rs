@@ -7,10 +7,57 @@
 //! supports weighting *sources*, so experiments can ask "what fraction of
 //! traffic-weighted sources stay happy" instead of "what fraction of ASes".
 
+use std::fmt;
+
 use sbgp_topology::tier::Tier;
 use sbgp_topology::AsId;
 
 use crate::Internet;
+
+/// Why a custom weight vector was rejected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightsError {
+    /// The vector does not cover the graph.
+    LengthMismatch {
+        /// Weights supplied.
+        got: usize,
+        /// ASes in the graph.
+        want: usize,
+    },
+    /// A weight is NaN or infinite — it would poison every weighted sum.
+    NonFinite {
+        /// Index of the offending weight.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A weight is negative — the metric is a weighted fraction and
+    /// negative mass has no interpretation.
+    Negative {
+        /// Index of the offending weight.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for WeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightsError::LengthMismatch { got, want } => {
+                write!(f, "got {got} weights for a graph of {want} ASes")
+            }
+            WeightsError::NonFinite { index, value } => {
+                write!(f, "weight {index} is not finite ({value})")
+            }
+            WeightsError::Negative { index, value } => {
+                write!(f, "weight {index} is negative ({value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightsError {}
 
 /// Per-source weights for the metric.
 #[derive(Clone, Debug)]
@@ -50,10 +97,26 @@ impl TrafficWeights {
         TrafficWeights { weights, total }
     }
 
-    /// Custom weights (must match the graph size).
-    pub fn custom(weights: Vec<f64>) -> TrafficWeights {
+    /// Custom weights. Rejects vectors that don't cover the `universe`
+    /// ASes of the graph, and any non-finite or negative weight — a
+    /// single NaN/∞ would silently poison every weighted fraction.
+    pub fn custom(weights: Vec<f64>, universe: usize) -> Result<TrafficWeights, WeightsError> {
+        if weights.len() != universe {
+            return Err(WeightsError::LengthMismatch {
+                got: weights.len(),
+                want: universe,
+            });
+        }
+        for (index, &value) in weights.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(WeightsError::NonFinite { index, value });
+            }
+            if value < 0.0 {
+                return Err(WeightsError::Negative { index, value });
+            }
+        }
         let total = weights.iter().sum();
-        TrafficWeights { weights, total }
+        Ok(TrafficWeights { weights, total })
     }
 
     /// The weight of one AS.
@@ -79,6 +142,11 @@ impl TrafficWeights {
 
     /// Weighted happy fraction of one outcome, as `(lower, upper)` bounds
     /// over the tie-break.
+    ///
+    /// When the sources carry zero total weight (every weight is `0.0`,
+    /// or the outcome has no sources) the fraction is defined as
+    /// `0/0 = 0`: no weighted traffic exists, so no weighted traffic is
+    /// happy. The result is always finite.
     pub fn weighted_happy(&self, outcome: &sbgp_core::Outcome) -> sbgp_core::Bounds {
         let mut lower = 0.0;
         let mut upper = 0.0;
@@ -94,9 +162,15 @@ impl TrafficWeights {
                 upper += w;
             }
         }
+        if denom == 0.0 {
+            return sbgp_core::Bounds {
+                lower: 0.0,
+                upper: 0.0,
+            };
+        }
         sbgp_core::Bounds {
-            lower: lower / denom.max(f64::MIN_POSITIVE),
-            upper: upper / denom.max(f64::MIN_POSITIVE),
+            lower: lower / denom,
+            upper: upper / denom,
         }
     }
 }
@@ -143,8 +217,55 @@ mod tests {
 
     #[test]
     fn custom_weights_are_respected() {
-        let w = TrafficWeights::custom(vec![1.0, 3.0]);
+        let w = TrafficWeights::custom(vec![1.0, 3.0], 2).unwrap();
         assert_eq!(w.total(), 4.0);
         assert_eq!(w.weight(AsId(1)), 3.0);
+    }
+
+    #[test]
+    fn custom_weights_are_validated() {
+        assert_eq!(
+            TrafficWeights::custom(vec![1.0, 3.0], 3).unwrap_err(),
+            WeightsError::LengthMismatch { got: 2, want: 3 }
+        );
+        match TrafficWeights::custom(vec![1.0, f64::NAN], 2).unwrap_err() {
+            WeightsError::NonFinite { index: 1, value } => assert!(value.is_nan()),
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert_eq!(
+            TrafficWeights::custom(vec![1.0, f64::INFINITY], 2).unwrap_err(),
+            WeightsError::NonFinite {
+                index: 1,
+                value: f64::INFINITY
+            }
+        );
+        assert_eq!(
+            TrafficWeights::custom(vec![-0.5, 1.0], 2).unwrap_err(),
+            WeightsError::Negative {
+                index: 0,
+                value: -0.5
+            }
+        );
+        // Errors render as clean sentences.
+        let msg = TrafficWeights::custom(vec![1.0], 5)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("got 1 weights"), "{msg}");
+    }
+
+    #[test]
+    fn zero_weight_sources_yield_a_finite_zero_fraction() {
+        let net = Internet::synthetic(200, 3);
+        let w = TrafficWeights::custom(vec![0.0; net.len()], net.len()).unwrap();
+        let mut engine = Engine::new(&net.graph);
+        let dep = Deployment::empty(net.len());
+        let o = engine.compute(
+            AttackScenario::attack(net.tiers.tier2()[0], net.content_providers[0]),
+            &dep,
+            Policy::new(SecurityModel::Security3rd),
+        );
+        let b = w.weighted_happy(o);
+        assert_eq!((b.lower, b.upper), (0.0, 0.0));
+        assert!(b.lower.is_finite() && b.upper.is_finite());
     }
 }

@@ -119,7 +119,12 @@ impl TierConfig {
         let mut content_providers = Vec::with_capacity(cp_asns.len());
         for &asn in cp_asns {
             match by_label.get(&asn) {
-                Some(&v) => content_providers.push(v),
+                // A repeated ASN is kept once (first occurrence) — a
+                // doubled id would count that CP twice in every per-CP
+                // average. The CLI rejects duplicates up front; this
+                // guards every other caller.
+                Some(&v) if !content_providers.contains(&v) => content_providers.push(v),
+                Some(_) => {}
                 None => return Err(TopologyError::UnknownAsn(asn)),
             }
         }
@@ -414,6 +419,9 @@ mod tests {
             TierConfig::with_content_provider_asns(&g, &[64512]),
             Err(TopologyError::UnknownAsn(64512))
         ));
+        // A repeated ASN resolves to one CP, first occurrence kept.
+        let cfg = TierConfig::with_content_provider_asns(&g, &[20940, 15169, 20940]).unwrap();
+        assert_eq!(cfg.content_providers, vec![AsId(2), AsId(1)]);
         // Synthetic graphs label each AS by its own id.
         let mut b = GraphBuilder::new(2);
         b.add_peering(AsId(0), AsId(1)).unwrap();

@@ -1,91 +1,139 @@
-//! A downstream-user scenario: you are a regulator (or consortium)
-//! choosing *where* to spend a limited S*BGP deployment budget, and
-//! operators have told you they will rank security 2nd or 3rd, not 1st
-//! (the paper's survey finding). Which early-adopter strategy helps most?
+//! Scripted client for the deployment-planner what-if service.
 //!
-//! This replays the paper's §5.3.1 comparison on a fresh synthetic
-//! Internet and prints a recommendation, then sanity-checks the simplex
-//! guideline (§5.3.2).
+//! Earlier revisions of this example recomputed §5.3 deployment
+//! comparisons from scratch; the planner service (`sbgp_sim::serve`)
+//! graduated that loop into a long-running server, and this example is
+//! now its reference client. It spawns the `planner` binary, streams a
+//! fixed what-if conversation over the length-prefixed JSON frame
+//! protocol, and prints both sides of the exchange — the output is
+//! diffed against `tests/golden/planner_client_cyclops.txt` in CI.
 //!
 //! ```text
-//! cargo run --release --example deployment_planner
+//! cargo build --release -p sbgp_bench --bin planner
+//! cargo run --release --example deployment_planner -- \
+//!     --file tests/fixtures/cyclops_sample.as-rel
 //! ```
+//!
+//! Everything after `--` is passed through to the server, so the same
+//! script can interrogate any snapshot (`--asns N --seed S` works too).
+//! Set `PLANNER_BIN` to point at an explicit server binary; otherwise it
+//! is derived from this example's own target directory.
+//!
+//! The script exercises the serving path end to end: a cold query, an
+//! exact repeat (served entirely from cache — byte-identical reply), a
+//! query mixing cached and uncached destinations, a deliberately
+//! malformed frame (the server must answer with a clean error and keep
+//! serving), a stratified estimate, the cache-stats op, and shutdown.
 
-use bgp_juice::prelude::*;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
 
-fn improvement(
-    net: &Internet,
-    dep: &Deployment,
-    attackers: &[AsId],
-    dests: &[AsId],
-    model: SecurityModel,
-) -> Bounds {
-    let pairs = sample::pairs(attackers, dests);
-    let with = runner::metric(net, &pairs, dep, Policy::new(model), Parallelism(1));
-    let without = runner::metric(
-        net,
-        &pairs,
-        &Deployment::empty(net.len()),
-        Policy::new(model),
-        Parallelism(1),
-    );
-    with.minus(without)
+use bgp_juice::sim::supervise::{read_frame, write_frame};
+
+/// Locate the planner server binary: `$PLANNER_BIN` wins, else derive
+/// `target/<profile>/planner` from this example's own path.
+fn server_binary() -> PathBuf {
+    if let Ok(p) = std::env::var("PLANNER_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.pop(); // deployment_planner
+    if p.ends_with("examples") {
+        p.pop(); // examples/
+    }
+    p.push("planner");
+    p
+}
+
+/// Pull `"asns":N` out of the hello frame.
+fn asns_of(hello: &str) -> usize {
+    let pat = "\"asns\":";
+    let start = hello.find(pat).expect("hello carries asns") + pat.len();
+    hello[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("asns is a number")
 }
 
 fn main() {
-    let net = Internet::synthetic(3_000, 7);
-    let attackers = sample::sample_non_stubs(&net, 12, 1);
-    println!(
-        "planning on {}: {} ASes, {} non-stub attackers sampled\n",
-        net.name,
-        net.len(),
-        attackers.len()
-    );
+    let bin = server_binary();
+    let mut child = Command::new(&bin)
+        .args(std::env::args().skip(1))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            panic!(
+                "cannot spawn planner server {} ({e}); build it with \
+                 `cargo build -p sbgp_bench --bin planner` or set PLANNER_BIN",
+                bin.display()
+            )
+        });
+    let mut to_server = BufWriter::new(child.stdin.take().expect("server stdin"));
+    let mut from_server = BufReader::new(child.stdout.take().expect("server stdout"));
 
-    // Candidate strategies with comparable ISP counts.
-    let candidates = vec![
-        scenario::tier1_and_stubs(&net),
-        scenario::top_tier2_and_stubs(&net, 13),
-        scenario::tier1_stubs_and_cps(&net),
+    let hello = read_frame(&mut from_server)
+        .expect("read hello")
+        .expect("server sent hello");
+    println!("<- {hello}");
+    let n = asns_of(&hello);
+    assert!(n >= 10, "planner script needs a graph of at least 10 ASes");
+
+    // The what-if under study: a small secure core (dense ids 0..=4,
+    // plus a simplex stub), two suspected stub attackers from the tail
+    // of the id space, content destinations among the core.
+    let (m1, m2) = (n - 1, n - 2);
+    let script: Vec<String> = vec![
+        // Cold: every destination's base outcome is computed and cached.
+        format!(
+            "{{\"op\":\"query\",\"id\":1,\"secure\":[0,1,2,3,4],\"simplex\":[5],\
+             \"attackers\":[{m1},{m2}],\"destinations\":[0,1],\
+             \"models\":[\"sec1\",\"sec3\"],\"strategies\":[\"fakelink\",\"hijack\"]}}"
+        ),
+        // Exact repeat: served off the cache, reply must be identical.
+        format!(
+            "{{\"op\":\"query\",\"id\":2,\"secure\":[0,1,2,3,4],\"simplex\":[5],\
+             \"attackers\":[{m1},{m2}],\"destinations\":[0,1],\
+             \"models\":[\"sec1\",\"sec3\"],\"strategies\":[\"fakelink\",\"hijack\"]}}"
+        ),
+        // Mixed: destinations 0,1 are cached, 6,7 are not.
+        format!(
+            "{{\"op\":\"query\",\"id\":3,\"secure\":[0,1,2,3,4],\"simplex\":[5],\
+             \"attackers\":[{m1},{m2}],\"destinations\":[0,1,6,7],\
+             \"models\":[\"sec1\",\"sec3\"],\"strategies\":[\"fakelink\",\"hijack\"]}}"
+        ),
+        // A malformed frame mid-stream: valid frame, garbage payload.
+        // The server must reply with a clean error and keep serving.
+        "this is not a planner message".to_string(),
+        // Still alive? Same what-if again.
+        format!(
+            "{{\"op\":\"query\",\"id\":4,\"secure\":[0,1,2,3,4],\"simplex\":[5],\
+             \"attackers\":[{m1},{m2}],\"destinations\":[0,1],\
+             \"models\":[\"sec1\",\"sec3\"],\"strategies\":[\"fakelink\",\"hijack\"]}}"
+        ),
+        // A stratified estimate: budget below the 8-pair population.
+        format!(
+            "{{\"op\":\"query\",\"id\":5,\"secure\":[0,1,2,3,4],\"simplex\":[5],\
+             \"attackers\":[{m1},{m2}],\"destinations\":[0,1,6,7],\
+             \"models\":[\"sec3\"],\"budget\":6,\"seed\":7}}"
+        ),
+        "{\"op\":\"stats\"}".to_string(),
+        "{\"op\":\"shutdown\"}".to_string(),
     ];
 
-    println!("ΔH over each strategy's own secure destinations (what adopters buy):");
-    let mut best: Option<(f64, String)> = None;
-    for cand in &candidates {
-        let dests = sample::sample_from(&scenario::secure_destinations(cand), 60, 3);
-        // Operators will realistically run security 3rd (survey: 41%).
-        let delta = improvement(
-            &net,
-            &cand.deployment,
-            &attackers,
-            &dests,
-            SecurityModel::Security3rd,
-        );
-        println!(
-            "  {:24} |S| = {:4}  ΔH = {delta}",
-            cand.label,
-            cand.deployment.secure_count()
-        );
-        if best.as_ref().map(|(b, _)| delta.lower > *b).unwrap_or(true) {
-            best = Some((delta.lower, cand.label.clone()));
-        }
+    for msg in &script {
+        println!("-> {msg}");
+        write_frame(&mut to_server, msg).expect("send frame");
+        let reply = read_frame(&mut from_server)
+            .expect("read reply")
+            .expect("server replied");
+        println!("<- {reply}");
     }
-    let (_, winner) = best.expect("candidates evaluated");
-    println!("\nrecommendation: start with \"{winner}\"");
-    println!("(the paper's guideline: Tier 2s make better early adopters than Tier 1s)\n");
-
-    // Guideline 2: simplex S*BGP at stubs is free.
-    let full = scenario::tier12_step(&net, 13, 37);
-    let simplex = scenario::simplex_variant(&net, &full);
-    let dests = sample::sample_all(&net, 40, 5);
-    for model in [SecurityModel::Security1st, SecurityModel::Security3rd] {
-        let a = improvement(&net, &full.deployment, &attackers, &dests, model);
-        let b = improvement(&net, &simplex.deployment, &attackers, &dests, model);
-        println!("{model}: full-at-stubs ΔH = {a}   simplex-at-stubs ΔH = {b}");
-    }
-    println!(
-        "\nsimplex mode costs almost nothing — deploy it at the {} stubs",
-        full.deployment.secure_count() - full.non_stub_count
-    );
-    println!("(§5.3.2: stubs never transit, so their validation doesn't protect others)");
+    drop(to_server);
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "server exited with {status}");
+    println!("planner conversation complete");
 }
