@@ -9,7 +9,7 @@ fn main() {
     cli.banner("Figure 7 — Tier 1+2 rollout", &net);
     println!(
         "{}",
-        render::render_rollout(&rollout::figure7(&net, &cli.config))
+        render::render_rollout_report(&rollout::figure7(&net, &cli.config), &cli.config, net.len())
     );
     println!("paper: sec 1st improves ~24% at 50% deployment; sec 2nd/3rd stay meagre;");
     println!("simplex S*BGP at stubs changes almost nothing (§5.3.2)");

@@ -9,7 +9,7 @@ fn main() {
     cli.banner("Figure 8 — Tier 1+2+CP rollout, CP destinations", &net);
     println!(
         "{}",
-        render::render_rollout(&rollout::figure8(&net, &cli.config))
+        render::render_rollout_report(&rollout::figure8(&net, &cli.config), &cli.config, net.len())
     );
     println!("paper: ≥26% / 9.4% / 4% improvements for sec 1st/2nd/3rd at the last step");
     if cli.config.estimation().is_some() {

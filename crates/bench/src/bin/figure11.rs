@@ -9,7 +9,11 @@ fn main() {
     cli.banner("Figure 11 — Tier 2 rollout", &net);
     println!(
         "{}",
-        render::render_rollout(&rollout::figure11(&net, &cli.config))
+        render::render_rollout_report(
+            &rollout::figure11(&net, &cli.config),
+            &cli.config,
+            net.len()
+        )
     );
     println!("paper: grows more slowly than Figure 7; smaller sec-1st gains");
     if cli.config.estimation().is_some() {

@@ -63,11 +63,11 @@ fn main() {
     );
     section(
         "Figure 7",
-        render::render_rollout(&rollout::figure7(&net, &cli.config)),
+        render::render_rollout_report(&rollout::figure7(&net, &cli.config), &cli.config, net.len()),
     );
     section(
         "Figure 8",
-        render::render_rollout(&rollout::figure8(&net, &cli.config)),
+        render::render_rollout_report(&rollout::figure8(&net, &cli.config), &cli.config, net.len()),
     );
     section(
         "Figure 9",
@@ -79,7 +79,11 @@ fn main() {
     );
     section(
         "Figure 11",
-        render::render_rollout(&rollout::figure11(&net, &cli.config)),
+        render::render_rollout_report(
+            &rollout::figure11(&net, &cli.config),
+            &cli.config,
+            net.len(),
+        ),
     );
     section(
         "Figure 12",
@@ -100,6 +104,10 @@ fn main() {
     section("Figure 16", render::render_figure16(&net, &cli.config));
     section("Table 3", render::render_phenomena(&net, &cli.config));
     section("Figure 1 (wedgie)", render::render_wedgie());
+    section(
+        "Non-monotone dynamics (churn)",
+        render::render_churn(&net, &cli.config),
+    );
     section(
         "Extension: RPKI value",
         render::render_rpki_value(&net, &cli.config),

@@ -1,0 +1,14 @@
+//! Non-monotone deployment dynamics: the wax-and-wane RPKI churn
+//! trajectory (with the sweep engines' serving stats) and the Figure 2
+//! protocol downgrade table.
+use sbgp_bench::{render, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let net = cli.internet();
+    cli.banner(
+        "Non-monotone dynamics — RPKI churn and the protocol downgrade",
+        &net,
+    );
+    println!("{}", render::render_churn(&net, &cli.config));
+}

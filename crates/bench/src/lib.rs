@@ -22,7 +22,10 @@
 //! figures), and the estimation mode `--ci H` / `--pairs B` (stratified
 //! estimates with confidence intervals, honored by the baseline, the
 //! rollout figures and the strategy ladder; off by default so classic
-//! output stays byte-identical).
+//! output stays byte-identical), and `--sweep-stats` (append the
+//! sweep engines' per-run serving stats — fallback rate, refixed
+//! fraction, step directions — to the sweep-backed reports; also off by
+//! default for the same reason).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -86,7 +89,8 @@ impl Cli {
                     "usage: [--asns N] [--seed S] [--attackers A] [--destinations D] \
                      [--per-tier P] [--threads T] [--ixp] [--file AS-REL] \
                      [--cps ASN,ASN,...] [--policy lp|lp2|lpinf] \
-                     [--strategy fakelink|hijack|pathK] [--ci H] [--pairs B]"
+                     [--strategy fakelink|hijack|pathK] [--ci H] [--pairs B] \
+                     [--sweep-stats]"
                 );
                 std::process::exit(2);
             }
@@ -159,6 +163,7 @@ impl Cli {
                     cli.config.ci_target = Some(target);
                 }
                 "--pairs" => cli.config.pair_budget = Some(parse_num(&take("--pairs")?)?),
+                "--sweep-stats" => cli.config.sweep_stats = true,
                 "--policy" => {
                     cli.variant = match take("--policy")?.as_str() {
                         "lp" => LpVariant::Standard,
@@ -418,6 +423,10 @@ mod tests {
         assert_eq!(cli.config.ci_target, Some(0.005));
         let est = cli.config.estimation().unwrap();
         assert_eq!(est.ci_target, Some(0.005));
+
+        let cli = parse(&["--sweep-stats"]).unwrap();
+        assert!(cli.config.sweep_stats);
+        assert!(!parse(&[]).unwrap().config.sweep_stats);
 
         let cli = parse(&["--pairs", "2500"]).unwrap();
         assert_eq!(cli.config.pair_budget, Some(2500));

@@ -6,10 +6,12 @@
 
 use sbgp_core::{LpVariant, Policy, SecurityModel};
 use sbgp_sim::experiments::{
-    baseline, estimation, extensions, partitions, per_destination, rollout, root_cause, strategic,
-    ExperimentConfig,
+    baseline, churn, estimation, extensions, partitions, per_destination, rollout, root_cause,
+    strategic, ExperimentConfig,
 };
-use sbgp_sim::report::{delta_pair, pct, pct_bounds, pct_estimate, stacked_bar, Table};
+use sbgp_sim::report::{
+    delta_pair, pct, pct_bounds, pct_estimate, stacked_bar, sweep_stats_line, Table,
+};
 use sbgp_sim::scenario::NamedDeployment;
 use sbgp_sim::stats::AdaptiveRun;
 use sbgp_sim::Internet;
@@ -192,6 +194,36 @@ pub fn render_rollout(r: &rollout::RolloutResult) -> String {
     out
 }
 
+/// [`render_rollout`] plus, under `--sweep-stats`, the serving-stats block
+/// — the form the figure binaries and `run_all` print.
+pub fn render_rollout_report(
+    r: &rollout::RolloutResult,
+    cfg: &ExperimentConfig,
+    universe: usize,
+) -> String {
+    let mut out = render_rollout(r);
+    if cfg.sweep_stats {
+        out.push_str(&render_rollout_stats(r, universe));
+    }
+    out
+}
+
+/// The `--sweep-stats` companion to [`render_rollout`]: how this rollout's
+/// sweep engines served their steps, per model. Appended only on request
+/// so the flag-less golden outputs never move.
+pub fn render_rollout_stats(r: &rollout::RolloutResult, universe: usize) -> String {
+    let mut out = String::new();
+    out.push_str("\nsweep-engine serving stats (--sweep-stats):\n");
+    for (model, s) in SecurityModel::ALL.into_iter().zip(&r.stats) {
+        out.push_str(&format!(
+            "  {}: {}\n",
+            model.label(),
+            sweep_stats_line(s, universe)
+        ));
+    }
+    out
+}
+
 /// Figures 9/10/12: the sorted per-destination improvement curves, printed
 /// as deciles plus the paper's summary statistics.
 pub fn render_per_destination(r: &per_destination::PerDestinationResult) -> String {
@@ -361,6 +393,88 @@ pub fn render_wedgie() -> String {
         "\npaper: inconsistent SecP placement admits two stable states and the\n\
                   system sticks in the unintended one after the link recovers\n",
     );
+
+    // The same hysteresis without any link failure: S*BGP participation
+    // wanes and waxes (adoption churn) instead of the p–d link flapping.
+    let churn = churn::wedgie_churn();
+    out.push_str("\nadoption churn (no link ever fails: A leaves S, then rejoins):\n");
+    for row in &churn.rows {
+        out.push_str(&format!(
+            "A ranks security 1st, others rank {}: wedged = {}, A stuck insecure = {}\n",
+            row.b_model.label(),
+            row.wedged,
+            row.a_stuck_insecure
+        ));
+    }
+    out.push_str(&format!(
+        "engine (uniform sec 1st, retraction path): returns to intended = {}, \
+         retracting steps = {}\n",
+        churn.engine_recovers, churn.engine_stats.retracting_steps
+    ));
+    out.push_str(
+        "\ncoverage waning and waxing is enough to wedge mixed priorities; the\n\
+         engine's unique stable state (Theorem 2.1) has nothing to stick in\n",
+    );
+    out
+}
+
+/// The non-monotone dynamics exhibit: the wax-and-wane RPKI churn
+/// trajectory with its sweep-engine serving stats, and the Figure 2
+/// protocol downgrade per model.
+pub fn render_churn(net: &Internet, cfg: &ExperimentConfig) -> String {
+    let r = churn::rpki_churn(net, cfg);
+    let mut out = String::new();
+    out.push_str(
+        "RPKI churn: the Tier-2 rollout ladder waxes to its peak and wanes back\n\
+         (expiring ROAs, disabled validators); H_{M,D}(S_k) per step\n\n",
+    );
+    let mut t = Table::new(["step", "|S|", "H sec1", "H sec2", "H sec3"]);
+    for p in &r.points {
+        t.row([
+            p.label.clone(),
+            p.secure_count.to_string(),
+            pct_bounds(p.metric[0]),
+            pct_bounds(p.metric[1]),
+            pct_bounds(p.metric[2]),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\n(the wane half retraces the wax half, so each step's metric equals its\n\
+         mirror's — served through the engine's retraction path, not recomputed)\n",
+    );
+    out.push_str("\nsweep-engine serving stats:\n");
+    for (model, s) in SecurityModel::ALL.into_iter().zip(&r.stats) {
+        out.push_str(&format!(
+            "  {}: {}\n",
+            model.label(),
+            sweep_stats_line(s, r.universe)
+        ));
+    }
+
+    out.push_str("\nFigure 2 protocol downgrade (6-AS gadget, engine-checked):\n\n");
+    let mut t = Table::new([
+        "model",
+        "secure (normal)",
+        "secure (attacked)",
+        "downgraded",
+        "routes to attacker",
+    ]);
+    for row in churn::downgrade_attack() {
+        let mark = |b: bool| if b { "yes" } else { "no" }.to_string();
+        t.row([
+            row.model.label().to_string(),
+            mark(row.normal_secure),
+            mark(row.attacked_secure),
+            mark(row.downgraded),
+            mark(row.victim_unhappy),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\npaper (Theorem 3.1): security 1st never downgrades; security 2nd/3rd\n\
+         abandon the secure 1-hop route for a bogus 4-hop peer route\n",
+    );
     out
 }
 
@@ -391,6 +505,9 @@ pub fn render_early_adopters(net: &Internet, cfg: &ExperimentConfig) -> String {
 pub fn render_non_stubs(net: &Internet, cfg: &ExperimentConfig) -> String {
     let r = rollout::non_stub_scenario(net, cfg);
     let mut out = render_rollout(&r);
+    if cfg.sweep_stats {
+        out.push_str(&render_rollout_stats(&r, net.len()));
+    }
     out.push_str(
         "\npaper: 6.2% / 4.7% / 2.2% worst-case improvements for sec 1st/2nd/3rd; the\n\
          sec-2nd gains nearly reach sec 1st when Tier 1 destinations are not the focus\n",

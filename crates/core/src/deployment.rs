@@ -13,6 +13,15 @@
 //! origin `d` at least signs (full or simplex). The engine factors this as:
 //! the origin contributes [`Deployment::signs_origin`], every extension by
 //! an AS `v` contributes [`Deployment::validates`]`(v)`.
+//!
+//! Deployment is **not monotone in practice**: coverage waxes *and* wanes
+//! (RPKI churn, operators turning validation off after an incident, the
+//! §2.3 wedgie/downgrade dynamics). Steps between deployments are therefore
+//! described by the *symmetric difference* of the `validates` sets —
+//! [`Deployment::newly_validating`] for the growth direction,
+//! [`Deployment::newly_retired`] for the retraction direction — plus the
+//! destination's signing flip. [`crate::SweepEngine`] serves any-direction
+//! steps incrementally from exactly these seeds.
 
 use sbgp_topology::{AsGraph, AsId, AsSet};
 
@@ -111,9 +120,10 @@ impl Deployment {
 
     /// True when this deployment only *adds* security relative to `prev`:
     /// every full member stays full, and every signer keeps signing
-    /// (simplex members may upgrade to full). This is the monotone-growth
-    /// precondition under which [`crate::SweepEngine`] can recompute
-    /// routing outcomes incrementally.
+    /// (simplex members may upgrade to full). Historically this was the
+    /// precondition for incremental sweeping; [`crate::SweepEngine`] now
+    /// serves *any* same-universe step incrementally, and this predicate
+    /// remains for rollout generators that want to assert monotonicity.
     pub fn is_monotone_extension_of(&self, prev: &Deployment) -> bool {
         self.universe() == prev.universe()
             && self.full.is_superset(&prev.full)
@@ -121,9 +131,24 @@ impl Deployment {
     }
 
     /// The ASes that validate under `self` but did not under `prev` — the
-    /// dirty seeds of an incremental sweep step.
+    /// growth-direction dirty seeds of an incremental sweep step.
     pub fn newly_validating<'a>(&'a self, prev: &'a Deployment) -> impl Iterator<Item = AsId> + 'a {
         self.full.iter_added(&prev.full)
+    }
+
+    /// The ASes that validated under `prev` but no longer do under `self` —
+    /// the retraction-direction dirty seeds of an incremental sweep step
+    /// (an AS dropping out of `S`, or downgrading full → simplex).
+    pub fn newly_retired<'a>(&'a self, prev: &'a Deployment) -> impl Iterator<Item = AsId> + 'a {
+        prev.full.iter_added(&self.full)
+    }
+
+    /// True when `self` and `prev` have identical `validates` sets (the
+    /// symmetric difference of the full sets is empty). Together with an
+    /// unchanged destination-signing bit this makes a step a no-op for the
+    /// engine: simplex membership elsewhere is never read.
+    pub fn same_validators(&self, prev: &Deployment) -> bool {
+        self.newly_validating(prev).next().is_none() && self.newly_retired(prev).next().is_none()
     }
 
     /// Downgrade every stub in the deployment to simplex mode: the paper's
@@ -227,6 +252,27 @@ mod tests {
         assert!(!e.is_monotone_extension_of(&a));
         // Universe mismatch is not.
         assert!(!Deployment::empty(9).is_monotone_extension_of(&a));
+    }
+
+    #[test]
+    fn retraction_and_symmetric_diff_helpers() {
+        let a = Deployment::full_from_iter(10, [AsId(1), AsId(2), AsId(3)]);
+        let b = Deployment::full_from_iter(10, [AsId(2), AsId(3), AsId(5)]);
+        assert_eq!(b.newly_retired(&a).collect::<Vec<_>>(), vec![AsId(1)]);
+        assert_eq!(b.newly_validating(&a).collect::<Vec<_>>(), vec![AsId(5)]);
+        assert!(!b.same_validators(&a));
+        assert!(a.same_validators(&a));
+
+        // A full → simplex downgrade retires the validator but keeps the
+        // signer; simplex membership alone never shows up in either diff.
+        let mut c = a.clone();
+        c.insert_simplex(AsId(7));
+        assert!(c.same_validators(&a));
+        let mut down = Deployment::full_from_iter(10, [AsId(2), AsId(3)]);
+        down.insert_simplex(AsId(1));
+        assert_eq!(down.newly_retired(&a).collect::<Vec<_>>(), vec![AsId(1)]);
+        assert!(down.signs_origin(AsId(1)));
+        assert!(!down.validates(AsId(1)));
     }
 
     #[test]

@@ -6,11 +6,26 @@
 //! consistency at the region border. The verify-and-grow step is identical
 //! on both axes and lives here: a neighbor `u` of a changed AS `v` is
 //! *affected* only when `v`'s old or new offer would tie or beat `u`'s
-//! current route under the reference [`preference_key`] order — a tie means
-//! `v` sat in (or now joins) `u`'s `BPR` set, a win means `u` switches.
-//! Anything strictly worse (the common case, e.g. a hub whose short
-//! customer route dwarfs the offer) cannot change `u`'s selection, so
-//! high-degree ASes stay out of the region unless truly implicated.
+//! current route under the reference [`preference_key`] order. The
+//! condition is deliberately **two-sided**, which is what makes retraction
+//! steps sound:
+//!
+//! * the **new** offer ties or beats `u`'s current route — `v` now joins
+//!   `u`'s `BPR` set (a tie) or `u` switches to it (a win): the
+//!   improved-offer direction that monotone growth exercises;
+//! * the **old** offer tied or beat `u`'s current route — `v` sat in `u`'s
+//!   `BPR` set, and its offer has now been *withdrawn or worsened* (e.g. a
+//!   secure offer that lost its security when the owner left `S`), which
+//!   can strictly worsen `u`'s best route even though the replacement offer
+//!   looks unremarkable. Note the min-property guaranteeing this check is
+//!   complete: in a stable state `u`'s selected route is the best offer it
+//!   receives, so any offer `u` actually used satisfies `old_offer <= k`
+//!   and a worsened dependency never slips past the filter.
+//!
+//! Anything strictly worse in both states (the common case, e.g. a hub
+//! whose short customer route dwarfs the offer) cannot change `u`'s
+//! selection, so high-degree ASes stay out of the region unless truly
+//! implicated.
 
 use sbgp_topology::{AsGraph, AsId, AsSet};
 

@@ -231,6 +231,57 @@ impl<'g> Simulator<'g> {
         self.hysteresis = on;
     }
 
+    /// Swap the deployment *live*: deliver S\*BGP adoption churn (joins,
+    /// retractions, full → simplex downgrades, the destination un-signing)
+    /// to an already-converged network and let the change ripple through
+    /// ordinary BGP messages. Only two things in the message-level model
+    /// read the deployment — the origin's signing bit (baked into `d`'s
+    /// announcement) and each AS's `validates` bit (read during selection
+    /// and re-signing) — so the swap re-announces the origin when its
+    /// signing flipped and re-runs the decision process of every AS whose
+    /// `validates` bit flipped; everything downstream propagates via the
+    /// queue. Call [`Simulator::run`] afterwards to converge.
+    ///
+    /// An AS whose own `validates` bit flips re-evaluates from scratch:
+    /// hysteresis never pins a route across an administrative validation
+    /// flip at the deciding AS itself, since what "secure" means to that AS
+    /// just changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the universe size changes.
+    pub fn set_deployment(&mut self, deployment: &Deployment) {
+        assert_eq!(deployment.universe(), self.graph.len());
+        let old = std::mem::replace(&mut self.deployment, deployment.clone());
+        let d = self.scenario.destination;
+        if self.deployment.signs_origin(d) != old.signs_origin(d) {
+            let d_route = Route {
+                path: vec![d],
+                signed: self.deployment.signs_origin(d),
+            };
+            for (slot, &u) in self.graph.neighbors(d).iter().enumerate() {
+                if !self.scenario.is_attacker(u) {
+                    self.adj_out[d.index()][slot] = Some(d_route.clone());
+                    self.queue.push_back(Message { from: d, to: u });
+                }
+            }
+        }
+        for v in self.graph.ases() {
+            if v == d || self.scenario.is_attacker(v) {
+                continue;
+            }
+            if self.deployment.validates(v) == old.validates(v) {
+                continue;
+            }
+            // Unconditional re-decide + re-export: even when the best path
+            // is unchanged, its secure bit (and hence the signed bit of
+            // everything `v` re-announces) may have flipped, and `export`
+            // already suppresses updates that change nothing.
+            self.selected[v.index()] = self.best_route(v);
+            self.export(v);
+        }
+    }
+
     /// Turn `attacker` hostile *now*: it withdraws whatever it advertised
     /// as an honest participant and floods the bogus announcement of
     /// `strategy` to all neighbors. Models the realistic sequence
@@ -676,6 +727,76 @@ mod tests {
         assert!(sim.selected(AsId(2)).unwrap().secure);
         // c(3) is not in S: not secure from its own perspective.
         assert!(!sim.selected(AsId(3)).unwrap().secure);
+    }
+
+    #[test]
+    fn deployment_churn_ripples_signing_bits() {
+        // Converge fully secure, then retract the transit hop p(1): t(2)'s
+        // route must lose its end-to-end security, and re-joining must
+        // restore it — the retraction ripple is ordinary BGP messaging.
+        let g = chain();
+        let full = Deployment::full_from_iter(4, [AsId(0), AsId(1), AsId(2)]);
+        let shrunk = Deployment::full_from_iter(4, [AsId(0), AsId(2)]);
+        let mut sim = Simulator::new(
+            &g,
+            &full,
+            Policy::new(SecurityModel::Security1st),
+            AttackScenario::normal(AsId(0)),
+        );
+        sim.run(Schedule::Fifo, 10_000);
+        assert!(sim.selected(AsId(2)).unwrap().secure);
+
+        sim.set_deployment(&shrunk);
+        let out = sim.run(Schedule::Fifo, 10_000);
+        assert!(matches!(out, RunOutcome::Converged { .. }));
+        assert!(sim.unstable_ases().is_empty());
+        assert!(!sim.selected(AsId(1)).unwrap().secure, "p left S");
+        assert!(
+            !sim.selected(AsId(2)).unwrap().secure,
+            "t's route now has an unsigned transit hop"
+        );
+        // The churned state must equal a fresh convergence at the final
+        // deployment (the chain has a unique stable state).
+        let mut fresh = Simulator::new(
+            &g,
+            &shrunk,
+            Policy::new(SecurityModel::Security1st),
+            AttackScenario::normal(AsId(0)),
+        );
+        fresh.run(Schedule::Fifo, 10_000);
+        for v in g.ases() {
+            assert_eq!(sim.selected(v), fresh.selected(v), "churn vs fresh at {v}");
+        }
+
+        sim.set_deployment(&full);
+        sim.run(Schedule::Fifo, 10_000);
+        assert!(sim.selected(AsId(2)).unwrap().secure, "re-join restores");
+    }
+
+    #[test]
+    fn destination_unsigning_churn_withdraws_security() {
+        let g = chain();
+        let full = Deployment::full_from_iter(4, [AsId(0), AsId(1), AsId(2)]);
+        let unsigned = Deployment::full_from_iter(4, [AsId(1), AsId(2)]);
+        let mut sim = Simulator::new(
+            &g,
+            &full,
+            Policy::new(SecurityModel::Security2nd),
+            AttackScenario::normal(AsId(0)),
+        );
+        sim.run(Schedule::Fifo, 10_000);
+        assert!(sim.selected(AsId(1)).unwrap().secure);
+
+        sim.set_deployment(&unsigned);
+        sim.run(Schedule::Fifo, 10_000);
+        assert!(sim.unstable_ases().is_empty());
+        for v in [AsId(1), AsId(2), AsId(3)] {
+            assert!(
+                !sim.selected(v).unwrap().secure,
+                "{v}: no route is secure once d stops signing"
+            );
+            assert!(sim.is_happy(v).unwrap(), "{v}: reachability is unaffected");
+        }
     }
 
     #[test]

@@ -116,6 +116,48 @@ pub fn run_wedgie_experiment(b_model: SecurityModel) -> (Vec<Option<AsId>>, Vec<
     (intended, after)
 }
 
+/// The deployment of the waned phase of the churn experiment: `a`'s S\*BGP
+/// participation has lapsed (an expired ROA, a validator outage) while
+/// everyone else keeps running.
+pub fn wedgie_wane_deployment(ids: &WedgieIds) -> Deployment {
+    Deployment::full_from_iter(5, [ids.d, ids.p, ids.b])
+}
+
+/// Run the wedgie as *adoption churn* instead of a link flap: converge,
+/// retract `a` from `S` via [`Simulator::set_deployment`], reconverge,
+/// restore `a`, reconverge. Returns `(intended, after_recovery)` next-hop
+/// snapshots; a wedgie occurred iff they differ.
+///
+/// The mechanism is the same hysteresis as Figure 1's: during the lapse
+/// nothing is secure from `A`'s perspective, so LP sends it to the insecure
+/// customer route `A–e–d`, `B` grabs the resulting customer route
+/// `B–A–e–d`, and when `A` re-joins, `B` (routing *through* `A`) exports
+/// nothing back to it — the secure provider route is gone from `A`'s RIB
+/// and the system sticks. No link ever failed: coverage waning and waxing
+/// is enough.
+pub fn run_wedgie_churn_experiment(
+    b_model: SecurityModel,
+) -> (Vec<Option<AsId>>, Vec<Option<AsId>>) {
+    let (graph, ids) = wedgie_graph();
+    let full = wedgie_deployment(&ids);
+    let waned = wedgie_wane_deployment(&ids);
+    let mut sim = wedgie_simulator(&graph, &ids, &full, b_model);
+
+    sim.run(Schedule::Fifo, 100_000);
+    assert!(sim.unstable_ases().is_empty(), "initial convergence");
+    let intended = sim.next_hop_snapshot();
+
+    sim.set_deployment(&waned);
+    sim.run(Schedule::Fifo, 100_000);
+
+    sim.set_deployment(&full);
+    sim.run(Schedule::Fifo, 100_000);
+    assert!(sim.unstable_ases().is_empty(), "post-restore convergence");
+    let after = sim.next_hop_snapshot();
+
+    (intended, after)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +205,38 @@ mod tests {
         let b = sim.selected(ids.b).unwrap();
         assert_eq!(b.route.path, vec![ids.a, ids.e, ids.d], "B is wedged");
         let a = sim.selected(ids.a).unwrap();
+        assert!(!a.secure, "A is stuck on the insecure route");
+    }
+
+    #[test]
+    fn adoption_churn_wedges_the_system() {
+        for model in [SecurityModel::Security2nd, SecurityModel::Security3rd] {
+            let (intended, after) = run_wedgie_churn_experiment(model);
+            assert_ne!(intended, after, "{model}: churn must wedge the system");
+        }
+    }
+
+    #[test]
+    fn churn_wedged_state_is_the_customer_route() {
+        let (graph, ids) = wedgie_graph();
+        let full = wedgie_deployment(&ids);
+        let waned = wedgie_wane_deployment(&ids);
+        let mut sim = wedgie_simulator(&graph, &ids, &full, SecurityModel::Security2nd);
+        sim.run(Schedule::Fifo, 100_000);
+
+        sim.set_deployment(&waned);
+        sim.run(Schedule::Fifo, 100_000);
+        // During the lapse, nothing is secure from A's view: LP rules.
+        let a = sim.selected(ids.a).unwrap();
+        assert_eq!(a.route.path, vec![ids.e, ids.d]);
+
+        sim.set_deployment(&full);
+        sim.run(Schedule::Fifo, 100_000);
+        assert!(sim.unstable_ases().is_empty());
+        let b = sim.selected(ids.b).unwrap();
+        assert_eq!(b.route.path, vec![ids.a, ids.e, ids.d], "B is wedged");
+        let a = sim.selected(ids.a).unwrap();
+        assert_eq!(a.route.path, vec![ids.e, ids.d]);
         assert!(!a.secure, "A is stuck on the insecure route");
     }
 

@@ -12,10 +12,12 @@
 //! | [`per_destination`] | Figures 9, 10, 12 |
 //! | [`root_cause`] | Figures 13 and 16 |
 //! | [`extensions`] | §8's hysteresis and security-islands proposals, the RPKI-value ladder, and §4.5's traffic-weighted metric |
+//! | [`churn`] | Non-monotone dynamics: the wax-and-wane RPKI churn trajectory, the §2.3 wedgie driven by adoption churn, and the Figure 2 protocol downgrade |
 //! | [`strategic`] | The strategic-attacker tables: per-pair optimal forged-path ladders and colluding announcer pairs |
 //! | [`estimation`] | The `--ci`/`--pairs` mode: stratified estimates with confidence intervals for the baseline, the rollouts and the strategy ladder |
 
 pub mod baseline;
+pub mod churn;
 pub mod estimation;
 pub mod extensions;
 pub mod partitions;
@@ -54,6 +56,11 @@ pub struct ExperimentConfig {
     pub ci_target: Option<f64>,
     /// Pair budget for the estimation drivers (the `--pairs` flag).
     pub pair_budget: Option<usize>,
+    /// Surface per-run [`sbgp_core::SweepStats`] (fallback rate, refixed
+    /// fraction, step directions) in the sweep-backed drivers' reports
+    /// (the `--sweep-stats` flag). Off by default so every classic
+    /// invocation stays byte-identical.
+    pub sweep_stats: bool,
 }
 
 /// Default pair budget when `--ci` is given without `--pairs`.
@@ -70,6 +77,7 @@ impl Default for ExperimentConfig {
             strategy: AttackStrategy::FakeLink,
             ci_target: None,
             pair_budget: None,
+            sweep_stats: false,
         }
     }
 }
@@ -86,6 +94,7 @@ impl ExperimentConfig {
             strategy: AttackStrategy::FakeLink,
             ci_target: None,
             pair_budget: None,
+            sweep_stats: false,
         }
     }
 

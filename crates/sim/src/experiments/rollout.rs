@@ -6,12 +6,14 @@
 //! axes composed: the normal-conditions outcome is patched incrementally
 //! between steps (deployment axis), every attacker is patched into each
 //! step as a contested region (attacker axis), and the `S = ∅` step doubles
-//! as the per-destination baseline. (Non-monotone step lists, like the
-//! §5.3.1 early-adopter scenarios, are still exact — the sweep engine falls
-//! back to full recomputation per step and the attacker patches are exact
-//! regardless.)
+//! as the per-destination baseline. Non-monotone step lists, like the
+//! §5.3.1 early-adopter scenarios, are still exact *and* still
+//! incremental: the engine serves shrinking and mixed steps through its
+//! retraction path, falling back to a full recomputation only on a
+//! dirty-region blow-up. Per-run [`SweepStats`] record that split and are
+//! surfaced in reports when [`ExperimentConfig::sweep_stats`] is set.
 
-use sbgp_core::{Bounds, Deployment, HappyCount, Policy, SecurityModel};
+use sbgp_core::{Bounds, Deployment, HappyCount, Policy, SecurityModel, SweepStats};
 use sbgp_topology::AsId;
 
 use crate::experiments::ExperimentConfig;
@@ -45,6 +47,10 @@ pub struct RolloutResult {
     pub destinations: String,
     /// Steps, in deployment order.
     pub points: Vec<RolloutPoint>,
+    /// Merged sweep-engine stats per model (paper order), covering every
+    /// sweep this rollout ran (plain, simplex, and secure-destination).
+    /// Rendered only under `--sweep-stats`.
+    pub stats: [SweepStats; 3],
 }
 
 /// Average per-destination improvement of `with` over `baseline`.
@@ -113,9 +119,10 @@ pub fn evaluate_rollout(
     let mut delta = vec![[Bounds::default(); 3]; steps.len()];
     let mut delta_simplex = vec![[Bounds::default(); 3]; steps.len()];
     let mut delta_secure = vec![[Bounds::default(); 3]; steps.len()];
+    let mut stats = [SweepStats::default(); 3];
     for (i, model) in SecurityModel::ALL.into_iter().enumerate() {
         let policy = Policy::new(model);
-        let counts = sweep::metric_sweep_by_destination(
+        let (counts, s) = sweep::metric_churn_by_destination(
             net,
             &attackers,
             destinations,
@@ -124,7 +131,8 @@ pub fn evaluate_rollout(
             cfg.strategy,
             cfg.parallelism,
         );
-        let simplex_counts = sweep::metric_sweep_by_destination(
+        stats[i].merge(&s);
+        let (simplex_counts, s) = sweep::metric_churn_by_destination(
             net,
             &attackers,
             destinations,
@@ -133,12 +141,13 @@ pub fn evaluate_rollout(
             cfg.strategy,
             cfg.parallelism,
         );
+        stats[i].merge(&s);
         for (k, step) in steps.iter().enumerate() {
             delta[k][i] = delta_over_destinations(&counts[k + 1], &counts[0]);
             delta_simplex[k][i] =
                 delta_over_destinations(&simplex_counts[k + 1], &simplex_counts[0]);
             let pair = with_baseline(net.len(), [step.deployment.clone()]);
-            let secure_counts = sweep::metric_sweep_by_destination(
+            let (secure_counts, s) = sweep::metric_churn_by_destination(
                 net,
                 &attackers,
                 &secure_dests[k],
@@ -147,6 +156,7 @@ pub fn evaluate_rollout(
                 cfg.strategy,
                 cfg.parallelism,
             );
+            stats[i].merge(&s);
             delta_secure[k][i] = delta_over_destinations(&secure_counts[1], &secure_counts[0]);
         }
     }
@@ -167,6 +177,7 @@ pub fn evaluate_rollout(
         name: name.to_string(),
         destinations: destinations_label.to_string(),
         points,
+        stats,
     }
 }
 
@@ -297,5 +308,20 @@ mod tests {
         let net = net();
         let r = early_adopters(&net, &ExperimentConfig::small(3));
         assert_eq!(r.points.len(), 3);
+    }
+
+    #[test]
+    fn rollout_surfaces_sweep_stats() {
+        let net = net();
+        let r = figure7(&net, &ExperimentConfig::small(4));
+        for (i, s) in r.stats.iter().enumerate() {
+            assert!(s.steps() > 0, "model {i}: {s:?}");
+            assert_eq!(
+                s.monotone_steps + s.retracting_steps + s.mixed_steps,
+                s.incremental_steps,
+                "model {i}: {s:?}"
+            );
+            assert!(s.fallback_rate() <= 1.0, "model {i}: {s:?}");
+        }
     }
 }

@@ -19,7 +19,10 @@
 //! * [`sweep`] — deployment-sweep runners composing both amortization
 //!   axes: per destination, the delta engine anchors each pair's first
 //!   step and a [`sbgp_core::SweepEngine`] adopted from that patch
-//!   carries the remaining deployments incrementally;
+//!   carries the remaining deployments incrementally — in any direction:
+//!   the `metric_churn` variants serve wax-and-wane trajectories through
+//!   the engine's retraction path and surface the merged per-run
+//!   [`sbgp_core::SweepStats`];
 //! * [`strategy`] — strategic attackers: per-pair optimal-strategy
 //!   ladders over `k`-hop forged paths, and colluding announcer sets
 //!   served by [`sbgp_core::AttackDeltaEngine::attack_set`];

@@ -99,6 +99,26 @@ pub fn delta_pair(b: sbgp_core::Bounds) -> String {
     format!("{:+.1}/{:+.1}pp", 100.0 * b.lower, 100.0 * b.upper)
 }
 
+/// One-line summary of a run's [`sbgp_core::SweepStats`]: how its
+/// `advance` calls were served (noop / incremental by direction / full
+/// recompute), the fallback rate, and the refixed fraction of AS-steps.
+pub fn sweep_stats_line(s: &sbgp_core::SweepStats, universe: usize) -> String {
+    format!(
+        "{} steps = {} noop + {} incr ({} grow / {} shrink / {} mixed) + {} full \
+         ({} mid-loop); fallback {}, refixed {} of AS-steps",
+        s.steps(),
+        s.noop_steps,
+        s.incremental_steps,
+        s.monotone_steps,
+        s.retracting_steps,
+        s.mixed_steps,
+        s.full_recomputes,
+        s.fallback_steps,
+        pct(s.fallback_rate()),
+        pct(s.refixed_fraction(universe)),
+    )
+}
+
 /// Unicode bar of `frac` (clamped to `[0, 1]`) out of `width` cells —
 /// a poor man's Figure 3 bar chart.
 pub fn bar(frac: f64, width: usize) -> String {

@@ -69,6 +69,20 @@ pub fn sweep_rollout_steps(net: &Internet, steps: usize) -> Vec<Deployment> {
         .collect()
 }
 
+/// A wax-and-wane RPKI churn trajectory: the [`sweep_rollout_steps`]
+/// ladder climbed to its peak and then descended back down, modeling
+/// coverage that grows and then erodes (expiring ROAs, validators turned
+/// off after incidents). `2 * peak - 1` steps; the wane half retraces the
+/// wax half in reverse, so every adjacent pair past the peak is a pure
+/// retraction. Deterministic from the topology, like the rollout it
+/// mirrors.
+pub fn churn_trajectory(net: &Internet, peak: usize) -> Vec<Deployment> {
+    let wax = sweep_rollout_steps(net, peak);
+    let mut steps = wax.clone();
+    steps.extend(wax.into_iter().rev().skip(1));
+    steps
+}
+
 /// The §5.2.1 Tier 1 + Tier 2 rollout: secure `x` Tier 1s and `y` Tier 2s
 /// (both by descending customer degree) plus all their stubs.
 pub fn tier12_step(net: &Internet, x: usize, y: usize) -> NamedDeployment {

@@ -19,9 +19,12 @@
 //!
 //! This ordering keeps the cheaper axis innermost; the transposed
 //! `for S_k → for m` order would re-patch the attacker's whole contested
-//! region into every step. Sequences should grow monotonically to get the
-//! deployment-axis speedup; non-monotone steps are still *exact* — the
-//! sweep engine silently falls back to a full recomputation for them.
+//! region into every step. Sequences may churn in any direction — grow,
+//! shrink, or both per step — and still ride the deployment axis
+//! incrementally; only a dirty-region blow-up falls back to a full
+//! recomputation, and [`metric_churn`] surfaces the merged
+//! [`SweepStats`] (fallback rate, refixed fraction, step directions) so
+//! that cost is observable instead of silent.
 //!
 //! Results are identical, bit for bit, to evaluating every step with
 //! [`crate::runner::metric`] / [`crate::runner::metric_by_destination`]
@@ -31,7 +34,7 @@
 use sbgp_core::metric::MetricAccumulator;
 use sbgp_core::{
     AttackDeltaEngine, AttackScenario, AttackStrategy, Bounds, CellSet, Deployment,
-    FusedDeltaEngine, HappyCount, Policy, SweepEngine,
+    FusedDeltaEngine, HappyCount, Policy, SweepEngine, SweepStats,
 };
 use sbgp_topology::AsId;
 
@@ -123,6 +126,70 @@ pub fn metric_sweep(
         },
     );
     accs.into_iter().map(|a| a.value()).collect()
+}
+
+/// [`metric_sweep`] over a **churn trajectory** — deployments that grow,
+/// shrink, or flip members in both directions between steps — returning the
+/// per-step metric *and* the merged [`SweepStats`] of every worker engine,
+/// so fallback rate and refixed fraction are observable per run.
+///
+/// Results are bit-identical to [`metric_sweep`] on the same inputs (the
+/// metric path is shared); the stats are sums of per-destination-group
+/// counter deltas, so they too are identical at any [`Parallelism`] and
+/// chunk order.
+pub fn metric_churn(
+    net: &Internet,
+    pairs: &[(AsId, AsId)],
+    deployments: &[Deployment],
+    policy: Policy,
+    strategy: AttackStrategy,
+    par: Parallelism,
+) -> (Vec<Bounds>, SweepStats) {
+    let groups = sample::group_by_destination(pairs);
+    let sources = net.graph.len() - 2;
+    let (accs, stats) = map_reduce_grouped(
+        par,
+        &groups,
+        || {
+            (
+                SweepEngine::new(&net.graph),
+                AttackDeltaEngine::new(&net.graph),
+            )
+        },
+        || {
+            (
+                vec![MetricAccumulator::default(); deployments.len()],
+                SweepStats::default(),
+            )
+        },
+        |(sweep, delta), (acc, stats), (d, attackers)| {
+            let before = sweep.stats();
+            sweep_pairs_for_destination(
+                sweep,
+                delta,
+                *d,
+                attackers,
+                deployments,
+                policy,
+                strategy,
+                |k, (lower, upper)| {
+                    acc[k].add(HappyCount {
+                        lower,
+                        upper,
+                        sources,
+                    });
+                },
+            );
+            stats.merge(&sweep.stats().delta_since(&before));
+        },
+        |(a, s), (b, t)| {
+            for (x, y) in a.iter_mut().zip(b) {
+                x.merge(y);
+            }
+            s.merge(&t);
+        },
+    );
+    (accs.into_iter().map(|a| a.value()).collect(), stats)
 }
 
 /// The swept metric for **every policy cell** of a [`CellSet`] at once:
@@ -227,6 +294,31 @@ pub fn metric_sweep_by_destination(
     strategy: AttackStrategy,
     par: Parallelism,
 ) -> Vec<Vec<HappyCount>> {
+    metric_churn_by_destination(
+        net,
+        attackers,
+        destinations,
+        deployments,
+        policy,
+        strategy,
+        par,
+    )
+    .0
+}
+
+/// [`metric_sweep_by_destination`] plus the merged per-run [`SweepStats`]
+/// of every worker engine. Counts and stats are both bit-identical at any
+/// [`Parallelism`]: the per-destination slots are disjoint, and the stats
+/// are sums of per-destination counter deltas (order-independent).
+pub fn metric_churn_by_destination(
+    net: &Internet,
+    attackers: &[AsId],
+    destinations: &[AsId],
+    deployments: &[Deployment],
+    policy: Policy,
+    strategy: AttackStrategy,
+    par: Parallelism,
+) -> (Vec<Vec<HappyCount>>, SweepStats) {
     let indexed: Vec<(usize, AsId)> = destinations.iter().copied().enumerate().collect();
     let sources = net.graph.len() - 2;
     map_reduce_commutative_grouped(
@@ -238,8 +330,14 @@ pub fn metric_sweep_by_destination(
                 AttackDeltaEngine::new(&net.graph),
             )
         },
-        || vec![vec![HappyCount::default(); destinations.len()]; deployments.len()],
-        |(sweep, delta), acc, &(slot, d)| {
+        || {
+            (
+                vec![vec![HappyCount::default(); destinations.len()]; deployments.len()],
+                SweepStats::default(),
+            )
+        },
+        |(sweep, delta), (acc, stats), &(slot, d)| {
+            let before = sweep.stats();
             sweep_pairs_for_destination(
                 sweep,
                 delta,
@@ -256,13 +354,15 @@ pub fn metric_sweep_by_destination(
                     };
                 },
             );
+            stats.merge(&sweep.stats().delta_since(&before));
         },
-        |a, b| {
+        |(a, s), (b, t)| {
             for (xs, ys) in a.iter_mut().zip(b) {
                 for (x, y) in xs.iter_mut().zip(ys) {
                     *x += y;
                 }
             }
+            s.merge(&t);
         },
     )
 }
@@ -377,6 +477,79 @@ mod tests {
             swept[0],
             fake_link[0]
         );
+    }
+
+    #[test]
+    fn churn_metric_equals_per_step_metric_and_reports_stats() {
+        // A wax-and-wane trajectory: the wane half is pure retractions,
+        // and the merged stats must show them served incrementally.
+        let net = net();
+        let attackers = sample::sample_non_stubs(&net, 3, 11);
+        let dests = sample::sample_all(&net, 4, 12);
+        let pairs = sample::pairs(&attackers, &dests);
+        let traj = scenario::churn_trajectory(&net, 3);
+        assert_eq!(traj.len(), 5);
+        let policy = Policy::new(SecurityModel::Security2nd);
+        let (churned, stats) = metric_churn(
+            &net,
+            &pairs,
+            &traj,
+            policy,
+            AttackStrategy::FakeLink,
+            Parallelism(2),
+        );
+        for (k, dep) in traj.iter().enumerate() {
+            let fresh = runner::metric(&net, &pairs, dep, policy, Parallelism(2));
+            assert_eq!(churned[k], fresh, "step {k}");
+        }
+        // Wax-and-wane symmetry: step k and its mirror see the same S.
+        assert_eq!(churned[0], churned[4]);
+        assert_eq!(churned[1], churned[3]);
+        assert!(stats.retracting_steps > 0, "{stats:?}");
+        assert!(stats.monotone_steps > 0, "{stats:?}");
+        assert_eq!(
+            stats.monotone_steps + stats.retracting_steps + stats.mixed_steps,
+            stats.incremental_steps,
+            "{stats:?}"
+        );
+        assert!(stats.fallback_rate() < 1.0, "{stats:?}");
+        assert!(stats.refixed_fraction(net.len()) <= 1.0, "{stats:?}");
+    }
+
+    #[test]
+    fn churn_stats_are_parallelism_invariant() {
+        let net = net();
+        let attackers = sample::sample_non_stubs(&net, 3, 21);
+        let dests = sample::sample_all(&net, 5, 22);
+        let pairs = sample::pairs(&attackers, &dests);
+        let traj = scenario::churn_trajectory(&net, 2);
+        let policy = Policy::new(SecurityModel::Security3rd);
+        let runs: Vec<_> = [Parallelism(1), Parallelism(2), Parallelism::auto()]
+            .into_iter()
+            .map(|par| metric_churn(&net, &pairs, &traj, policy, AttackStrategy::FakeLink, par))
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+        let (counts, stats) = metric_churn_by_destination(
+            &net,
+            &attackers,
+            &dests,
+            &traj,
+            policy,
+            AttackStrategy::FakeLink,
+            Parallelism(2),
+        );
+        let (counts1, stats1) = metric_churn_by_destination(
+            &net,
+            &attackers,
+            &dests,
+            &traj,
+            policy,
+            AttackStrategy::FakeLink,
+            Parallelism(1),
+        );
+        assert_eq!(counts, counts1);
+        assert_eq!(stats, stats1);
     }
 
     #[test]

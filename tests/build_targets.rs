@@ -172,6 +172,79 @@ fn figure03_runs_end_to_end_on_the_committed_snapshot_fixture() {
     );
 }
 
+/// The wedgie exhibit, end to end: both the protocol-level hysteresis and
+/// the engine-level recovery (Theorem 2.1) must be reported, and the new
+/// adoption-churn section must drive the engine's retraction path.
+#[test]
+fn exhibit_wedgie_runs_end_to_end() {
+    let out = cargo()
+        .args(["run", "-q", "-p", "sbgp_bench", "--bin", "exhibit_wedgie"])
+        .output()
+        .expect("failed to spawn cargo run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "exhibit_wedgie exited nonzero:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("wedged = true"),
+        "hysteresis not exhibited:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("returns to intended = true"),
+        "engine recovery line missing:\n{stdout}"
+    );
+}
+
+/// The wedgie example walks the §2.3 gadget through fail → recover and
+/// must land in the stuck state, then recover under uniform sec-1st.
+#[test]
+fn example_wedgie_runs_end_to_end() {
+    let out = cargo()
+        .args(["run", "-q", "--example", "wedgie"])
+        .output()
+        .expect("failed to spawn cargo run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "examples/wedgie exited nonzero:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("the system is wedged"),
+        "wedged section missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("Theorem 2.1"),
+        "uniform-priority recovery missing:\n{stdout}"
+    );
+}
+
+/// The downgrade example reproduces Figure 2: sec-2nd/3rd abandon the
+/// secure route under attack, sec-1st keeps it (Theorem 3.1).
+#[test]
+fn example_downgrade_attack_runs_end_to_end() {
+    let out = cargo()
+        .args(["run", "-q", "--example", "downgrade_attack"])
+        .output()
+        .expect("failed to spawn cargo run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "examples/downgrade_attack exited nonzero:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("PROTOCOL DOWNGRADE"),
+        "downgrade not exhibited:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("Theorem 3.1"),
+        "sec-1st immunity line missing:\n{stdout}"
+    );
+}
+
 /// A bad snapshot path must be a clean diagnostic exit, not a panic.
 #[test]
 fn figure03_reports_missing_snapshots_cleanly() {

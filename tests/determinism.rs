@@ -1,4 +1,5 @@
-//! Thread-count determinism: `runner::metric`, the sweep runners, and the
+//! Thread-count determinism: `runner::metric`, the sweep and churn
+//! runners (merged `SweepStats` included), and the
 //! strategic-attacker runners (strategy ladder, collusion) must
 //! produce **bit-identical** results at any [`Parallelism`] — including the
 //! floating-point metric bounds, not just integer counts. The runner
@@ -114,6 +115,79 @@ fn sweep_results_are_bit_identical_across_thread_counts() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn churn_metric_is_bit_identical_across_thread_counts() {
+    // The non-monotone drivers inherit the chunk-order reduction, and the
+    // merged SweepStats are a sum of per-group deltas — so the *stats*
+    // (fallback counts, step directions, re-fixed ASes) are pinned too,
+    // not just the float bounds.
+    let net = net();
+    let attackers = sample::sample_non_stubs(&net, 5, 15);
+    let dests = sample::sample_all(&net, 7, 16);
+    let pairs = sample::pairs(&attackers, &dests);
+    let deps = scenario::churn_trajectory(&net, 4);
+    for model in SecurityModel::ALL {
+        let policy = Policy::new(model);
+        let (reference, ref_stats) = sweep::metric_churn(
+            &net,
+            &pairs,
+            &deps,
+            policy,
+            AttackStrategy::FakeLink,
+            Parallelism::sequential(),
+        );
+        for par in parallelisms() {
+            let (got, stats) =
+                sweep::metric_churn(&net, &pairs, &deps, policy, AttackStrategy::FakeLink, par);
+            assert_eq!(got.len(), reference.len());
+            for (k, (g, r)) in got.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    g.lower.to_bits(),
+                    r.lower.to_bits(),
+                    "{model} step {k} lower @ {par:?}"
+                );
+                assert_eq!(
+                    g.upper.to_bits(),
+                    r.upper.to_bits(),
+                    "{model} step {k} upper @ {par:?}"
+                );
+            }
+            assert_eq!(stats, ref_stats, "{model} sweep stats @ {par:?}");
+        }
+    }
+}
+
+#[test]
+fn churn_by_destination_is_identical_across_thread_counts() {
+    let net = net();
+    let attackers = sample::sample_non_stubs(&net, 4, 17);
+    let dests = sample::sample_all(&net, 6, 18);
+    let deps = scenario::churn_trajectory(&net, 3);
+    let policy = Policy::new(SecurityModel::Security2nd);
+    let (reference, ref_stats) = sweep::metric_churn_by_destination(
+        &net,
+        &attackers,
+        &dests,
+        &deps,
+        policy,
+        AttackStrategy::FakeLink,
+        Parallelism::sequential(),
+    );
+    for par in parallelisms() {
+        let (got, stats) = sweep::metric_churn_by_destination(
+            &net,
+            &attackers,
+            &dests,
+            &deps,
+            policy,
+            AttackStrategy::FakeLink,
+            par,
+        );
+        assert_eq!(got, reference, "{par:?}");
+        assert_eq!(stats, ref_stats, "sweep stats @ {par:?}");
     }
 }
 

@@ -1,10 +1,11 @@
-//! Golden-output regression tests: `figure03`, `figure08` and
-//! `table_strategy_ladder` at `--asns 200 --seed 7` must print exactly the
-//! snapshotted tables, so an engine or runner refactor cannot silently
-//! shift reproduced numbers.
-//! Running at 2 threads also exercises the runner's determinism guarantee —
-//! the snapshots were captured at the same setting and reduction order does
-//! not depend on scheduling.
+//! Golden-output regression tests: `figure03`, `figure08`,
+//! `table_strategy_ladder` and `table_churn` at `--asns 200 --seed 7`, plus
+//! the fixed-gadget exhibits (`exhibit_wedgie` and both examples), must
+//! print exactly the snapshotted tables, so an engine or runner refactor
+//! cannot silently shift reproduced numbers.
+//! Running the sampled tables at 2 threads also exercises the runner's
+//! determinism guarantee — the snapshots were captured at the same setting
+//! and reduction order does not depend on scheduling.
 //!
 //! If a change *intentionally* alters the numbers, regenerate with:
 //!
@@ -15,6 +16,11 @@
 //!     > tests/golden/figure08_asns200_seed7.txt
 //! cargo run -q -p sbgp_bench --bin table_strategy_ladder -- --asns 200 --seed 7 --threads 2 \
 //!     > tests/golden/table_strategy_ladder_asns200_seed7.txt
+//! cargo run -q -p sbgp_bench --bin table_churn -- --asns 200 --seed 7 --threads 2 \
+//!     > tests/golden/table_churn_asns200_seed7.txt
+//! cargo run -q -p sbgp_bench --bin exhibit_wedgie > tests/golden/exhibit_wedgie.txt
+//! cargo run -q --example wedgie > tests/golden/example_wedgie.txt
+//! cargo run -q --example downgrade_attack > tests/golden/example_downgrade_attack.txt
 //! ```
 //!
 //! and say so in the commit message.
@@ -22,33 +28,30 @@
 use std::path::Path;
 use std::process::Command;
 
-fn run_figure(bin: &str) -> String {
-    let out = Command::new(env!("CARGO"))
-        .current_dir(Path::new(env!("CARGO_MANIFEST_DIR")))
-        .args([
-            "run",
-            "-q",
-            "--offline",
-            "-p",
-            "sbgp_bench",
-            "--bin",
-            bin,
-            "--",
-            "--asns",
-            "200",
-            "--seed",
-            "7",
-            "--threads",
-            "2",
-        ])
-        .output()
-        .expect("failed to spawn cargo run");
+/// Run a cargo target (`["--bin", name]` or `["--example", name]`) with
+/// the given CLI arguments and return its stdout.
+fn run_target(target: &[&str], cli_args: &[&str]) -> String {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .args(["run", "-q", "--offline"])
+        .args(target);
+    if !cli_args.is_empty() {
+        cmd.arg("--").args(cli_args);
+    }
+    let out = cmd.output().expect("failed to spawn cargo run");
     assert!(
         out.status.success(),
-        "{bin} exited nonzero:\n{}",
+        "{target:?} exited nonzero:\n{}",
         String::from_utf8_lossy(&out.stderr)
     );
     String::from_utf8(out.stdout).expect("non-UTF8 output")
+}
+
+fn run_figure(bin: &str) -> String {
+    run_target(
+        &["-p", "sbgp_bench", "--bin", bin],
+        &["--asns", "200", "--seed", "7", "--threads", "2"],
+    )
 }
 
 fn golden(name: &str) -> String {
@@ -58,8 +61,7 @@ fn golden(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-fn assert_matches_golden(bin: &str, golden_name: &str) {
-    let got = run_figure(bin);
+fn assert_output_matches(bin: &str, got: &str, golden_name: &str) {
     let want = golden(golden_name);
     if got != want {
         // Pinpoint the first divergence for a readable failure.
@@ -80,6 +82,11 @@ fn assert_matches_golden(bin: &str, golden_name: &str) {
     }
 }
 
+fn assert_matches_golden(bin: &str, golden_name: &str) {
+    let got = run_figure(bin);
+    assert_output_matches(bin, &got, golden_name);
+}
+
 #[test]
 fn figure03_output_is_golden() {
     assert_matches_golden("figure03", "figure03_asns200_seed7.txt");
@@ -95,5 +102,34 @@ fn table_strategy_ladder_output_is_golden() {
     assert_matches_golden(
         "table_strategy_ladder",
         "table_strategy_ladder_asns200_seed7.txt",
+    );
+}
+
+#[test]
+fn table_churn_output_is_golden() {
+    assert_matches_golden("table_churn", "table_churn_asns200_seed7.txt");
+}
+
+/// The wedgie exhibit runs on a fixed gadget and takes no CLI arguments;
+/// its whole narrative (protocol hysteresis + engine recovery) is pinned.
+#[test]
+fn exhibit_wedgie_output_is_golden() {
+    let got = run_target(&["-p", "sbgp_bench", "--bin", "exhibit_wedgie"], &[]);
+    assert_output_matches("exhibit_wedgie", &got, "exhibit_wedgie.txt");
+}
+
+#[test]
+fn example_wedgie_output_is_golden() {
+    let got = run_target(&["--example", "wedgie"], &[]);
+    assert_output_matches("examples/wedgie", &got, "example_wedgie.txt");
+}
+
+#[test]
+fn example_downgrade_attack_output_is_golden() {
+    let got = run_target(&["--example", "downgrade_attack"], &[]);
+    assert_output_matches(
+        "examples/downgrade_attack",
+        &got,
+        "example_downgrade_attack.txt",
     );
 }
